@@ -1,0 +1,42 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each benchmark regenerates one table/figure of the paper (see DESIGN.md's
+experiment index) and (a) asserts the paper's qualitative anchors, (b)
+prints the rows/series, and (c) writes them under ``benchmarks/output/``
+so the artifacts survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+import pytest
+
+_OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+#: experiment results computed once per session and shared across benches.
+_session_cache: dict = {}
+
+
+def cached(key: str, compute: Callable):
+    """Compute an experiment once per pytest session."""
+    if key not in _session_cache:
+        _session_cache[key] = compute()
+    return _session_cache[key]
+
+
+def emit(name: str, text: str) -> str:
+    """Print an artifact and persist it under benchmarks/output/."""
+    os.makedirs(_OUTPUT_DIR, exist_ok=True)
+    path = os.path.join(_OUTPUT_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print(f"\n----- {name} -----")
+    print(text)
+    return path
+
+
+@pytest.fixture()
+def artifact():
+    return emit

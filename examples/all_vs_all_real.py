@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""The paper's core workload, computed for real on a small database.
+
+Builds a synthetic protein database with planted homologous families, then
+runs the genuine Figure 3 all-vs-all process — Smith-Waterman fixed-PAM
+pass, PAM-parameter refinement, merge by entry and by PAM distance — on an
+inline environment. Every alignment is actually computed.
+
+    python examples/all_vs_all_real.py
+"""
+
+from repro import (
+    BioOperaServer,
+    CostModel,
+    DarwinEngine,
+    DatabaseProfile,
+    InlineEnvironment,
+    SequenceDatabase,
+    install_all_vs_all,
+)
+
+
+def main():
+    # A 36-entry database: ~40% of entries belong to homologous families.
+    database = SequenceDatabase.synthetic(
+        "demo_db", 36, seed=20, mean_length=100.0, min_length=40,
+        max_length=300, family_fraction=0.4, family_size=3,
+        mutation_rate=0.2,
+    )
+    profile = DatabaseProfile.from_database(database)
+    print(f"database: {len(database)} entries, "
+          f"{database.total_residues()} residues, "
+          f"{len(profile.homologous_pairs())} homologous pairs planted")
+
+    # Calibrate the cost model against this machine's real alignment speed,
+    # so the accounting reflects genuine work.
+    cost_model = CostModel()
+    rate = cost_model.calibrate(database, sample_pairs=3)
+    print(f"calibrated aligner speed: {rate / 1e6:.1f}M DP cells/second")
+
+    darwin = DarwinEngine(
+        profile, database=database, mode="real",
+        cost_model=cost_model, match_threshold=60.0,
+    )
+
+    server = BioOperaServer(seed=7)
+    environment = InlineEnvironment()
+    server.attach_environment(environment)
+    install_all_vs_all(server, darwin)
+
+    instance_id = server.launch("all_vs_all", {
+        "db_name": database.name,
+        "granularity": 6,          # six TEUs
+    })
+    status = environment.run_instance(instance_id)
+    instance = server.instance(instance_id)
+    print(f"run {instance_id}: {status}")
+
+    merged = instance.find_state("MergeByEntry").outputs["matches"]
+    print(f"\n{merged['count']} matches above threshold "
+          f"(score >= {darwin.match_threshold}):")
+    print(f"{'entry i':>8} {'entry j':>8} {'score':>8} {'PAM':>7} "
+          f"{'same family?':>13}")
+    for match in merged["matches"][:12]:
+        entry_i = database.entry(match["i"])
+        entry_j = database.entry(match["j"])
+        related = (entry_i.family is not None
+                   and entry_i.family == entry_j.family)
+        print(f"{match['i']:>8} {match['j']:>8} {match['score']:>8.1f} "
+              f"{match.get('pam', 0):>7.1f} {str(related):>13}")
+
+    print("\nPAM-distance histogram (Merge by PAM distance):")
+    for bucket, count in sorted(instance.outputs["pam_histogram"].items()):
+        print(f"  {bucket:<14} {count}")
+
+    stats = server.statistics(instance_id)
+    print(f"\nCPU(pi) = {stats['cpu_seconds']:.1f} modeled seconds over "
+          f"{stats['activities_completed']} activities")
+
+    # sanity: planted families were found
+    found = {(m["i"], m["j"]) for m in merged["matches"]}
+    planted = set(profile.homologous_pairs())
+    recall = len(found & planted) / len(planted)
+    print(f"family-pair recall: {recall:.0%}")
+    assert status == "completed"
+    assert recall > 0.6
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""A month-long computation surviving failures — in seconds of real time.
+
+Runs an SP38-subset all-vs-all on a simulated 15-CPU cluster while the
+world falls apart around it: a node crash, a full network outage, a server
+crash with store-based recovery, a disk-full window, and an operator
+suspend/resume. The process completes anyway, and the event log shows
+exactly what was re-run.
+
+Also demonstrates the operator console and what-if outage planning.
+
+    python examples/dependable_cluster_run.py
+"""
+
+from repro import (
+    BioOperaServer,
+    DarwinEngine,
+    DatabaseProfile,
+    OperatorConsole,
+    ScenarioScript,
+    SimKernel,
+    SimulatedCluster,
+    format_duration,
+    install_all_vs_all,
+    outage_impact,
+)
+from repro.cluster import ik_sun
+
+
+def main():
+    profile = DatabaseProfile.synthetic("SP38_subset", 522, seed=7)
+    darwin = DarwinEngine(profile, mode="modeled",
+                          random_match_rate=2e-3, seed=3)
+
+    kernel = SimKernel(seed=99)
+    cluster = SimulatedCluster(kernel, ik_sun(), execution_noise=0.25)
+    server = BioOperaServer(seed=5)
+    server.attach_environment(cluster)
+    install_all_vs_all(server, darwin)
+    console = OperatorConsole(server)
+
+    instance_id = server.launch("all_vs_all", {
+        "db_name": profile.name,
+        "granularity": 50,
+    })
+
+    # --- script this run's misfortunes -----------------------------------
+    script = ScenarioScript(cluster)
+    script.node_crash(40.0, "ik-sun2", duration=120.0)
+    script.network_outage(90.0, duration=30.0)
+    script.server_crash(150.0, recovery_after=45.0)
+    script.storage_full(220.0, duration=40.0)
+    script.suspend_instance(300.0, instance_id, label="other user needs cluster")
+    script.resume_instance(330.0, instance_id)
+
+    # --- mid-run: peek through the operator console ----------------------
+    kernel.run(until=60.0)
+    print("=== operator console at t=60s ===")
+    for row in console.list_instances():
+        print(f"  {row['instance_id']} [{row['template']}] {row['status']} "
+              f"progress={row['progress']}")
+    running = console.running_tasks(instance_id)
+    print(f"  {len(running)} TEUs running, e.g. "
+          f"{running[0]['path']} on {running[0]['node']}")
+    print(f"  queue depth: {console.queue_depth()}")
+
+    # --- what-if: can we take two nodes down for maintenance? ------------
+    plan = outage_impact(server, ["ik-sun4", "ik-sun5"])
+    print("\n=== what-if: taking ik-sun4 + ik-sun5 off-line ===")
+    print(plan.summary())
+
+    # --- let the scripted chaos play out ---------------------------------
+    status = cluster.run_until_instance_done(instance_id)
+    # reporting goes through cluster.server: the original server object was
+    # replaced when it crashed and recovered.
+    server = cluster.server
+    instance = server.instance(instance_id)
+
+    print(f"\n=== run finished: {status} after "
+          f"{format_duration(kernel.now)} simulated ===")
+    print(f"  matches: {instance.outputs['match_count']}")
+    stats = server.statistics(instance_id)
+    print(f"  CPU(pi): {format_duration(stats['cpu_seconds'])} across "
+          f"{stats['activities_completed']} activities")
+    print(f"  jobs dispatched/completed/failed: "
+          f"{server.metrics['jobs_dispatched']}/"
+          f"{server.metrics['jobs_completed']}/"
+          f"{server.metrics['jobs_failed']}")
+
+    failures = {}
+    for event in server.store.instances.events(instance_id):
+        if event["type"] == "task_failed":
+            failures[event["reason"]] = failures.get(event["reason"], 0) + 1
+    print(f"  failures survived, by class: {failures}")
+    print(f"  manual interventions: {server.metrics['manual_interventions']} "
+          f"(the suspend/resume pair)")
+
+    timeline = cluster.trace.annotations
+    print("\n=== event timeline ===")
+    for t, label in timeline:
+        print(f"  t={t:7.1f}s  {label}")
+
+    assert status == "completed"
+    assert failures, "the chaos script must actually have bitten"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Quickstart: define a process in OCR, run it, inspect the results.
+
+This is the smallest complete BioOpera workflow: an OCR process with a
+conditional branch and a parallel fan-out, three Python "application
+programs", and an inline execution environment. Run it with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    BioOperaServer,
+    InlineEnvironment,
+    ProgramRegistry,
+    ProgramResult,
+    print_ocr,
+)
+
+# ---------------------------------------------------------------------------
+# 1. The process, in OCR (Opera Canonical Representation)
+# ---------------------------------------------------------------------------
+
+PROCESS = """
+PROCESS word_statistics
+  DESCRIPTION "Count and analyze words of a document, in parallel"
+  INPUT text
+  INPUT min_length DEFAULT 4
+  OUTPUT histogram = Merge.histogram
+  OUTPUT longest = Merge.longest
+
+  ACTIVITY Split
+    PROGRAM demo.split
+    DESCRIPTION "Break the document into per-chunk word lists"
+    IN text = wb.text
+    MAP chunks -> chunks
+  END
+
+  PARALLEL Analyze
+    FOREACH wb.chunks AS words
+    JOIN and
+    ACTIVITY CountChunk
+      PROGRAM demo.count
+      IN min_length = wb.min_length
+    END
+  END
+
+  ACTIVITY Merge
+    PROGRAM demo.merge
+    IN results = Analyze.results
+  END
+
+  CONNECT Split -> Analyze
+  CONNECT Analyze -> Merge
+END
+"""
+
+# ---------------------------------------------------------------------------
+# 2. The application programs (external bindings)
+# ---------------------------------------------------------------------------
+
+
+def split(inputs, ctx):
+    words = inputs["text"].split()
+    chunk_size = max(1, len(words) // 4)
+    chunks = [words[i:i + chunk_size] for i in range(0, len(words), chunk_size)]
+    return ProgramResult({"chunks": chunks}, cost=0.01 * len(words))
+
+
+def count(inputs, ctx):
+    counted = {}
+    for word in inputs["words"]:
+        word = word.strip(".,;:!?").lower()
+        if len(word) >= inputs["min_length"]:
+            counted[word] = counted.get(word, 0) + 1
+    return ProgramResult({"counts": counted}, cost=0.005 * len(inputs["words"]))
+
+
+def merge(inputs, ctx):
+    histogram = {}
+    for result in inputs["results"]:
+        for word, n in result["counts"].items():
+            histogram[word] = histogram.get(word, 0) + n
+    longest = max(histogram, key=len) if histogram else ""
+    return ProgramResult({"histogram": histogram, "longest": longest},
+                         cost=0.01)
+
+
+def main():
+    registry = ProgramRegistry()
+    registry.register("demo.split", split)
+    registry.register("demo.count", count)
+    registry.register("demo.merge", merge)
+
+    server = BioOperaServer(registry=registry)
+    environment = InlineEnvironment()
+    server.attach_environment(environment)
+
+    # Templates are validated, versioned, and stored in the template space.
+    version = server.define_template_ocr(PROCESS)
+    template, _ = server.resolve_template("word_statistics")
+    print("=== canonical OCR (round-tripped) ===")
+    print(print_ocr(template))
+
+    document = (
+        "In a virtual laboratory science is made based on electronically "
+        "stored data instead of on direct observations of natural phenomena "
+        "such virtual laboratories are becoming increasingly pervasive"
+    )
+    instance_id = server.launch("word_statistics", {"text": document})
+    status = environment.run_instance(instance_id)
+
+    instance = server.instance(instance_id)
+    print(f"=== run {instance_id}: {status} (template v{version}) ===")
+    for word, n in sorted(instance.outputs["histogram"].items(),
+                          key=lambda kv: -kv[1])[:8]:
+        print(f"  {word:<16} {n}")
+    print(f"  longest word: {instance.outputs['longest']!r}")
+
+    stats = server.statistics(instance_id)
+    print(f"=== accounting: CPU(pi)={stats['cpu_seconds']:.3f}s over "
+          f"{stats['activities_completed']} activities, "
+          f"{stats['events']} durable events ===")
+    assert status == "completed"
+
+
+if __name__ == "__main__":
+    main()

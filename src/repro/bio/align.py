@@ -1,0 +1,240 @@
+"""Smith-Waterman local alignment with affine gap penalties.
+
+This is the computational heart of the all-vs-all: Darwin's "dynamic
+programming local alignment algorithm which uses the GCB scoring matrices
+and an affine gap penalty" (paper, Section 4). The implementation is the
+Gotoh three-state recurrence, vectorized over **anti-diagonals** so the
+inner loops are numpy element-wise operations:
+
+* ``E`` (gap in the first sequence) and ``F`` (gap in the second) on
+  diagonal ``d`` depend only on diagonal ``d-1``;
+* ``H`` on diagonal ``d`` depends on ``E``/``F`` of ``d`` and ``H`` of
+  ``d-2`` — all element-wise with shifts.
+
+:func:`sw_score` keeps two diagonals (O(m) memory, fast scan of many
+pairs); :func:`sw_align` stores the full matrices and runs an exact affine
+traceback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import AlignmentError
+from . import alphabet
+
+NEG_INF = -1e30
+
+#: Default affine gap penalties (in the same units as the score matrices).
+GAP_OPEN = 12.0
+GAP_EXTEND = 1.0
+
+
+def _encode_pair(seq_a: str, seq_b: str) -> Tuple[np.ndarray, np.ndarray]:
+    if not seq_a or not seq_b:
+        raise AlignmentError("cannot align empty sequences")
+    try:
+        return alphabet.encode(seq_a), alphabet.encode(seq_b)
+    except KeyError as exc:
+        raise AlignmentError(f"invalid residue {exc.args[0]!r}") from exc
+
+
+def sw_score(
+    seq_a: str,
+    seq_b: str,
+    matrix: np.ndarray,
+    gap_open: float = GAP_OPEN,
+    gap_extend: float = GAP_EXTEND,
+) -> float:
+    """Best local-alignment score of ``seq_a`` vs ``seq_b`` (score only)."""
+    a_idx, b_idx = _encode_pair(seq_a, seq_b)
+    m, n = len(a_idx), len(b_idx)
+    # Diagonal arrays indexed by i (position in seq_a).
+    h_prev2 = np.full(m, NEG_INF)  # H on diagonal d-2
+    h_prev1 = np.full(m, NEG_INF)  # H on diagonal d-1
+    e_prev1 = np.full(m, NEG_INF)
+    f_prev1 = np.full(m, NEG_INF)
+    best = 0.0
+    for d in range(m + n - 1):
+        lo = max(0, d - n + 1)
+        hi = min(m - 1, d)
+        idx = np.arange(lo, hi + 1)
+        j = d - idx
+        # E: left neighbour (i, j-1) lives at index i on diagonal d-1.
+        e_cur = np.full(m, NEG_INF)
+        e_cur[idx] = np.maximum(
+            h_prev1[idx] - gap_open, e_prev1[idx] - gap_extend
+        )
+        e_cur[idx[j == 0]] = NEG_INF  # no left neighbour on column 0
+        # F: up neighbour (i-1, j) lives at index i-1 on diagonal d-1.
+        f_cur = np.full(m, NEG_INF)
+        shifted_h = np.full(m, NEG_INF)
+        shifted_f = np.full(m, NEG_INF)
+        shifted_h[1:] = h_prev1[:-1]
+        shifted_f[1:] = f_prev1[:-1]
+        f_cur[idx] = np.maximum(
+            shifted_h[idx] - gap_open, shifted_f[idx] - gap_extend
+        )
+        # Diagonal base: H(i-1, j-1) on diagonal d-2 at index i-1; the grid
+        # border (i == 0 or j == 0) restarts from 0 (local alignment).
+        diag_base = np.full(m, NEG_INF)
+        diag_base[1:] = h_prev2[:-1]
+        base = diag_base[idx]
+        base = np.where((idx == 0) | (j == 0), 0.0, base)
+        base = np.maximum(base, 0.0)
+        subst = matrix[a_idx[idx], b_idx[j]]
+        h_cur = np.full(m, NEG_INF)
+        h_cur[idx] = np.maximum.reduce(
+            [base + subst, e_cur[idx], f_cur[idx], np.zeros(len(idx))]
+        )
+        diagonal_best = float(h_cur[idx].max())
+        if diagonal_best > best:
+            best = diagonal_best
+        h_prev2, h_prev1 = h_prev1, h_cur
+        e_prev1, f_prev1 = e_cur, f_cur
+    return best
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """A concrete local alignment with traceback."""
+
+    score: float
+    aligned_a: str
+    aligned_b: str
+    start_a: int  # 0-based inclusive
+    end_a: int    # 0-based exclusive
+    start_b: int
+    end_b: int
+
+    @property
+    def length(self) -> int:
+        return len(self.aligned_a)
+
+    @property
+    def identity(self) -> float:
+        """Fraction of aligned columns with identical residues."""
+        if not self.aligned_a:
+            return 0.0
+        same = sum(
+            1 for x, y in zip(self.aligned_a, self.aligned_b)
+            if x == y and x != "-"
+        )
+        return same / len(self.aligned_a)
+
+    @property
+    def gaps(self) -> int:
+        return self.aligned_a.count("-") + self.aligned_b.count("-")
+
+
+def _fill_matrices(a_idx, b_idx, matrix, gap_open, gap_extend):
+    """Full H/E/F matrices via the anti-diagonal recurrence."""
+    m, n = len(a_idx), len(b_idx)
+    h = np.full((m, n), NEG_INF)
+    e = np.full((m, n), NEG_INF)
+    f = np.full((m, n), NEG_INF)
+    for d in range(m + n - 1):
+        lo = max(0, d - n + 1)
+        hi = min(m - 1, d)
+        idx = np.arange(lo, hi + 1)
+        j = d - idx
+        has_left = j > 0
+        il, jl = idx[has_left], j[has_left]
+        e[il, jl] = np.maximum(
+            h[il, jl - 1] - gap_open, e[il, jl - 1] - gap_extend
+        )
+        has_up = idx > 0
+        iu, ju = idx[has_up], j[has_up]
+        f[iu, ju] = np.maximum(
+            h[iu - 1, ju] - gap_open, f[iu - 1, ju] - gap_extend
+        )
+        base = np.zeros(len(idx))
+        interior = (idx > 0) & (j > 0)
+        base[interior] = np.maximum(h[idx[interior] - 1, j[interior] - 1], 0.0)
+        subst = matrix[a_idx[idx], b_idx[j]]
+        h[idx, j] = np.maximum.reduce(
+            [base + subst, e[idx, j], f[idx, j], np.zeros(len(idx))]
+        )
+    return h, e, f
+
+
+def sw_align(
+    seq_a: str,
+    seq_b: str,
+    matrix: np.ndarray,
+    gap_open: float = GAP_OPEN,
+    gap_extend: float = GAP_EXTEND,
+) -> Alignment:
+    """Best local alignment with full traceback."""
+    a_idx, b_idx = _encode_pair(seq_a, seq_b)
+    h, e, f = _fill_matrices(a_idx, b_idx, matrix, gap_open, gap_extend)
+    flat = int(np.argmax(h))
+    i, j = divmod(flat, h.shape[1])
+    score = float(h[i, j])
+    if score <= 0:
+        return Alignment(0.0, "", "", 0, 0, 0, 0)
+    out_a: list[str] = []
+    out_b: list[str] = []
+    end_a, end_b = i + 1, j + 1
+    state = "H"
+    eps = 1e-9
+    while i >= 0 and j >= 0:
+        if state == "H":
+            if h[i, j] <= eps:
+                break
+            subst = matrix[a_idx[i], b_idx[j]]
+            base = 0.0
+            if i > 0 and j > 0:
+                base = max(h[i - 1, j - 1], 0.0)
+            if abs(h[i, j] - (base + subst)) < eps:
+                out_a.append(alphabet.AMINO_ACIDS[a_idx[i]])
+                out_b.append(alphabet.AMINO_ACIDS[b_idx[j]])
+                if i == 0 or j == 0:
+                    break
+                if h[i - 1, j - 1] <= eps:
+                    break  # local alignment starts here; (i, j) consumed
+                i, j = i - 1, j - 1
+            elif abs(h[i, j] - e[i, j]) < eps:
+                state = "E"
+            elif abs(h[i, j] - f[i, j]) < eps:
+                state = "F"
+            else:  # pragma: no cover - defensive
+                raise AlignmentError("traceback failed to match any move")
+        elif state == "E":
+            out_a.append("-")
+            out_b.append(alphabet.AMINO_ACIDS[b_idx[j]])
+            if j > 0 and abs(e[i, j] - (e[i, j - 1] - gap_extend)) < eps:
+                j -= 1
+            else:
+                j -= 1
+                state = "H"
+        else:  # state == "F"
+            out_a.append(alphabet.AMINO_ACIDS[a_idx[i]])
+            out_b.append("-")
+            if i > 0 and abs(f[i, j] - (f[i - 1, j] - gap_extend)) < eps:
+                i -= 1
+            else:
+                i -= 1
+                state = "H"
+    start_a = i if state != "E" else i + 1
+    start_b = j if state != "F" else j + 1
+    start_a = max(0, start_a)
+    start_b = max(0, start_b)
+    return Alignment(
+        score=score,
+        aligned_a="".join(reversed(out_a)),
+        aligned_b="".join(reversed(out_b)),
+        start_a=start_a,
+        end_a=end_a,
+        start_b=start_b,
+        end_b=end_b,
+    )
+
+
+def self_score(sequence: str, matrix: np.ndarray) -> float:
+    """Score of aligning a sequence with itself (upper bound for partners)."""
+    idx = alphabet.encode(sequence)
+    return float(matrix[idx, idx].sum())

@@ -1,0 +1,89 @@
+"""Amino-acid alphabet, background frequencies, physico-chemical properties.
+
+The reproduction does not ship Swiss-Prot, so the scoring-matrix family
+(:mod:`repro.bio.matrices`) is *constructed* rather than tabulated: exchange
+rates between amino acids are derived from distances in a small
+physico-chemical property space (hydrophobicity, volume, polarity, charge),
+which yields a Dayhoff-style PAM matrix family with the right qualitative
+structure (conservative substitutions score high, radical ones low).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The 20 standard amino acids, in alphabetical one-letter-code order.
+AMINO_ACIDS = "ACDEFGHIKLMNPQRSTVWY"
+
+#: index of each residue letter in :data:`AMINO_ACIDS`.
+INDEX = {aa: i for i, aa in enumerate(AMINO_ACIDS)}
+
+#: Background frequencies (approximately the Swiss-Prot composition).
+FREQUENCIES = {
+    "A": 0.0826, "C": 0.0136, "D": 0.0546, "E": 0.0674, "F": 0.0386,
+    "G": 0.0708, "H": 0.0227, "I": 0.0593, "K": 0.0582, "L": 0.0966,
+    "M": 0.0241, "N": 0.0406, "P": 0.0471, "Q": 0.0394, "R": 0.0553,
+    "S": 0.0657, "T": 0.0534, "V": 0.0687, "W": 0.0109, "Y": 0.0292,
+}
+
+# Kyte-Doolittle hydropathy.
+_HYDROPATHY = {
+    "A": 1.8, "C": 2.5, "D": -3.5, "E": -3.5, "F": 2.8,
+    "G": -0.4, "H": -3.2, "I": 4.5, "K": -3.9, "L": 3.8,
+    "M": 1.9, "N": -3.5, "P": -1.6, "Q": -3.5, "R": -4.5,
+    "S": -0.8, "T": -0.7, "V": 4.2, "W": -0.9, "Y": -1.3,
+}
+
+# Side-chain volume (A^3).
+_VOLUME = {
+    "A": 88.6, "C": 108.5, "D": 111.1, "E": 138.4, "F": 189.9,
+    "G": 60.1, "H": 153.2, "I": 166.7, "K": 168.6, "L": 166.7,
+    "M": 162.9, "N": 114.1, "P": 112.7, "Q": 143.8, "R": 173.4,
+    "S": 89.0, "T": 116.1, "V": 140.0, "W": 227.8, "Y": 193.6,
+}
+
+# Grantham polarity.
+_POLARITY = {
+    "A": 8.1, "C": 5.5, "D": 13.0, "E": 12.3, "F": 5.2,
+    "G": 9.0, "H": 10.4, "I": 5.2, "K": 11.3, "L": 4.9,
+    "M": 5.7, "N": 11.6, "P": 8.0, "Q": 10.5, "R": 10.5,
+    "S": 9.2, "T": 8.6, "V": 5.9, "W": 5.4, "Y": 6.2,
+}
+
+# Formal charge at physiological pH.
+_CHARGE = {aa: 0.0 for aa in AMINO_ACIDS}
+_CHARGE.update({"D": -1.0, "E": -1.0, "K": 1.0, "R": 1.0, "H": 0.1})
+
+
+def frequency_vector() -> np.ndarray:
+    """Background frequencies as a vector aligned with :data:`AMINO_ACIDS`."""
+    freqs = np.array([FREQUENCIES[aa] for aa in AMINO_ACIDS])
+    return freqs / freqs.sum()
+
+
+def property_matrix() -> np.ndarray:
+    """Standardized (20, 4) matrix of physico-chemical properties."""
+    columns = []
+    for table in (_HYDROPATHY, _VOLUME, _POLARITY, _CHARGE):
+        values = np.array([table[aa] for aa in AMINO_ACIDS], dtype=float)
+        std = values.std()
+        columns.append((values - values.mean()) / std)
+    return np.stack(columns, axis=1)
+
+
+def encode(sequence: str) -> np.ndarray:
+    """Map a residue string to an int8 index array.
+
+    Raises
+    ------
+    KeyError
+        If the sequence contains a letter outside the 20-residue alphabet.
+    """
+    return np.fromiter(
+        (INDEX[ch] for ch in sequence), dtype=np.int8, count=len(sequence)
+    )
+
+
+def decode(indices: np.ndarray) -> str:
+    """Inverse of :func:`encode`."""
+    return "".join(AMINO_ACIDS[i] for i in indices)

@@ -1,0 +1,51 @@
+"""LAN model: delivery latency, jitter, and outages.
+
+The paper's clusters hang off "an ordinary Ethernet 10 Mbit network" that
+failed outright more than once (Figure 5 event 3, Figure 6's two planned
+outages). Messages here are kernel callbacks delivered after a sampled
+latency; during an outage messages are **dropped** — whatever a PEC tried
+to report is simply lost, which is how two TEUs "failed to report their
+results to the BioOpera server" in the paper's run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from .simulation import SimKernel
+
+
+class Network:
+    """Best-effort message fabric on the simulation kernel."""
+
+    def __init__(self, kernel: SimKernel, base_latency: float = 0.05,
+                 jitter: float = 0.02):
+        self.kernel = kernel
+        self.base_latency = base_latency
+        self.jitter = jitter
+        self.outage = False
+        self._rng = kernel.rng("network")
+        self.messages_sent = 0
+        self.messages_dropped = 0
+
+    def latency(self) -> float:
+        return self.base_latency + self._rng.random() * self.jitter
+
+    def send(self, fn: Callable, *args: Any, label: str = "") -> bool:
+        """Deliver ``fn(*args)`` after network latency.
+
+        Returns False (and drops the message) during an outage.
+        """
+        self.messages_sent += 1
+        if self.outage:
+            self.messages_dropped += 1
+            return False
+        self.kernel.schedule(self.latency(), fn, *args,
+                             label=label or getattr(fn, "__name__", "msg"))
+        return True
+
+    def start_outage(self) -> None:
+        self.outage = True
+
+    def end_outage(self) -> None:
+        self.outage = False

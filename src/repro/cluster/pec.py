@@ -1,0 +1,162 @@
+"""Program Execution Client: BioOpera's per-node agent.
+
+"The PEC is a small software component present at each node responsible for
+running application programs on behalf of the BioOpera server... This
+client also performs additional activities like monitoring the load at the
+node and reporting failures to the BioOpera server" (paper, Section 3.2).
+
+In the simulation the PEC:
+
+* accepts dispatched jobs, runs their program (producing outputs and a CPU
+  cost), and occupies the node for the corresponding simulated duration;
+* reports completion/failure back through the network (reports sent during
+  an outage are lost — the paper's "TEUs failed to report" case);
+* watches the node's external load through an
+  :class:`~repro.core.monitor.adaptive.AdaptiveMonitor` and notifies the
+  server only of significant changes.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any, Dict, Optional
+
+from ..core.engine.dispatcher import JobRequest
+from ..core.engine.library import ProgramContext, ProgramResult
+from ..core.monitor.adaptive import AdaptiveMonitor, MonitorConfig
+from ..errors import ActivityFailure
+from .network import Network
+from .node import SimNode
+
+
+class PEC:
+    """One Program Execution Client, co-located with its node."""
+
+    #: report retransmission schedule: a report that cannot be sent (network
+    #: outage) is retried this many times, this far apart, then dropped —
+    #: short glitches recover, long outages lose results (the paper's
+    #: "TEUs failed to report" case).
+    REPORT_RETRIES = 3
+    RETRY_INTERVAL = 300.0
+
+    def __init__(self, node: SimNode, network: Network, cluster,
+                 monitor_config: Optional[MonitorConfig] = None):
+        self.node = node
+        self.network = network
+        self.cluster = cluster  # SimulatedCluster (owner)
+        self.monitor = AdaptiveMonitor(monitor_config)
+        self.jobs_run = 0
+        self.jobs_failed = 0
+        self.reports_lost = 0
+        #: job ids whose report is waiting for a retransmission slot; the
+        #: server must not treat these as lost when the node reconnects.
+        self.pending_reports: set = set()
+
+    def _send_report(self, fn, *args, label: str = "",
+                     retries_left: Optional[int] = None,
+                     job_id: str = "") -> None:
+        if retries_left is None:
+            retries_left = self.REPORT_RETRIES
+        if self.network.send(fn, *args, label=label):
+            self.pending_reports.discard(job_id)
+            return
+        if retries_left <= 0 or not self.node.up:
+            self.reports_lost += 1
+            self.pending_reports.discard(job_id)
+            return
+        if job_id:
+            self.pending_reports.add(job_id)
+
+        def retry():
+            self._send_report(fn, *args, label=label,
+                              retries_left=retries_left - 1, job_id=job_id)
+
+        self.cluster.kernel.schedule(
+            self.RETRY_INTERVAL, retry, label=f"retry:{label}"
+        )
+
+    # ------------------------------------------------------------------
+    # Job execution
+    # ------------------------------------------------------------------
+
+    def receive_job(self, job: JobRequest) -> None:
+        """A dispatch message arrived from the server."""
+        if not self.node.up:
+            # The dispatch raced a crash; the failure detector will tell
+            # the server this node is gone.
+            return
+        server = self.cluster.server
+        ctx = ProgramContext(
+            instance_id=job.instance_id,
+            task_path=job.task_path,
+            attempt=job.attempt,
+            node=self.node.name,
+            seed=server.seed,
+        )
+        try:
+            result = server.registry.run(job.program, job.inputs, ctx)
+        except ActivityFailure as failure:
+            self._report_failure(job, failure.reason, failure.detail)
+            return
+        except Exception:  # program bug
+            self._report_failure(
+                job, "program-error", traceback.format_exc(limit=3)
+            )
+            return
+        # Occupy the node for the work the program costed out (perturbed by
+        # mean-1 lognormal noise — real executions never hit the estimate
+        # exactly). The payload carries everything needed to report on
+        # completion.
+        work = max(1e-6, result.cost) * self.cluster.execution_noise_factor()
+        self.node.start_job(
+            job.job_id,
+            work=work,
+            payload={"job": job, "outputs": result.outputs},
+        )
+        self.jobs_run += 1
+
+    def job_finished(self, job_id: str, payload: Dict[str, Any],
+                     cpu_consumed: float) -> None:
+        """Node callback: the simulated work is done; report upstream."""
+        job: JobRequest = payload["job"]
+        if (self.cluster.job_failure_rate > 0.0
+                and self.cluster.kernel.rng("io-errors").random()
+                < self.cluster.job_failure_rate):
+            self._report_failure(job, "io-error", "file system instability")
+            return
+        if self.cluster.storage_full:
+            # Results cannot be written to shared storage (Figure 5 ev. 5).
+            self._report_failure(job, "disk-full",
+                                 "shared storage out of space")
+            return
+        self._send_report(
+            self.cluster.deliver_completion, job, payload["outputs"],
+            cpu_consumed, self.node.name,
+            label=f"done:{job_id}", job_id=job_id,
+        )
+
+    def _report_failure(self, job: JobRequest, reason: str,
+                        detail: str) -> None:
+        self.jobs_failed += 1
+        self._send_report(
+            self.cluster.deliver_failure, job, reason, self.node.name,
+            detail, label=f"fail:{job.job_id}", job_id=job.job_id,
+        )
+
+    # ------------------------------------------------------------------
+    # Load monitoring
+    # ------------------------------------------------------------------
+
+    def load_changed(self) -> None:
+        """Called when the node's external load changes; reports upstream
+        only if the adaptive monitor finds the change significant."""
+        capacity = max(1, self.node.cpus)
+        _interval, report = self.monitor.observe(
+            self.node.external_load / capacity
+        )
+        if report is not None:
+            self.network.send(
+                self.cluster.deliver_load_report, self.node.name,
+                report * capacity,
+                label=f"load:{self.node.name}",
+            )

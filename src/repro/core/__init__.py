@@ -1,0 +1,1 @@
+"""BioOpera core: process model, OCR language, engine, monitoring, planning."""

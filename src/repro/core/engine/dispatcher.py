@@ -1,0 +1,147 @@
+"""Dispatcher: job queue, placement, and node bookkeeping.
+
+"Once the navigator decides which step(s) to execute next, the information
+is passed to the dispatcher which, in turn, schedules the task and
+associates it with a processing node in the cluster and a particular
+application" (paper, Section 3.2).
+
+Jobs wait in a FIFO queue until a node with a free slot (and a matching
+placement tag) exists; :meth:`Dispatcher.pump` drains the queue whenever
+capacity appears (job completion, node recovery, upgrades). Placement emits
+the durable ``task_dispatched`` event through the server *before* the job
+is handed to the execution environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ...errors import DispatchError
+from ..monitor.awareness import AwarenessModel
+from .scheduler import CapacityAwarePolicy, SchedulingPolicy
+
+
+@dataclass
+class JobRequest:
+    """One activity execution the navigator wants run."""
+
+    instance_id: str
+    task_path: str
+    program: str
+    inputs: Dict[str, Any]
+    attempt: int
+    placement: str = ""          # required node tag, "" = anywhere
+    cost_hint: float = 0.0       # estimated CPU seconds (for policies/UI)
+    enqueued_at: float = 0.0
+
+    @property
+    def job_id(self) -> str:
+        return f"{self.instance_id}:{self.task_path}:{self.attempt}"
+
+    @property
+    def key(self) -> str:
+        """Queue identity: one pending request per task occurrence."""
+        return f"{self.instance_id}:{self.task_path}"
+
+
+class Dispatcher:
+    """Places queued jobs on cluster nodes via the scheduling policy."""
+
+    def __init__(self, awareness: AwarenessModel,
+                 policy: Optional[SchedulingPolicy] = None):
+        self.awareness = awareness
+        self.policy = policy or CapacityAwarePolicy()
+        self._queue: List[JobRequest] = []
+        self._queued_keys: set = set()
+        #: job_id -> (JobRequest, node) for everything submitted and live.
+        self.in_flight: Dict[str, tuple] = {}
+        # wired by the server:
+        self._submit = None          # fn(job, node)
+        self._record_dispatch = None  # fn(job, node) -> bool (may veto)
+        self._is_dispatchable = None  # fn(instance_id) -> bool
+
+    def wire(self, submit, record_dispatch, is_dispatchable) -> None:
+        self._submit = submit
+        self._record_dispatch = record_dispatch
+        self._is_dispatchable = is_dispatchable
+
+    # -- queue management ---------------------------------------------------------
+
+    def enqueue(self, job: JobRequest) -> bool:
+        """Queue a job unless an identical task occurrence is already queued
+        or in flight. Returns True if the job was accepted."""
+        if job.key in self._queued_keys:
+            return False
+        for pending, _node in self.in_flight.values():
+            if pending.key == job.key:
+                return False
+        self._queue.append(job)
+        self._queued_keys.add(job.key)
+        return True
+
+    def is_pending(self, instance_id: str, task_path: str) -> bool:
+        key = f"{instance_id}:{task_path}"
+        if key in self._queued_keys:
+            return True
+        return any(j.key == key for j, _ in self.in_flight.values())
+
+    def drop_instance(self, instance_id: str) -> int:
+        """Remove all queued jobs of an instance (abort path)."""
+        before = len(self._queue)
+        self._queue = [j for j in self._queue if j.instance_id != instance_id]
+        self._queued_keys = {j.key for j in self._queue}
+        return before - len(self._queue)
+
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    # -- placement ---------------------------------------------------------------
+
+    def pump(self) -> int:
+        """Place as many queued jobs as capacity allows; returns the count."""
+        if self._submit is None:
+            raise DispatchError("dispatcher not wired to an environment")
+        placed = 0
+        remaining: List[JobRequest] = []
+        for job in self._queue:
+            if not self._is_dispatchable(job.instance_id):
+                remaining.append(job)
+                continue
+            candidates = self.awareness.candidates(job.placement)
+            node = self.policy.select(candidates)
+            if node is None:
+                remaining.append(job)
+                continue
+            if not self._record_dispatch(job, node):
+                # The server vetoed (instance gone / task no longer current).
+                self._queued_keys.discard(job.key)
+                continue
+            self.awareness.assign(node, job.job_id)
+            self.in_flight[job.job_id] = (job, node)
+            self._queued_keys.discard(job.key)
+            self._submit(job, node)
+            placed += 1
+        self._queue = remaining
+        return placed
+
+    # -- completion bookkeeping ------------------------------------------------------
+
+    def job_finished(self, job_id: str) -> Optional[tuple]:
+        """Forget a finished job; returns its (request, node) if known."""
+        entry = self.in_flight.pop(job_id, None)
+        if entry is not None:
+            _job, node = entry
+            self.awareness.release(node, job_id)
+        return entry
+
+    def jobs_on_node(self, node: str) -> List[str]:
+        return sorted(
+            job_id for job_id, (_j, n) in self.in_flight.items() if n == node
+        )
+
+    def inflight_for_instance(self, instance_id: str) -> List[str]:
+        return sorted(
+            job_id for job_id, (job, _n) in self.in_flight.items()
+            if job.instance_id == instance_id
+        )

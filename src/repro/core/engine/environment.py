@@ -1,0 +1,127 @@
+"""Execution environments: where activity jobs actually run.
+
+The server is transport-agnostic; an environment provides ``submit`` /
+``cancel`` and calls the server's activity-queue callbacks with results.
+Two implementations exist:
+
+* :class:`InlineEnvironment` (here) — runs programs as plain Python calls
+  on a configurable set of virtual nodes. Used by examples and tests that
+  perform *real* computation (actual alignments).
+* :class:`repro.cluster.environment.SimulatedCluster` — the discrete-event
+  cluster with failures, load, and simulated time.
+"""
+
+from __future__ import annotations
+
+import traceback
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from ...errors import ActivityFailure, EngineError
+from .dispatcher import JobRequest
+from .library import ProgramContext
+
+
+class ExecutionEnvironment:
+    """Interface between the server and a place to run jobs."""
+
+    def attach(self, server) -> None:
+        raise NotImplementedError
+
+    def submit(self, job: JobRequest, node: str) -> None:
+        raise NotImplementedError
+
+    def cancel(self, job_id: str) -> None:
+        raise NotImplementedError
+
+    def step(self) -> bool:
+        """Advance the environment by one unit of progress.
+
+        Returns False when nothing is pending.
+        """
+        raise NotImplementedError
+
+    def run_until_idle(self, max_steps: int = 1_000_000) -> int:
+        steps = 0
+        while steps < max_steps and self.step():
+            steps += 1
+        if steps >= max_steps:
+            raise EngineError(f"environment still busy after {max_steps} steps")
+        return steps
+
+
+class InlineEnvironment(ExecutionEnvironment):
+    """Immediate in-process execution on virtual nodes.
+
+    Jobs are queued and executed one per :meth:`step`, which keeps the
+    server's navigation loop iterative instead of recursive. Programs run
+    for real; their reported cost is recorded as accounting metadata.
+    """
+
+    def __init__(self, nodes: Optional[Dict[str, int]] = None):
+        #: node name -> cpu slots; defaults to one generous local node.
+        self.node_specs = dict(nodes or {"local": 64})
+        self.server = None
+        self._pending: Deque[Tuple[JobRequest, str]] = deque()
+        self._cancelled: set = set()
+
+    def attach(self, server) -> None:
+        self.server = server
+        for name, cpus in self.node_specs.items():
+            if not server.awareness.has_node(name):
+                server.register_node(name, cpus)
+
+    def submit(self, job: JobRequest, node: str) -> None:
+        self._pending.append((job, node))
+
+    def cancel(self, job_id: str) -> None:
+        self._cancelled.add(job_id)
+
+    def step(self) -> bool:
+        if not self._pending:
+            return False
+        job, node = self._pending.popleft()
+        if job.job_id in self._cancelled:
+            self._cancelled.discard(job.job_id)
+            return True
+        ctx = ProgramContext(
+            instance_id=job.instance_id,
+            task_path=job.task_path,
+            attempt=job.attempt,
+            node=node,
+            seed=self.server.seed,
+        )
+        try:
+            result = self.server.registry.run(job.program, job.inputs, ctx)
+        except ActivityFailure as failure:
+            self.server.on_job_failed(
+                job.job_id, failure.reason, node, detail=failure.detail
+            )
+            return True
+        except Exception:  # program bug: report, do not kill the server
+            self.server.on_job_failed(
+                job.job_id, "program-error", node,
+                detail=traceback.format_exc(limit=3),
+            )
+            return True
+        self.server.on_job_completed(
+            job.job_id, result.outputs, result.cost, node
+        )
+        return True
+
+    def run_instance(self, instance_id: str, max_steps: int = 1_000_000) -> str:
+        """Drive the environment until the instance is terminal or stuck.
+
+        Returns the final instance status.
+        """
+        instance = self.server.instance(instance_id)
+        steps = 0
+        while not instance.terminal and steps < max_steps:
+            if not self.step():
+                break
+            steps += 1
+        if steps >= max_steps:
+            raise EngineError(
+                f"instance {instance_id} still running after {max_steps} steps"
+            )
+        return instance.status

@@ -1,0 +1,186 @@
+"""Engine event taxonomy.
+
+Every state transition of a process instance is one of these events,
+appended durably to the instance space *before* the engine acts on it and
+replayed verbatim during recovery (event sourcing). Events are plain dicts
+so they pass through the store codec untouched; this module centralizes the
+type names and constructors so producers and the replay path cannot drift.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+# Instance lifecycle
+INSTANCE_CREATED = "instance_created"
+INSTANCE_STARTED = "instance_started"
+INSTANCE_SUSPENDED = "instance_suspended"
+INSTANCE_RESUMED = "instance_resumed"
+INSTANCE_COMPLETED = "instance_completed"
+INSTANCE_ABORTED = "instance_aborted"
+
+# Task lifecycle
+TASK_DISPATCHED = "task_dispatched"
+TASK_COMPLETED = "task_completed"
+TASK_FAILED = "task_failed"
+TASK_SKIPPED = "task_skipped"
+
+# Structure expansion
+BLOCK_STARTED = "block_started"
+PARALLEL_EXPANDED = "parallel_expanded"
+SUBPROCESS_STARTED = "subprocess_started"
+
+# Data & compensation
+WHITEBOARD_SET = "whiteboard_set"
+SPHERE_COMPENSATING = "sphere_compensating"
+TASK_RESET = "task_reset"
+SIGNAL_RAISED = "signal_raised"
+
+#: Failure reasons the engine treats as infrastructure trouble — they are
+#: retried without consuming the task's failure-handler retry budget
+#: (the paper re-runs work lost to crashes indefinitely; only *program*
+#: failures eventually abort).
+INFRASTRUCTURE_REASONS = frozenset({
+    "node-crash",
+    "node-down",
+    "network-outage",
+    "server-recovery",
+    "server-crash",
+    "dispatch-timeout",
+    "suspended",
+    "disk-full",
+    "io-error",
+    "migrated",
+})
+
+
+def instance_created(template_name: str, version: int,
+                     inputs: Dict[str, Any], time: float) -> Dict[str, Any]:
+    return {
+        "type": INSTANCE_CREATED,
+        "time": time,
+        "template_name": template_name,
+        "version": version,
+        "inputs": inputs,
+    }
+
+
+def instance_started(time: float) -> Dict[str, Any]:
+    return {"type": INSTANCE_STARTED, "time": time}
+
+
+def instance_suspended(reason: str, time: float) -> Dict[str, Any]:
+    return {"type": INSTANCE_SUSPENDED, "time": time, "reason": reason}
+
+
+def instance_resumed(time: float) -> Dict[str, Any]:
+    return {"type": INSTANCE_RESUMED, "time": time}
+
+
+def instance_completed(outputs: Dict[str, Any], time: float) -> Dict[str, Any]:
+    return {"type": INSTANCE_COMPLETED, "time": time, "outputs": outputs}
+
+
+def instance_aborted(reason: str, time: float) -> Dict[str, Any]:
+    return {"type": INSTANCE_ABORTED, "time": time, "reason": reason}
+
+
+def task_dispatched(path: str, node: str, program: str, attempt: int,
+                    time: float) -> Dict[str, Any]:
+    return {
+        "type": TASK_DISPATCHED,
+        "time": time,
+        "path": path,
+        "node": node,
+        "program": program,
+        "attempt": attempt,
+    }
+
+
+def task_completed(path: str, outputs: Dict[str, Any], cost: float,
+                   node: str, time: float) -> Dict[str, Any]:
+    return {
+        "type": TASK_COMPLETED,
+        "time": time,
+        "path": path,
+        "outputs": outputs,
+        "cost": cost,
+        "node": node,
+    }
+
+
+def task_failed(path: str, reason: str, node: str, attempt: int,
+                time: float, detail: str = "") -> Dict[str, Any]:
+    return {
+        "type": TASK_FAILED,
+        "time": time,
+        "path": path,
+        "reason": reason,
+        "node": node,
+        "attempt": attempt,
+        "detail": detail,
+    }
+
+
+def task_skipped(path: str, time: float) -> Dict[str, Any]:
+    return {"type": TASK_SKIPPED, "time": time, "path": path}
+
+
+def block_started(path: str, time: float) -> Dict[str, Any]:
+    return {"type": BLOCK_STARTED, "time": time, "path": path}
+
+
+def parallel_expanded(path: str, elements: List[Any],
+                      time: float) -> Dict[str, Any]:
+    return {
+        "type": PARALLEL_EXPANDED,
+        "time": time,
+        "path": path,
+        "elements": elements,
+    }
+
+
+def subprocess_started(path: str, template_name: str, version: int,
+                       inputs: Dict[str, Any], time: float) -> Dict[str, Any]:
+    return {
+        "type": SUBPROCESS_STARTED,
+        "time": time,
+        "path": path,
+        "template_name": template_name,
+        "version": version,
+        "inputs": inputs,
+    }
+
+
+def whiteboard_set(scope: str, name: str, value: Any,
+                   time: float) -> Dict[str, Any]:
+    return {
+        "type": WHITEBOARD_SET,
+        "time": time,
+        "scope": scope,
+        "name": name,
+        "value": value,
+    }
+
+
+def sphere_compensating(sphere: str, tasks: List[str], failed_task: str,
+                        time: float) -> Dict[str, Any]:
+    return {
+        "type": SPHERE_COMPENSATING,
+        "time": time,
+        "sphere": sphere,
+        "tasks": tasks,
+        "failed_task": failed_task,
+    }
+
+
+def task_reset(path: str, time: float, reason: str = "") -> Dict[str, Any]:
+    """Operator-driven re-run of a (possibly completed) task."""
+    return {"type": TASK_RESET, "time": time, "path": path, "reason": reason}
+
+
+def signal_raised(name: str, source: str, time: float) -> Dict[str, Any]:
+    """An OCR event signal: raised by a completing task (``source`` is its
+    path) or injected externally (``source`` like ``external:<origin>``)."""
+    return {"type": SIGNAL_RAISED, "time": time, "name": name,
+            "source": source}

@@ -1,0 +1,103 @@
+"""Activity library: external bindings from program names to code.
+
+"Each activity has an external binding that specifies the program to be
+invoked... This information is used by the runtime system to launch
+external applications" (paper, Section 3.1). A :class:`ProgramRegistry` is
+the reproduction's library-management element: it maps dotted program names
+(``darwin.align_chunk``) to Python callables.
+
+A program receives the resolved input parameters and a
+:class:`ProgramContext` and returns a :class:`ProgramResult`: a JSON-able
+output structure plus the CPU cost in seconds. In the simulated cluster the
+cost determines how long the node is busy; in inline execution it is
+recorded as accounting metadata.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from ...errors import EngineError
+
+
+@dataclass
+class ProgramContext:
+    """Runtime context handed to every program invocation."""
+
+    instance_id: str
+    task_path: str
+    attempt: int
+    node: str
+    seed: int = 0
+
+    def rng(self) -> random.Random:
+        """Deterministic per-invocation random stream."""
+        return random.Random(
+            f"{self.seed}/{self.instance_id}/{self.task_path}/{self.attempt}"
+        )
+
+
+@dataclass
+class ProgramResult:
+    """What a program produced and what it cost."""
+
+    outputs: Dict[str, Any] = field(default_factory=dict)
+    cost: float = 0.0
+
+
+ProgramFn = Callable[[Dict[str, Any], ProgramContext], ProgramResult]
+
+
+class ProgramRegistry:
+    """Named library of executable programs (external bindings)."""
+
+    def __init__(self):
+        self._programs: Dict[str, ProgramFn] = {}
+        self._descriptions: Dict[str, str] = {}
+
+    def register(self, name: str, fn: ProgramFn,
+                 description: str = "") -> None:
+        if name in self._programs:
+            raise EngineError(f"program {name!r} already registered")
+        self._programs[name] = fn
+        self._descriptions[name] = description
+
+    def replace(self, name: str, fn: ProgramFn,
+                description: str = "") -> None:
+        """Swap an implementation (the paper's evolving-algorithm case)."""
+        self._programs[name] = fn
+        if description:
+            self._descriptions[name] = description
+
+    def program(self, name: str) -> ProgramFn:
+        fn = self._programs.get(name)
+        if fn is None:
+            raise EngineError(f"no program registered under {name!r}")
+        return fn
+
+    def run(self, name: str, inputs: Dict[str, Any],
+            ctx: ProgramContext) -> ProgramResult:
+        result = self.program(name)(inputs, ctx)
+        if not isinstance(result, ProgramResult):
+            raise EngineError(
+                f"program {name!r} returned {type(result).__name__}, "
+                f"expected ProgramResult"
+            )
+        return result
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._programs
+
+    def names(self) -> list:
+        return sorted(self._programs)
+
+    def describe(self, name: str) -> str:
+        return self._descriptions.get(name, "")
+
+    def missing_programs(self, template) -> list:
+        """Programs a template references that this library lacks."""
+        return sorted(
+            p for p in template.activity_programs() if p not in self
+        )

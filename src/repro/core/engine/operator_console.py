@@ -1,0 +1,130 @@
+"""Operator console: the monitoring & control surface of Section 3.4.
+
+"The monitor allows users to actively influence the computation as the
+user can start, stop, abort, re-start, and change input parameters during
+each step of the computation." The console wraps a server with the
+operations a human operator (or an admin script) performs, plus the
+query side: per-instance progress, per-task drill-down, cluster state,
+and the accounting statistics of Section 5.2.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ...errors import UnknownInstanceError
+from .instance import COMPLETED, DISPATCHED, FAILED, ProcessInstance
+from .server import BioOperaServer
+
+
+class OperatorConsole:
+    """Human-operator view over a running BioOpera server."""
+
+    def __init__(self, server: BioOperaServer):
+        self.server = server
+
+    # ------------------------------------------------------------------
+    # Control (each counts as a manual intervention in the metrics)
+    # ------------------------------------------------------------------
+
+    def start(self, template_name: str,
+              inputs: Optional[Dict[str, Any]] = None) -> str:
+        return self.server.launch(template_name, inputs)
+
+    def stop(self, instance_id: str, reason: str = "operator stop") -> None:
+        """Suspend: running activities drain, nothing new starts."""
+        self.server.suspend(instance_id, reason)
+
+    def resume(self, instance_id: str) -> None:
+        self.server.resume(instance_id)
+
+    def abort(self, instance_id: str, reason: str = "operator abort") -> None:
+        self.server.abort(instance_id, reason)
+
+    def restart_task(self, instance_id: str, task_path: str) -> None:
+        """Re-run one task (e.g. a TEU whose output looks wrong)."""
+        self.server.restart_task(instance_id, task_path)
+
+    def change_parameter(self, instance_id: str, name: str,
+                         value: Any) -> None:
+        """Edit a whiteboard item of a live instance."""
+        self.server.change_parameter(instance_id, name, value)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def list_instances(self) -> List[Dict[str, Any]]:
+        rows = []
+        for instance_id in sorted(self.server.instances):
+            instance = self.server.instances[instance_id]
+            rows.append({
+                "instance_id": instance_id,
+                "template": instance.template.name if instance.template else "",
+                "status": instance.status,
+                "progress": instance.progress(),
+            })
+        return rows
+
+    def instance_detail(self, instance_id: str) -> Dict[str, Any]:
+        instance = self.server.instance(instance_id)
+        detail = dict(self.server.statistics(instance_id))
+        detail["whiteboard"] = instance.whiteboards[""].as_dict()
+        detail["outputs"] = instance.outputs
+        return detail
+
+    def running_tasks(self, instance_id: str) -> List[Dict[str, Any]]:
+        instance = self.server.instance(instance_id)
+        rows = []
+        for state in instance.dispatched_states():
+            rows.append({
+                "path": state.path,
+                "node": state.node,
+                "program": state.program,
+                "attempt": state.attempts,
+                "since": state.dispatched_at,
+            })
+        return sorted(rows, key=lambda r: r["path"])
+
+    def failed_tasks(self, instance_id: str) -> List[Dict[str, Any]]:
+        instance = self.server.instance(instance_id)
+        rows = []
+        for state in instance.iter_states():
+            if state.status == FAILED:
+                rows.append({
+                    "path": state.path,
+                    "reason": state.failure_reason,
+                    "attempts": state.attempts,
+                    "node": state.node,
+                })
+        return sorted(rows, key=lambda r: r["path"])
+
+    def intermediate_results(self, instance_id: str,
+                             prefix: str = "") -> Dict[str, Any]:
+        """Outputs of completed tasks, available while the process runs —
+        "access to intermediate results as they are computed"."""
+        instance = self.server.instance(instance_id)
+        results: Dict[str, Any] = {}
+        for state in instance.iter_states():
+            if state.status == COMPLETED and state.outputs is not None:
+                if prefix and not state.path.startswith(prefix):
+                    continue
+                results[state.path] = state.outputs
+        return results
+
+    def cluster_state(self) -> List[Dict[str, Any]]:
+        rows = []
+        for view in self.server.awareness.nodes():
+            rows.append({
+                "node": view.name,
+                "up": view.up,
+                "cpus": view.cpus,
+                "speed": view.speed,
+                "external_load": view.external_load,
+                "our_jobs": view.assigned_count,
+                "tags": list(view.tags),
+            })
+        return rows
+
+    def queue_depth(self) -> int:
+        return self.server.dispatcher.queue_length()

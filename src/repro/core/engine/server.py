@@ -1,0 +1,710 @@
+"""BioOperaServer: navigator + dispatcher + recovery over the data spaces.
+
+"BioOpera functions to a large extent like a high-level distributed
+operating system managing processes and the resources of a computer
+cluster" (paper, Section 3.2). The server
+
+* stores templates in the template space and instances in the instance
+  space (every event durably appended *before* the engine acts on it);
+* navigates instances, queues activity jobs, and places them on nodes
+  through the dispatcher and the scheduling policy;
+* consumes the activity queue: results and failures reported by PECs are
+  recorded by the recovery path and drive further navigation;
+* reacts to node failures, recoveries, load reports, and hardware
+  reconfiguration through the awareness model;
+* supports operator control (suspend/resume/abort/parameter changes/task
+  restarts) and full crash recovery via :meth:`BioOperaServer.recover`.
+
+The server is clock- and transport-agnostic: an
+:class:`~repro.core.engine.environment.ExecutionEnvironment` supplies both.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ...errors import (
+    EngineError,
+    InvalidStateError,
+    UnknownInstanceError,
+    UnknownTemplateError,
+)
+from ...store.spaces import OperaStore
+from ..model.process import ProcessTemplate
+from ..monitor.awareness import AwarenessModel
+from . import events as ev
+from .dispatcher import Dispatcher, JobRequest
+from .instance import (
+    DISPATCHED,
+    ProcessInstance,
+    RUNNING,
+    SUSPENDED,
+)
+from .library import ProgramRegistry
+from .navigator import Navigator
+from .scheduler import SchedulingPolicy
+
+
+class StepClock:
+    """Deterministic fallback clock: advances one second per reading."""
+
+    def __init__(self, start: float = 0.0):
+        self.t = start
+
+    def __call__(self) -> float:
+        self.t += 1.0
+        return self.t
+
+
+class BioOperaServer:
+    """The process-support server."""
+
+    def __init__(
+        self,
+        store: Optional[OperaStore] = None,
+        registry: Optional[ProgramRegistry] = None,
+        policy: Optional[SchedulingPolicy] = None,
+        clock: Optional[Callable[[], float]] = None,
+        seed: int = 0,
+    ):
+        self.store = store or OperaStore()
+        self.registry = registry or ProgramRegistry()
+        self.awareness = AwarenessModel()
+        self.dispatcher = Dispatcher(self.awareness, policy)
+        self.navigator = Navigator(self)
+        self.clock = clock or StepClock()
+        self.seed = seed
+        self.up = True
+        self.environment = None
+        self.migration = None  # (min_rate, improvement) when enabled
+        self.instances: Dict[str, ProcessInstance] = {}
+        self._template_cache: Dict[Tuple[str, int], ProcessTemplate] = {}
+        self.metrics: Dict[str, int] = {
+            "jobs_dispatched": 0,
+            "jobs_completed": 0,
+            "jobs_failed": 0,
+            "stale_results_ignored": 0,
+            "nodes_failed": 0,
+            "manual_interventions": 0,
+        }
+        self.dispatcher.wire(
+            submit=self._submit_job,
+            record_dispatch=self._record_dispatch,
+            is_dispatchable=self._is_dispatchable,
+        )
+
+    # ------------------------------------------------------------------
+    # Environment & cluster configuration
+    # ------------------------------------------------------------------
+
+    def attach_environment(self, environment) -> None:
+        self.environment = environment
+        environment.attach(self)
+
+    def register_node(self, name: str, cpus: int, speed: float = 1.0,
+                      tags: Tuple[str, ...] = (),
+                      persist: bool = True) -> None:
+        self.awareness.register(name, cpus, speed, tags)
+        if persist:
+            self.store.configuration.save_node(name, {
+                "cpus": cpus, "speed": speed, "tags": list(tags),
+            })
+
+    # ------------------------------------------------------------------
+    # Templates
+    # ------------------------------------------------------------------
+
+    def define_template(self, template: ProcessTemplate) -> int:
+        """Validate and store a template; returns its version number."""
+        template.ensure_valid()
+        version = self.store.templates.save(template.name, template.to_dict())
+        self._template_cache[(template.name, version)] = template
+        return version
+
+    def define_template_ocr(self, source: str) -> int:
+        from ..ocr.parser import parse_ocr
+
+        return self.define_template(parse_ocr(source))
+
+    def resolve_template(self, name: str,
+                         version: Optional[int] = None
+                         ) -> Tuple[ProcessTemplate, int]:
+        if version is None:
+            version = self.store.templates.latest_version(name)
+            if version == 0:
+                raise UnknownTemplateError(
+                    f"template {name!r} not in template space"
+                )
+        cached = self._template_cache.get((name, version))
+        if cached is None:
+            cached = ProcessTemplate.from_dict(
+                self.store.templates.load(name, version)
+            )
+            self._template_cache[(name, version)] = cached
+        return cached, version
+
+    def _resolver(self, name: str, version: Optional[int]) -> ProcessTemplate:
+        template, _version = self.resolve_template(name, version)
+        return template
+
+    # ------------------------------------------------------------------
+    # Instance lifecycle
+    # ------------------------------------------------------------------
+
+    def _next_instance_id(self) -> str:
+        existing = self.store.instances.instance_ids()
+        serial = 0
+        for instance_id in existing:
+            if instance_id.startswith("pi-"):
+                try:
+                    serial = max(serial, int(instance_id[3:]))
+                except ValueError:
+                    continue
+        return f"pi-{serial + 1:06d}"
+
+    def launch(self, template_name: str,
+               inputs: Optional[Dict[str, Any]] = None,
+               instance_id: Optional[str] = None) -> str:
+        """Create, persist, start and navigate a new instance."""
+        template, version = self.resolve_template(template_name, None)
+        missing = [
+            p.name for p in template.parameters
+            if not p.optional and p.default is None
+            and p.name not in (inputs or {})
+        ]
+        if missing:
+            raise InvalidStateError(
+                f"launch of {template_name!r} missing required inputs "
+                f"{missing}"
+            )
+        instance_id = instance_id or self._next_instance_id()
+        instance = ProcessInstance(instance_id, self._resolver)
+        self.store.instances.create(instance_id, {
+            "template_name": template_name,
+            "version": version,
+            "status": "created",
+        })
+        self.instances[instance_id] = instance
+        now = self.clock()
+        self.emit(instance, ev.instance_created(
+            template_name, version, dict(inputs or {}), now
+        ))
+        self.emit(instance, ev.instance_started(now))
+        self.navigator.navigate(instance)
+        self.dispatcher.pump()
+        return instance_id
+
+    def instance(self, instance_id: str) -> ProcessInstance:
+        instance = self.instances.get(instance_id)
+        if instance is None:
+            raise UnknownInstanceError(f"unknown instance {instance_id!r}")
+        return instance
+
+    # ------------------------------------------------------------------
+    # Durable event emission (persist first, then apply)
+    # ------------------------------------------------------------------
+
+    def emit(self, instance: ProcessInstance, event: Dict[str, Any]) -> None:
+        self.store.instances.append_event(instance.id, event)
+        instance.apply(event)
+        if event["type"] in (
+            ev.INSTANCE_COMPLETED, ev.INSTANCE_ABORTED, ev.INSTANCE_STARTED,
+            ev.INSTANCE_SUSPENDED, ev.INSTANCE_RESUMED,
+        ):
+            self.store.instances.update_meta(
+                instance.id, status=instance.status
+            )
+        if (event["type"] == ev.TASK_COMPLETED
+                and not event["path"].endswith("#comp")):
+            self._record_lineage(instance, event)
+            self._raise_task_signals(instance, event["path"])
+
+    def _raise_task_signals(self, instance: ProcessInstance,
+                            path: str) -> None:
+        """Emit the RAISE signals of a just-completed task."""
+        state = instance.find_state(path)
+        if state is None:
+            return
+        try:
+            task = instance.frame_of(path).task_model(state.name)
+        except EngineError:
+            return
+        for signal in task.raises:
+            if signal not in instance.signals:
+                self.emit(instance, ev.signal_raised(
+                    signal, path, self.clock()
+                ))
+
+    def raise_signal(self, instance_id: str, name: str,
+                     origin: str = "operator") -> None:
+        """Inject an external OCR event signal into an instance (operator
+        action or inter-process communication)."""
+        instance = self.instance(instance_id)
+        if instance.terminal:
+            raise InvalidStateError("cannot signal a terminal instance")
+        self.emit(instance, ev.signal_raised(
+            name, f"external:{origin}", self.clock()
+        ))
+        self.navigator.navigate(instance)
+        self.dispatcher.pump()
+
+    def broadcast_signal(self, name: str, origin: str = "broadcast") -> None:
+        """Raise a signal in every live instance (inter-process events)."""
+        for instance_id in sorted(self.instances):
+            instance = self.instances[instance_id]
+            if not instance.terminal and name not in instance.signals:
+                self.emit(instance, ev.signal_raised(
+                    name, f"external:{origin}", self.clock()
+                ))
+                self.navigator.navigate(instance)
+        self.dispatcher.pump()
+
+    def _record_lineage(self, instance: ProcessInstance,
+                        event: Dict[str, Any]) -> None:
+        """Derive a lineage record from the completed task's data flow.
+
+        Dataset naming: a task's output structure is
+        ``<instance>/<task path>``; a whiteboard item is
+        ``<instance>/wb:<scope><name>``. Output mappings make the task a
+        producer of the whiteboard items it writes, which links consumers
+        that read those items into the provenance graph.
+        """
+        path = event["path"]
+        state = instance.find_state(path)
+        if state is None:
+            return
+        frame = instance.frame_of(path)
+        task = frame.task_model(state.name)
+        wb_scope = frame.whiteboard_path
+        inputs = []
+        for _param, binding in sorted(task.inputs.items()):
+            if binding.kind == "task":
+                inputs.append(f"{instance.id}/{frame.path}{binding.name}")
+            elif binding.kind == "whiteboard":
+                inputs.append(f"{instance.id}/wb:{wb_scope}{binding.name}")
+        outputs = [f"{instance.id}/{path}"]
+        for _field, wb_name in task.output_mappings:
+            outputs.append(f"{instance.id}/wb:{wb_scope}{wb_name}")
+        self.store.data.append_lineage({
+            "outputs": outputs,
+            "inputs": inputs,
+            "program": state.program,
+            "instance_id": instance.id,
+            "task": path,
+            "timestamp": event["time"],
+        })
+
+    # ------------------------------------------------------------------
+    # Dispatcher wiring
+    # ------------------------------------------------------------------
+
+    def queue_job(self, instance_id: str, task_path: str, program: str,
+                  inputs: Dict[str, Any], attempt: int,
+                  placement: str = "", cost_hint: float = 0.0) -> None:
+        job = JobRequest(
+            instance_id=instance_id,
+            task_path=task_path,
+            program=program,
+            inputs=inputs,
+            attempt=attempt,
+            placement=placement,
+            cost_hint=cost_hint,
+            enqueued_at=self.clock(),
+        )
+        self.dispatcher.enqueue(job)
+
+    def is_pending(self, instance_id: str, task_path: str) -> bool:
+        return self.dispatcher.is_pending(instance_id, task_path)
+
+    def _is_dispatchable(self, instance_id: str) -> bool:
+        if not self.up:
+            return False
+        instance = self.instances.get(instance_id)
+        if instance is None:
+            return False
+        if instance.terminal:
+            return False
+        return instance.status == RUNNING
+
+    def _record_dispatch(self, job: JobRequest, node: str) -> bool:
+        instance = self.instances.get(job.instance_id)
+        if instance is None or instance.terminal:
+            return False
+        if not job.task_path.endswith("#comp"):
+            state = instance.find_state(job.task_path)
+            if state is None or state.status in ("completed", "skipped"):
+                return False
+            if state.attempts + 1 != job.attempt:
+                return False
+        self.emit(instance, ev.task_dispatched(
+            job.task_path, node, job.program, job.attempt, self.clock()
+        ))
+        self.metrics["jobs_dispatched"] += 1
+        return True
+
+    def _submit_job(self, job: JobRequest, node: str) -> None:
+        if self.environment is None:
+            raise EngineError("server has no execution environment")
+        self.environment.submit(job, node)
+
+    # ------------------------------------------------------------------
+    # Activity queue (results inbound from PECs) — the recovery module path
+    # ------------------------------------------------------------------
+
+    def on_job_completed(self, job_id: str, outputs: Dict[str, Any],
+                         cost: float, node: str) -> None:
+        if not self.up:
+            return
+        entry = self.dispatcher.job_finished(job_id)
+        if entry is None:
+            self.metrics["stale_results_ignored"] += 1
+            self.dispatcher.pump()
+            return
+        job, _node = entry
+        instance = self.instances.get(job.instance_id)
+        if instance is None or instance.terminal:
+            self.dispatcher.pump()
+            return
+        if not job.task_path.endswith("#comp"):
+            state = instance.find_state(job.task_path)
+            if (state is None or state.status != DISPATCHED
+                    or state.attempts != job.attempt):
+                self.metrics["stale_results_ignored"] += 1
+                self.dispatcher.pump()
+                return
+        self.metrics["jobs_completed"] += 1
+        self.emit(instance, ev.task_completed(
+            job.task_path, outputs, cost, node, self.clock()
+        ))
+        self.navigator.navigate(instance)
+        self._migration_review()  # a slot just freed up
+        self.dispatcher.pump()
+
+    def on_job_failed(self, job_id: str, reason: str, node: str,
+                      detail: str = "") -> None:
+        if not self.up:
+            return
+        entry = self.dispatcher.job_finished(job_id)
+        if entry is None:
+            self.metrics["stale_results_ignored"] += 1
+            self.dispatcher.pump()
+            return
+        job, _node = entry
+        instance = self.instances.get(job.instance_id)
+        if instance is None or instance.terminal:
+            self.dispatcher.pump()
+            return
+        if not job.task_path.endswith("#comp"):
+            state = instance.find_state(job.task_path)
+            if (state is None or state.status != DISPATCHED
+                    or state.attempts != job.attempt):
+                self.metrics["stale_results_ignored"] += 1
+                self.dispatcher.pump()
+                return
+        self.metrics["jobs_failed"] += 1
+        self.emit(instance, ev.task_failed(
+            job.task_path, reason, node, job.attempt, self.clock(),
+            detail=detail,
+        ))
+        self.navigator.navigate(instance)
+        self.dispatcher.pump()
+
+    # ------------------------------------------------------------------
+    # Node & load reports
+    # ------------------------------------------------------------------
+
+    def on_node_down(self, node: str) -> None:
+        if not self.up or not self.awareness.has_node(node):
+            return
+        self.metrics["nodes_failed"] += 1
+        orphan_ids = self.awareness.node_down(node, self.clock())
+        # The dispatcher still tracks them; fail each orphaned job.
+        for job_id in orphan_ids:
+            entry = self.dispatcher.job_finished(job_id)
+            if entry is None:
+                continue
+            job, _node = entry
+            instance = self.instances.get(job.instance_id)
+            if instance is None or instance.terminal:
+                continue
+            state = instance.find_state(job.task_path)
+            if (job.task_path.endswith("#comp")
+                    or (state is not None and state.status == DISPATCHED
+                        and state.attempts == job.attempt)):
+                self.emit(instance, ev.task_failed(
+                    job.task_path, "node-crash", node, job.attempt,
+                    self.clock(),
+                ))
+                self.navigator.navigate(instance)
+        self.dispatcher.pump()
+
+    def on_node_up(self, node: str, running=None) -> None:
+        """A node (re)joined. ``running`` is the set of job ids its PEC
+        actually has; jobs we believe are there but are not get failed —
+        this covers a crash+restore that beat the failure detector."""
+        if not self.up or not self.awareness.has_node(node):
+            return
+        self.awareness.node_up(node, self.clock())
+        if running is not None:
+            for job_id in self.dispatcher.jobs_on_node(node):
+                if job_id in running:
+                    continue
+                entry = self.dispatcher.job_finished(job_id)
+                if entry is None:
+                    continue
+                job, _node = entry
+                instance = self.instances.get(job.instance_id)
+                if instance is None or instance.terminal:
+                    continue
+                state = instance.find_state(job.task_path)
+                if (job.task_path.endswith("#comp")
+                        or (state is not None and state.status == DISPATCHED
+                            and state.attempts == job.attempt)):
+                    self.emit(instance, ev.task_failed(
+                        job.task_path, "node-crash", node, job.attempt,
+                        self.clock(),
+                    ))
+                    self.navigator.navigate(instance)
+        self.dispatcher.pump()
+
+    def on_node_reconfigured(self, node: str, cpus: Optional[int] = None,
+                             speed: Optional[float] = None) -> None:
+        if not self.up:
+            return
+        self.awareness.reconfigure(node, cpus=cpus, speed=speed)
+        self.store.configuration.save_node(node, {
+            "cpus": self.awareness.node(node).cpus,
+            "speed": self.awareness.node(node).speed,
+            "tags": list(self.awareness.node(node).tags),
+        })
+        self.dispatcher.pump()
+
+    def on_load_report(self, node: str, external_load: float) -> None:
+        if not self.up or not self.awareness.has_node(node):
+            return
+        self.awareness.load_report(node, external_load, self.clock())
+        self._migration_review()
+        self.dispatcher.pump()
+
+    def _migration_review(self) -> None:
+        """Re-evaluate running jobs' placement. Any change — a load
+        report, a completion freeing a slot, a node rejoining — can make a
+        starving job migratable. At most ONE job migrates per review:
+        several starving jobs chasing the same freed slot would push the
+        overflow onto nodes as bad as the ones they left."""
+        if self.migration is None:
+            return
+        for view in self.awareness.nodes():
+            if view.assigned and self._consider_migration(view.name):
+                return
+
+    # ------------------------------------------------------------------
+    # Kill-and-restart load balancing (Section 5.4 discussion / ablation)
+    # ------------------------------------------------------------------
+
+    def enable_migration(self, min_rate: float = 0.25,
+                         improvement: float = 2.0,
+                         max_attempts: int = 6) -> None:
+        """Enable the kill-and-restart strategy the paper discusses:
+        "one strategy would be to have BioOpera abort the affected TEU and
+        re-schedule it elsewhere". A job whose estimated progress rate
+        drops below ``min_rate`` is aborted and re-queued if some other
+        node offers at least ``improvement`` times its current rate.
+        Whether this helps depends on the external users' utilization
+        pattern — which is exactly what the migration ablation measures.
+        ``max_attempts`` bounds the total dispatches a task may accumulate
+        before migration leaves it alone (each restart discards progress,
+        so unbounded chasing of a moving load pattern would livelock).
+        """
+        self.migration = (min_rate, improvement, max_attempts)
+
+    def disable_migration(self) -> None:
+        self.migration = None
+
+    def _estimated_rate(self, view, extra_jobs: int = 0) -> float:
+        jobs = view.assigned_count + extra_jobs
+        if jobs <= 0:
+            jobs = 1
+        free = max(0.0, view.cpus - view.external_load)
+        return view.speed * min(1.0, free / jobs)
+
+    def _consider_migration(self, node: str) -> bool:
+        """Migrate at most one starving job off ``node``; True if it did."""
+        min_rate, improvement, max_attempts = self.migration
+        view = self.awareness.node(node)
+        if not view.up or view.assigned_count == 0:
+            return False
+        current_rate = self._estimated_rate(view)
+        if current_rate >= min_rate:
+            return False
+        for job_id in self.dispatcher.jobs_on_node(node):
+            entry = self.dispatcher.in_flight.get(job_id)
+            if entry is None:
+                continue
+            job, _node = entry
+            candidates = [
+                c for c in self.awareness.candidates(job.placement)
+                if c.name != node
+            ]
+            best = max(
+                (self._estimated_rate(c, extra_jobs=1) for c in candidates),
+                default=0.0,
+            )
+            if best < improvement * max(current_rate, 1e-9):
+                continue
+            instance = self.instances.get(job.instance_id)
+            if instance is None or instance.terminal:
+                continue
+            state = instance.find_state(job.task_path)
+            if (state is None or state.status != DISPATCHED
+                    or state.attempts != job.attempt):
+                continue
+            if state.attempts >= max_attempts:
+                continue  # stop chasing a moving load pattern
+            self.dispatcher.job_finished(job_id)
+            if self.environment is not None:
+                self.environment.cancel(job_id)
+            self.metrics["jobs_migrated"] = (
+                self.metrics.get("jobs_migrated", 0) + 1
+            )
+            self.emit(instance, ev.task_failed(
+                job.task_path, "migrated", node, job.attempt, self.clock(),
+                detail="kill-and-restart load balancing",
+            ))
+            self.navigator.navigate(instance)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Operator controls
+    # ------------------------------------------------------------------
+
+    def suspend(self, instance_id: str, reason: str = "operator") -> None:
+        instance = self.instance(instance_id)
+        if instance.terminal or instance.status == SUSPENDED:
+            raise InvalidStateError(
+                f"cannot suspend instance in state {instance.status!r}"
+            )
+        self.metrics["manual_interventions"] += 1
+        self.emit(instance, ev.instance_suspended(reason, self.clock()))
+
+    def resume(self, instance_id: str) -> None:
+        instance = self.instance(instance_id)
+        if instance.status != SUSPENDED:
+            raise InvalidStateError(
+                f"cannot resume instance in state {instance.status!r}"
+            )
+        self.metrics["manual_interventions"] += 1
+        self.emit(instance, ev.instance_resumed(self.clock()))
+        self.navigator.navigate(instance)
+        self.dispatcher.pump()
+
+    def abort(self, instance_id: str, reason: str = "operator-abort") -> None:
+        instance = self.instance(instance_id)
+        if instance.terminal:
+            raise InvalidStateError("instance already terminal")
+        self.metrics["manual_interventions"] += 1
+        self.finalize_abort(instance, reason)
+
+    def finalize_abort(self, instance: ProcessInstance, reason: str) -> None:
+        for job_id in self.dispatcher.inflight_for_instance(instance.id):
+            self.dispatcher.job_finished(job_id)
+            if self.environment is not None:
+                self.environment.cancel(job_id)
+        self.dispatcher.drop_instance(instance.id)
+        self.emit(instance, ev.instance_aborted(reason, self.clock()))
+        self.dispatcher.pump()
+
+    def change_parameter(self, instance_id: str, name: str, value: Any,
+                         scope: str = "") -> None:
+        """Operator edit of a whiteboard item (paper, Section 3.4)."""
+        instance = self.instance(instance_id)
+        self.metrics["manual_interventions"] += 1
+        self.emit(instance, ev.whiteboard_set(scope, name, value, self.clock()))
+        self.navigator.navigate(instance)
+        self.dispatcher.pump()
+
+    def restart_task(self, instance_id: str, task_path: str,
+                     reason: str = "operator-restart") -> None:
+        """Re-run a task (and everything it had expanded into)."""
+        instance = self.instance(instance_id)
+        state = instance.find_state(task_path)
+        if state is None:
+            raise InvalidStateError(f"no task at path {task_path!r}")
+        self.metrics["manual_interventions"] += 1
+        self.emit(instance, ev.task_reset(task_path, self.clock(), reason))
+        self.navigator.navigate(instance)
+        self.dispatcher.pump()
+
+    # ------------------------------------------------------------------
+    # Server crash & recovery
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Simulate a server failure: in-memory state is lost, durable
+        state (the store) survives. PEC results sent while down are lost."""
+        self.up = False
+
+    @classmethod
+    def recover(
+        cls,
+        store: OperaStore,
+        registry: ProgramRegistry,
+        environment=None,
+        policy: Optional[SchedulingPolicy] = None,
+        clock: Optional[Callable[[], float]] = None,
+        seed: int = 0,
+    ) -> "BioOperaServer":
+        """Rebuild a server from the durable store after a crash.
+
+        Replays every instance's event log; in-flight tasks (dispatched but
+        with no recorded outcome) are marked failed with reason
+        ``server-recovery`` and re-scheduled, exactly as in the paper's
+        event 2: "when the server recovers, [processes] are automatically
+        resumed."
+        """
+        server = cls(store=store, registry=registry, policy=policy,
+                     clock=clock, seed=seed)
+        if environment is not None:
+            server.attach_environment(environment)
+        for node, config in store.configuration.nodes().items():
+            if not server.awareness.has_node(node):
+                server.awareness.register(
+                    node, config["cpus"], config.get("speed", 1.0),
+                    tuple(config.get("tags", ())),
+                )
+        for instance_id in store.instances.instance_ids():
+            instance = ProcessInstance(instance_id, server._resolver)
+            instance.replay(store.instances.events(instance_id))
+            server.instances[instance_id] = instance
+            if instance.terminal:
+                continue
+            for state in instance.dispatched_states():
+                server.emit(instance, ev.task_failed(
+                    state.path, "server-recovery", state.node,
+                    state.attempts, server.clock(),
+                ))
+        for instance in server.instances.values():
+            if not instance.terminal:
+                server.navigator.navigate(instance)
+        server.dispatcher.pump()
+        return server
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def statistics(self, instance_id: str) -> Dict[str, Any]:
+        """The paper's accounting: CPU(pi), |A|, CPU(A), status."""
+        instance = self.instance(instance_id)
+        activities = instance.activity_count()
+        cpu = instance.total_cpu_seconds()
+        return {
+            "instance_id": instance_id,
+            "status": instance.status,
+            "activities_completed": activities,
+            "cpu_seconds": cpu,
+            "cpu_per_activity": cpu / activities if activities else 0.0,
+            "events": instance.event_count,
+            "progress": instance.progress(),
+        }

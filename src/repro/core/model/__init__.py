@@ -1,0 +1,42 @@
+"""OCR object model: processes, tasks, connectors, conditions, data."""
+
+from .conditions import Expr, TRUE, parse_condition
+from .connectors import ControlConnector, DataConnector
+from .data import Binding, ProcessParameter, UNDEFINED, Whiteboard
+from .failure import (
+    ABORT,
+    ALTERNATIVE,
+    DEFAULT_HANDLER,
+    FailureHandler,
+    IGNORE,
+    RETRY,
+    Sphere,
+)
+from .process import ProcessTemplate, TaskGraph
+from .tasks import Activity, Block, ParallelTask, SubprocessTask, Task
+
+__all__ = [
+    "Binding",
+    "ProcessParameter",
+    "UNDEFINED",
+    "Whiteboard",
+    "Expr",
+    "TRUE",
+    "parse_condition",
+    "ControlConnector",
+    "DataConnector",
+    "FailureHandler",
+    "DEFAULT_HANDLER",
+    "Sphere",
+    "RETRY",
+    "ALTERNATIVE",
+    "IGNORE",
+    "ABORT",
+    "Task",
+    "Activity",
+    "Block",
+    "ParallelTask",
+    "SubprocessTask",
+    "ProcessTemplate",
+    "TaskGraph",
+]

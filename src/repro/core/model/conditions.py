@@ -1,0 +1,370 @@
+"""Activation-condition expression language.
+
+Control connectors are annotated arcs ``(Ts, Tt, C_act)`` whose activation
+condition "is capable of restricting the execution of its target task based
+on the state of data objects" (paper, Section 3.1). Conditions are small
+boolean expressions over whiteboard items and task outputs::
+
+    NOT DEFINED(wb.queue_file)
+    wb.db_size > 1000 AND Preprocessing.partitions != 0
+
+Grammar (keywords case-insensitive)::
+
+    expr   := or
+    or     := and ("OR" and)*
+    and    := unary ("AND" unary)*
+    unary  := "NOT" unary | cmp
+    cmp    := atom (("=="|"!="|"<="|">="|"<"|">") atom)?
+    atom   := "(" expr ")" | "DEFINED" "(" ref ")" | "TRUE" | "FALSE"
+            | NUMBER | STRING | ref
+    ref    := "wb" "." IDENT | IDENT "." IDENT
+
+Evaluation is against a *scope* — any object with ``resolve(binding)``
+returning a value or :data:`~repro.core.model.data.UNDEFINED`. Using an
+undefined value anywhere except inside ``DEFINED(...)`` raises
+:class:`~repro.errors.ConditionError`: conditions on missing data are a
+process-design bug the engine surfaces, not a silent false.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Tuple
+
+from ...errors import ConditionError
+from .data import Binding, UNDEFINED
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<num>-?\d+(?:\.\d+)?)"
+    r"|(?P<str>\"(?:[^\"\\]|\\.)*\")"
+    r"|(?P<op>==|!=|<=|>=|<|>|\(|\))"
+    r"|(?P<word>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<dot>\.)"
+    r")"
+)
+
+_KEYWORDS = {"AND", "OR", "NOT", "DEFINED", "TRUE", "FALSE", "NULL"}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None or match.end() == position:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise ConditionError(
+                f"cannot tokenize condition at {remainder[:20]!r}"
+            )
+        position = match.end()
+        if match.lastgroup == "num":
+            tokens.append(("num", match.group("num")))
+        elif match.lastgroup == "str":
+            tokens.append(("str", match.group("str")))
+        elif match.lastgroup == "op":
+            tokens.append(("op", match.group("op")))
+        elif match.lastgroup == "dot":
+            tokens.append(("op", "."))
+        else:
+            word = match.group("word")
+            if word.upper() in _KEYWORDS:
+                tokens.append(("kw", word.upper()))
+            else:
+                tokens.append(("ident", word))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+class Expr:
+    """Base class for condition AST nodes."""
+
+    def evaluate(self, scope) -> Any:
+        raise NotImplementedError
+
+    def references(self) -> Iterator[Binding]:
+        """All data references the expression reads (for validation)."""
+        return iter(())
+
+    def to_text(self) -> str:
+        raise NotImplementedError
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.to_text()))
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.to_text()!r}>"
+
+
+@dataclass(frozen=True, eq=False)
+class Literal(Expr):
+    value: Any
+
+    def evaluate(self, scope) -> Any:
+        return self.value
+
+    def to_text(self) -> str:
+        if self.value is True:
+            return "TRUE"
+        if self.value is False:
+            return "FALSE"
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("\\", "\\\\").replace('"', '\\"')
+            return f'"{escaped}"'
+        return repr(self.value)
+
+
+#: The always-true condition used for unannotated connectors.
+TRUE = Literal(True)
+
+
+@dataclass(frozen=True, eq=False)
+class Ref(Expr):
+    binding: Binding
+
+    def evaluate(self, scope) -> Any:
+        value = scope.resolve(self.binding)
+        if value is UNDEFINED:
+            raise ConditionError(
+                f"reference {self.binding.to_text()} is undefined; guard it "
+                f"with DEFINED(...)"
+            )
+        return value
+
+    def references(self) -> Iterator[Binding]:
+        yield self.binding
+
+    def to_text(self) -> str:
+        return self.binding.to_text()
+
+
+@dataclass(frozen=True, eq=False)
+class Defined(Expr):
+    binding: Binding
+
+    def evaluate(self, scope) -> bool:
+        return scope.resolve(self.binding) is not UNDEFINED
+
+    def references(self) -> Iterator[Binding]:
+        yield self.binding
+
+    def to_text(self) -> str:
+        return f"DEFINED({self.binding.to_text()})"
+
+
+@dataclass(frozen=True, eq=False)
+class Not(Expr):
+    operand: Expr
+
+    def evaluate(self, scope) -> bool:
+        return not _truthy(self.operand.evaluate(scope))
+
+    def references(self) -> Iterator[Binding]:
+        return self.operand.references()
+
+    def to_text(self) -> str:
+        return f"NOT {self.operand.to_text()}"
+
+
+@dataclass(frozen=True, eq=False)
+class BoolOp(Expr):
+    op: str  # "AND" | "OR"
+    operands: Tuple[Expr, ...]
+
+    def evaluate(self, scope) -> bool:
+        if self.op == "AND":
+            return all(_truthy(o.evaluate(scope)) for o in self.operands)
+        return any(_truthy(o.evaluate(scope)) for o in self.operands)
+
+    def references(self) -> Iterator[Binding]:
+        for operand in self.operands:
+            yield from operand.references()
+
+    def to_text(self) -> str:
+        inner = f" {self.op} ".join(o.to_text() for o in self.operands)
+        return f"({inner})"
+
+
+_CMP_OPS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True, eq=False)
+class Compare(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def evaluate(self, scope) -> bool:
+        left = self.left.evaluate(scope)
+        right = self.right.evaluate(scope)
+        try:
+            return bool(_CMP_OPS[self.op](left, right))
+        except TypeError as exc:
+            raise ConditionError(
+                f"cannot compare {left!r} {self.op} {right!r}"
+            ) from exc
+
+    def references(self) -> Iterator[Binding]:
+        yield from self.left.references()
+        yield from self.right.references()
+
+    def to_text(self) -> str:
+        return f"{self.left.to_text()} {self.op} {self.right.to_text()}"
+
+
+def _truthy(value: Any) -> bool:
+    if value is UNDEFINED:
+        raise ConditionError("undefined value used as a boolean")
+    return bool(value)
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]], source: str):
+        self.tokens = tokens
+        self.source = source
+        self.position = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise ConditionError(f"unexpected end of condition {self.source!r}")
+        self.position += 1
+        return token
+
+    def expect_op(self, op: str) -> None:
+        token = self.next()
+        if token != ("op", op):
+            raise ConditionError(
+                f"expected {op!r} in condition {self.source!r}, got {token[1]!r}"
+            )
+
+    def parse(self) -> Expr:
+        expr = self.parse_or()
+        if self.peek() is not None:
+            raise ConditionError(
+                f"trailing tokens in condition {self.source!r}: "
+                f"{self.tokens[self.position:]}"
+            )
+        return expr
+
+    def parse_or(self) -> Expr:
+        operands = [self.parse_and()]
+        while self.peek() == ("kw", "OR"):
+            self.next()
+            operands.append(self.parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOp("OR", tuple(operands))
+
+    def parse_and(self) -> Expr:
+        operands = [self.parse_unary()]
+        while self.peek() == ("kw", "AND"):
+            self.next()
+            operands.append(self.parse_unary())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOp("AND", tuple(operands))
+
+    def parse_unary(self) -> Expr:
+        if self.peek() == ("kw", "NOT"):
+            self.next()
+            return Not(self.parse_unary())
+        return self.parse_cmp()
+
+    def parse_cmp(self) -> Expr:
+        left = self.parse_atom()
+        token = self.peek()
+        if token is not None and token[0] == "op" and token[1] in _CMP_OPS:
+            self.next()
+            right = self.parse_atom()
+            return Compare(token[1], left, right)
+        return left
+
+    def parse_atom(self) -> Expr:
+        token = self.next()
+        kind, text = token
+        if kind == "op" and text == "(":
+            inner = self.parse_or()
+            self.expect_op(")")
+            return inner
+        if kind == "kw" and text == "DEFINED":
+            self.expect_op("(")
+            binding = self.parse_ref()
+            self.expect_op(")")
+            return Defined(binding)
+        if kind == "kw" and text == "TRUE":
+            return Literal(True)
+        if kind == "kw" and text == "FALSE":
+            return Literal(False)
+        if kind == "kw" and text == "NULL":
+            return Literal(None)
+        if kind == "num":
+            value = float(text) if "." in text else int(text)
+            return Literal(value)
+        if kind == "str":
+            unescaped = (
+                text[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+            )
+            return Literal(unescaped)
+        if kind == "ident":
+            self.position -= 1
+            return Ref(self.parse_ref())
+        raise ConditionError(
+            f"unexpected token {text!r} in condition {self.source!r}"
+        )
+
+    def parse_ref(self) -> Binding:
+        kind, first = self.next()
+        if kind != "ident":
+            raise ConditionError(
+                f"expected a reference in condition {self.source!r}"
+            )
+        if self.peek() != ("op", "."):
+            raise ConditionError(
+                f"bare name {first!r} in condition {self.source!r}; use "
+                f"wb.{first} or <task>.<field>"
+            )
+        self.next()
+        kind, second = self.next()
+        if kind != "ident":
+            raise ConditionError(
+                f"expected a field name after '.' in {self.source!r}"
+            )
+        if first == "wb":
+            return Binding.whiteboard(second)
+        return Binding.task_output(first, second)
+
+
+def parse_condition(text: str) -> Expr:
+    """Parse a condition string into an AST."""
+    stripped = text.strip()
+    if not stripped:
+        return TRUE
+    return _Parser(_tokenize(stripped), stripped).parse()

@@ -1,0 +1,68 @@
+"""Control connectors: annotated arcs ``(Ts, Tt, C_act)``.
+
+"Each activation condition (or activator) defines an execution order
+between two tasks and is capable of restricting the execution of its target
+task based on the state of data objects, thereby allowing conditional
+branching and parallel execution" (paper, Section 3.1).
+
+At runtime a connector *resolves* once its source task reaches a terminal
+state; it *fires* if the source completed successfully and the condition
+evaluates true. Targets declare a join mode: ``or`` (default — runs when at
+least one incoming connector fired; skipped if all resolved and none
+fired, i.e. dead-path elimination) or ``and`` (requires every incoming
+connector to fire).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from ...errors import ModelError
+from .conditions import Expr, TRUE, parse_condition
+
+
+@dataclass(frozen=True)
+class ControlConnector:
+    """Directed control-flow arc with an activation condition."""
+
+    source: str
+    target: str
+    condition: Expr = TRUE
+
+    def __post_init__(self):
+        if self.source == self.target:
+            raise ModelError(
+                f"self-loop connector on task {self.source!r}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "source": self.source,
+            "target": self.target,
+            "condition": self.condition.to_text(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ControlConnector":
+        return cls(
+            source=data["source"],
+            target=data["target"],
+            condition=parse_condition(data.get("condition", "TRUE")),
+        )
+
+
+@dataclass(frozen=True)
+class DataConnector:
+    """Derived view of one data-flow edge (for display and analysis).
+
+    Canonically, data flow is stored as the target task's input bindings;
+    :meth:`repro.core.model.process.TaskGraph.data_connectors` derives these
+    objects from them.
+    """
+
+    source_kind: str   # "whiteboard" | "task"
+    source_name: str
+    source_field: str
+    target: str
+    target_param: str

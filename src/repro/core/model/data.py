@@ -1,0 +1,163 @@
+"""Data objects, bindings, and the process whiteboard.
+
+In OCR (paper, Section 3.1) every task has an input data structure and an
+output data structure; input parameters are *bound* to data items in the
+process's global data area (the **whiteboard**) or to output structures of
+other tasks. After a task completes, a *mapping phase* transfers fields of
+its output structure to the whiteboard.
+
+A :class:`Binding` is the static description of where a value comes from:
+
+* ``Binding.whiteboard("queue_file")`` — a whiteboard item;
+* ``Binding.task_output("Preprocessing", "partition")`` — an output field
+  of another task in the same scope;
+* ``Binding.constant(42)`` — a literal.
+
+Bindings render to/parse from the reference syntax used by the OCR text
+format: ``wb.queue_file``, ``Preprocessing.partition``, or a literal.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ...errors import BindingError
+
+#: Sentinel for "this name has no value (yet)".
+UNDEFINED = object()
+
+
+@dataclass(frozen=True)
+class Binding:
+    """Static data-flow source for one task input parameter."""
+
+    kind: str  # "whiteboard" | "task" | "const"
+    name: str = ""          # whiteboard item or task name
+    field: str = ""         # output field for task bindings
+    value: Any = None       # for const bindings
+
+    @classmethod
+    def whiteboard(cls, name: str) -> "Binding":
+        return cls(kind="whiteboard", name=name)
+
+    @classmethod
+    def task_output(cls, task: str, field: str) -> "Binding":
+        return cls(kind="task", name=task, field=field)
+
+    @classmethod
+    def constant(cls, value: Any) -> "Binding":
+        return cls(kind="const", value=value)
+
+    # -- text form (used by the OCR printer/parser) -------------------------
+
+    def to_text(self) -> str:
+        if self.kind == "whiteboard":
+            return f"wb.{self.name}"
+        if self.kind == "task":
+            return f"{self.name}.{self.field}"
+        return json.dumps(self.value)
+
+    @classmethod
+    def from_text(cls, text: str) -> "Binding":
+        text = text.strip()
+        if not text:
+            raise BindingError("empty binding expression")
+        if text.startswith("wb."):
+            name = text[3:]
+            if not name.isidentifier():
+                raise BindingError(f"bad whiteboard name in {text!r}")
+            return cls.whiteboard(name)
+        head = text[0]
+        if (head.isalpha() or head == "_") and text not in (
+            "null", "true", "false",
+        ):
+            parts = text.split(".")
+            if len(parts) == 2 and all(p.isidentifier() for p in parts):
+                return cls.task_output(parts[0], parts[1])
+            raise BindingError(f"bad task-output reference {text!r}")
+        try:
+            return cls.constant(json.loads(text))
+        except json.JSONDecodeError as exc:
+            raise BindingError(f"bad literal binding {text!r}: {exc}") from exc
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        if self.kind == "const":
+            return {"kind": "const", "value": self.value}
+        if self.kind == "whiteboard":
+            return {"kind": "whiteboard", "name": self.name}
+        return {"kind": "task", "name": self.name, "field": self.field}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Binding":
+        kind = data["kind"]
+        if kind == "const":
+            return cls.constant(data["value"])
+        if kind == "whiteboard":
+            return cls.whiteboard(data["name"])
+        if kind == "task":
+            return cls.task_output(data["name"], data["field"])
+        raise BindingError(f"unknown binding kind {kind!r}")
+
+
+@dataclass(frozen=True)
+class ProcessParameter:
+    """A declared process input (the whiteboard items a caller provides)."""
+
+    name: str
+    optional: bool = False
+    default: Any = None
+    description: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "optional": self.optional,
+            "default": self.default,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ProcessParameter":
+        return cls(
+            name=data["name"],
+            optional=data.get("optional", False),
+            default=data.get("default"),
+            description=data.get("description", ""),
+        )
+
+
+class Whiteboard:
+    """The global data area of one process instance.
+
+    A thin mapping with explicit *undefined* semantics: reading an absent
+    item returns :data:`UNDEFINED` (never raises), because activation
+    conditions must be able to test presence (``DEFINED(wb.queue_file)``).
+    """
+
+    def __init__(self, initial: Optional[Dict[str, Any]] = None):
+        self._items: Dict[str, Any] = dict(initial or {})
+
+    def get(self, name: str) -> Any:
+        return self._items.get(name, UNDEFINED)
+
+    def set(self, name: str, value: Any) -> None:
+        self._items[name] = value
+
+    def delete(self, name: str) -> None:
+        self._items.pop(name, None)
+
+    def defined(self, name: str) -> bool:
+        return name in self._items
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self._items)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,125 @@
+"""Graphviz (DOT) export of process templates and live instances.
+
+The paper's development environment renders processes graphically
+(Figure 2's "process (graphical representation)"); this module produces
+the equivalent as DOT text — control flow as solid edges labelled with
+activation conditions, data flow as dashed edges, blocks/parallel bodies
+as clusters. Instances additionally color tasks by runtime status.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .conditions import TRUE
+from .process import ProcessTemplate, TaskGraph
+from .tasks import Activity, Block, ParallelTask, SubprocessTask, Task
+
+_STATUS_COLORS = {
+    "inactive": "white",
+    "dispatched": "khaki",
+    "expanded": "lightblue",
+    "completed": "palegreen",
+    "failed": "salmon",
+    "skipped": "lightgray",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _node_id(prefix: str, name: str) -> str:
+    return '"' + _escape(f"{prefix}{name}") + '"'
+
+
+def _task_label(task: Task) -> str:
+    if isinstance(task, Activity):
+        return f"{task.name}\\n[{task.program}]"
+    if isinstance(task, ParallelTask):
+        return f"{task.name}\\nFOREACH {task.list_input.to_text()}"
+    if isinstance(task, SubprocessTask):
+        return f"{task.name}\\nSUBPROCESS {task.template_name}"
+    return task.name
+
+
+def _emit_graph(graph: TaskGraph, prefix: str, lines: List[str],
+                status_of: Optional[Dict[str, str]] = None) -> None:
+    for name, task in graph.tasks.items():
+        path = f"{prefix}{name}"
+        shape = {
+            "activity": "box",
+            "parallel": "box3d",
+            "subprocess": "component",
+            "block": "folder",
+        }.get(task.kind, "box")
+        attributes = [f'label="{_escape(_task_label(task))}"',
+                      f"shape={shape}"]
+        if status_of is not None:
+            color = _STATUS_COLORS.get(status_of.get(path, "inactive"),
+                                       "white")
+            attributes.append(f'style=filled fillcolor="{color}"')
+        lines.append(f"  {_node_id(prefix, name)} "
+                     f"[{' '.join(attributes)}];")
+        if isinstance(task, Block):
+            cluster_name = _escape(f"cluster_{path}")
+            lines.append(f'  subgraph "{cluster_name}" {{')
+            lines.append(f'    label="{_escape(name)}";')
+            _emit_graph(task.graph, f"{path}/", lines, status_of)
+            lines.append("  }")
+            for start in task.graph.start_tasks():
+                lines.append(
+                    f"  {_node_id(prefix, name)} -> "
+                    f"{_node_id(f'{path}/', start)} [style=dotted];"
+                )
+        elif isinstance(task, ParallelTask):
+            body = task.body
+            body_id = _node_id(f"{path}/", body.name)
+            lines.append(
+                f"  {body_id} [label=\"{_escape(_task_label(body))} [i]\" "
+                f"shape=box peripheries=2];"
+            )
+            lines.append(
+                f"  {_node_id(prefix, name)} -> {body_id} [style=dotted];"
+            )
+    for connector in graph.connectors:
+        edge = (f"  {_node_id(prefix, connector.source)} -> "
+                f"{_node_id(prefix, connector.target)}")
+        if connector.condition != TRUE:
+            edge += f' [label="{_escape(connector.condition.to_text())}"]'
+        lines.append(edge + ";")
+    # dashed data-flow edges
+    for data_edge in graph.data_connectors():
+        if data_edge.source_kind != "task":
+            continue
+        lines.append(
+            f"  {_node_id(prefix, data_edge.source_name)} -> "
+            f"{_node_id(prefix, data_edge.target)} "
+            f'[style=dashed color=gray label="{_escape(data_edge.target_param)}"];'
+        )
+
+
+def template_to_dot(template: ProcessTemplate) -> str:
+    """Render a template as a DOT digraph."""
+    lines = [f'digraph "{_escape(template.name)}" {{',
+             "  rankdir=TB;",
+             '  node [fontname="Helvetica" fontsize=10];',
+             '  edge [fontname="Helvetica" fontsize=8];']
+    _emit_graph(template.graph, "", lines)
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def instance_to_dot(instance) -> str:
+    """Render a live instance with tasks colored by status."""
+    status_of = {
+        state.path: state.status for state in instance.iter_states()
+    }
+    template = instance.template
+    lines = [f'digraph "{_escape(template.name)}__{_escape(instance.id)}" {{',
+             "  rankdir=TB;",
+             f'  label="{_escape(instance.id)}: {instance.status}";',
+             '  node [fontname="Helvetica" fontsize=10];']
+    _emit_graph(template.graph, "", lines, status_of)
+    lines.append("}")
+    return "\n".join(lines) + "\n"

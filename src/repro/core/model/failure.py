@@ -1,0 +1,135 @@
+"""Failure handlers and spheres of atomicity.
+
+OCR "supports advanced programming constructs such as exception handling
+... and spheres of atomicity. [They] allow the process designer to define
+sophisticated failure handlers as part of the process (such as undo
+actions, alternative executions, and various forms of exception handling)"
+(paper, Section 3.1).
+
+* A :class:`FailureHandler` is attached to a task and decides what the
+  navigator does when the task fails: retry (bounded), run an alternative
+  program, ignore the failure (mark completed with an empty output), or
+  abort the enclosing process.
+* A :class:`Sphere` groups tasks into an atomic unit: if any member fails
+  permanently, the compensation programs of already-completed members run
+  in reverse completion order before the sphere's abort policy applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ...errors import ModelError
+
+RETRY = "retry"
+ALTERNATIVE = "alternative"
+IGNORE = "ignore"
+ABORT = "abort"
+
+_STRATEGIES = (RETRY, ALTERNATIVE, IGNORE, ABORT)
+
+
+@dataclass(frozen=True)
+class FailureHandler:
+    """Per-task reaction to a runtime failure.
+
+    ``retry`` re-dispatches up to ``max_retries`` times and then falls back
+    to ``then`` (one of ``alternative``/``ignore``/``abort``).
+    """
+
+    strategy: str = RETRY
+    max_retries: int = 3
+    then: str = ABORT
+    alternative_program: str = ""
+    alternative_parameters: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self):
+        if self.strategy not in _STRATEGIES:
+            raise ModelError(f"unknown failure strategy {self.strategy!r}")
+        if self.then not in (ALTERNATIVE, IGNORE, ABORT):
+            raise ModelError(f"bad retry fallback {self.then!r}")
+        if self.strategy == RETRY and self.max_retries < 1:
+            raise ModelError("retry handler needs max_retries >= 1")
+        needs_program = (
+            self.strategy == ALTERNATIVE
+            or (self.strategy == RETRY and self.then == ALTERNATIVE)
+        )
+        if needs_program and not self.alternative_program:
+            raise ModelError("alternative handler needs a program name")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "strategy": self.strategy,
+            "max_retries": self.max_retries,
+            "then": self.then,
+            "alternative_program": self.alternative_program,
+            "alternative_parameters": [
+                [k, v] for k, v in self.alternative_parameters
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FailureHandler":
+        return cls(
+            strategy=data.get("strategy", RETRY),
+            max_retries=data.get("max_retries", 3),
+            then=data.get("then", ABORT),
+            alternative_program=data.get("alternative_program", ""),
+            alternative_parameters=tuple(
+                (k, v) for k, v in data.get("alternative_parameters", [])
+            ),
+        )
+
+
+#: Default handler used when a task declares none: three retries then abort.
+DEFAULT_HANDLER = FailureHandler()
+
+
+@dataclass(frozen=True)
+class Sphere:
+    """A sphere of atomicity over a set of task names.
+
+    ``compensation`` maps member task names to the program that undoes
+    them. Members without a compensation program need no undo (they are
+    side-effect free).
+    """
+
+    name: str
+    tasks: Tuple[str, ...]
+    compensation: Tuple[Tuple[str, str], ...] = ()
+    on_abort: str = "abort_process"  # or "continue"
+
+    def __post_init__(self):
+        if not self.tasks:
+            raise ModelError(f"sphere {self.name!r} has no member tasks")
+        if self.on_abort not in ("abort_process", "continue"):
+            raise ModelError(f"bad sphere policy {self.on_abort!r}")
+        unknown = [t for t, _ in self.compensation if t not in self.tasks]
+        if unknown:
+            raise ModelError(
+                f"sphere {self.name!r} compensates non-members {unknown}"
+            )
+
+    def compensation_program(self, task: str) -> Optional[str]:
+        for member, program in self.compensation:
+            if member == task:
+                return program
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "tasks": list(self.tasks),
+            "compensation": [[t, p] for t, p in self.compensation],
+            "on_abort": self.on_abort,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Sphere":
+        return cls(
+            name=data["name"],
+            tasks=tuple(data["tasks"]),
+            compensation=tuple((t, p) for t, p in data.get("compensation", [])),
+            on_abort=data.get("on_abort", "abort_process"),
+        )

@@ -1,0 +1,261 @@
+"""Task types: activities, blocks, parallel tasks, subprocesses.
+
+"Tasks can be activities, blocks, or subprocesses, thereby allowing modular
+design and reuse" (paper, Section 3.1):
+
+* :class:`Activity` — a basic execution step with an *external binding*
+  (the registered program the runtime launches on a cluster node).
+* :class:`Block` — a named group of tasks with its own internal control and
+  data flow; used for modular design and specialized constructs.
+* :class:`ParallelTask` — the block construct behind the all-vs-all: takes
+  a list-valued input, instantiates its body once per element, runs the
+  instances in parallel, and gathers their outputs into a ``results`` list.
+  "The degree of parallelism can be determined at runtime by producing a
+  longer or shorter list as input."
+* :class:`SubprocessTask` — a reference to another process template,
+  resolved when the task starts (*late binding* — a running process can be
+  modified by swapping the template it references).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ...errors import ModelError
+from .data import Binding
+from .failure import FailureHandler
+
+ACTIVITY = "activity"
+BLOCK = "block"
+PARALLEL = "parallel"
+SUBPROCESS = "subprocess"
+
+
+class Task:
+    """Common task attributes; concrete kinds subclass this."""
+
+    kind: str = "abstract"
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Optional[Dict[str, Binding]] = None,
+        output_mappings: Optional[List[Tuple[str, str]]] = None,
+        failure: Optional[FailureHandler] = None,
+        join: str = "or",
+        description: str = "",
+        raises: Optional[List[str]] = None,
+        awaits: Optional[List[str]] = None,
+    ):
+        if not name.isidentifier():
+            raise ModelError(f"task name {name!r} is not an identifier")
+        if join not in ("or", "and"):
+            raise ModelError(f"task {name!r}: bad join mode {join!r}")
+        self.name = name
+        self.inputs = dict(inputs or {})
+        #: pairs (output field, whiteboard item) applied after completion.
+        self.output_mappings = list(output_mappings or [])
+        self.failure = failure
+        self.join = join
+        self.description = description
+        #: event handling (paper Sec. 3.1): signals this task RAISEs on
+        #: completion, and signals it AWAITs before becoming ready. Awaited
+        #: signals may come from sibling tasks or be injected externally
+        #: (operator / another process instance).
+        self.raises = list(raises or [])
+        self.awaits = list(awaits or [])
+        for signal in self.raises + self.awaits:
+            if not signal.isidentifier():
+                raise ModelError(
+                    f"task {name!r}: signal {signal!r} is not an identifier"
+                )
+
+    # -- persistence ----------------------------------------------------------
+
+    def _base_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "inputs": {k: b.to_dict() for k, b in sorted(self.inputs.items())},
+            "output_mappings": [list(pair) for pair in self.output_mappings],
+            "failure": self.failure.to_dict() if self.failure else None,
+            "join": self.join,
+            "description": self.description,
+            "raises": list(self.raises),
+            "awaits": list(self.awaits),
+        }
+
+    @staticmethod
+    def _base_kwargs(data: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "name": data["name"],
+            "inputs": {
+                k: Binding.from_dict(b) for k, b in data.get("inputs", {}).items()
+            },
+            "output_mappings": [
+                tuple(pair) for pair in data.get("output_mappings", [])
+            ],
+            "failure": (
+                FailureHandler.from_dict(data["failure"])
+                if data.get("failure")
+                else None
+            ),
+            "join": data.get("join", "or"),
+            "description": data.get("description", ""),
+            "raises": data.get("raises", []),
+            "awaits": data.get("awaits", []),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "Task":
+        kind = data.get("kind")
+        loader = _LOADERS.get(kind)
+        if loader is None:
+            raise ModelError(f"unknown task kind {kind!r}")
+        return loader(data)
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class Activity(Task):
+    """A basic execution step bound to an external program."""
+
+    kind = ACTIVITY
+
+    def __init__(self, name: str, program: str,
+                 parameters: Optional[Dict[str, Any]] = None, **kwargs):
+        super().__init__(name, **kwargs)
+        if not program:
+            raise ModelError(f"activity {name!r} needs a program binding")
+        self.program = program
+        #: static configuration merged under the runtime inputs.
+        self.parameters = dict(parameters or {})
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = self._base_dict()
+        data["program"] = self.program
+        data["parameters"] = self.parameters
+        return data
+
+    @classmethod
+    def _load(cls, data: Dict[str, Any]) -> "Activity":
+        return cls(
+            program=data["program"],
+            parameters=data.get("parameters", {}),
+            **cls._base_kwargs(data),
+        )
+
+
+class Block(Task):
+    """A named group of tasks with an internal graph.
+
+    The internal graph is a :class:`~repro.core.model.process.TaskGraph`;
+    it is typed lazily here to avoid a circular import.
+    """
+
+    kind = BLOCK
+
+    def __init__(self, name: str, graph, **kwargs):
+        super().__init__(name, **kwargs)
+        self.graph = graph
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = self._base_dict()
+        data["graph"] = self.graph.to_dict()
+        return data
+
+    @classmethod
+    def _load(cls, data: Dict[str, Any]) -> "Block":
+        from .process import TaskGraph
+
+        return cls(
+            graph=TaskGraph.from_dict(data["graph"]),
+            **cls._base_kwargs(data),
+        )
+
+
+class ParallelTask(Task):
+    """Fan-out block: one body instance per element of a list input.
+
+    ``list_input`` must resolve at runtime to a list; element ``k`` is
+    passed to body instance ``k`` as input parameter ``element_param``.
+    The task's output structure has a single field ``results`` with the
+    body outputs in element order.
+    """
+
+    kind = PARALLEL
+
+    def __init__(self, name: str, list_input: Binding, body: Task,
+                 element_param: str = "element", **kwargs):
+        super().__init__(name, **kwargs)
+        if isinstance(body, (Block, ParallelTask)):
+            raise ModelError(
+                f"parallel task {name!r}: body must be an activity or "
+                f"subprocess, not {body.kind}"
+            )
+        self.list_input = list_input
+        self.body = body
+        self.element_param = element_param
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = self._base_dict()
+        data["list_input"] = self.list_input.to_dict()
+        data["body"] = self.body.to_dict()
+        data["element_param"] = self.element_param
+        return data
+
+    @classmethod
+    def _load(cls, data: Dict[str, Any]) -> "ParallelTask":
+        return cls(
+            list_input=Binding.from_dict(data["list_input"]),
+            body=Task.from_dict(data["body"]),
+            element_param=data.get("element_param", "element"),
+            **cls._base_kwargs(data),
+        )
+
+
+class SubprocessTask(Task):
+    """Late-bound reference to another process template.
+
+    ``version=None`` means *latest at start time*: redefining the template
+    in the template space changes what subsequent starts of this task run,
+    which is how the paper supports "dynamic modification of a running
+    process by offering the ability to change its subprocesses".
+    """
+
+    kind = SUBPROCESS
+
+    def __init__(self, name: str, template_name: str,
+                 version: Optional[int] = None, **kwargs):
+        super().__init__(name, **kwargs)
+        if not template_name:
+            raise ModelError(f"subprocess {name!r} needs a template name")
+        self.template_name = template_name
+        self.version = version
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = self._base_dict()
+        data["template_name"] = self.template_name
+        data["version"] = self.version
+        return data
+
+    @classmethod
+    def _load(cls, data: Dict[str, Any]) -> "SubprocessTask":
+        return cls(
+            template_name=data["template_name"],
+            version=data.get("version"),
+            **cls._base_kwargs(data),
+        )
+
+
+_LOADERS = {
+    ACTIVITY: Activity._load,
+    BLOCK: Block._load,
+    PARALLEL: ParallelTask._load,
+    SUBPROCESS: SubprocessTask._load,
+}

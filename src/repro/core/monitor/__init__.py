@@ -1,0 +1,14 @@
+"""Monitoring: awareness model, adaptive load sampling, analytics."""
+
+from . import queries
+from .adaptive import AdaptiveMonitor, MonitorConfig, simulate_monitoring
+from .awareness import AwarenessModel, NodeView
+
+__all__ = [
+    "AwarenessModel",
+    "NodeView",
+    "AdaptiveMonitor",
+    "MonitorConfig",
+    "simulate_monitoring",
+    "queries",
+]

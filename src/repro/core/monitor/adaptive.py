@@ -1,0 +1,215 @@
+"""Adaptive load monitoring (paper, Section 3.4).
+
+"BioOpera examines the workload of the available machines using an
+*adaptive monitoring* technique... processors which display a constant
+workload over a long period of time do not have to be monitored as closely
+as processors having a variable workload."
+
+Two cut-offs drive the algorithm exactly as the paper describes:
+
+1. **Sampling cut-off** — the PEC compares the last recorded load with the
+   current load; if the change falls below the cut-off, the interval before
+   the next sample grows, otherwise it shrinks.
+2. **Reporting cut-off** — the PEC notifies the server only when the load
+   has moved beyond a second cut-off since the last report.
+
+The paper's measurement: an adaptive strategy discarding ~90% of samples
+induces ≈3% average per-sample error in the server's view of the load
+curve. :func:`simulate_monitoring` reproduces that experiment on synthetic
+load traces (benchmark M1).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+
+@dataclass
+class MonitorConfig:
+    """Tuning knobs for the two-cut-off algorithm."""
+
+    min_interval: float = 15.0
+    max_interval: float = 960.0
+    base_interval: float = 30.0       # the fixed-rate baseline's period
+    sampling_cutoff: float = 0.02     # load fraction: grow vs shrink interval
+    report_cutoff: float = 0.05      # load fraction: notify the server
+    grow_factor: float = 2.0
+    shrink_factor: float = 0.25
+
+
+class AdaptiveMonitor:
+    """Stateful per-node sampler implementing the two-cut-off scheme."""
+
+    def __init__(self, config: Optional[MonitorConfig] = None):
+        self.config = config or MonitorConfig()
+        self.interval = self.config.base_interval
+        self.last_sample: Optional[float] = None
+        self.last_reported: Optional[float] = None
+        self.samples_taken = 0
+        self.reports_sent = 0
+
+    def observe(self, load: float) -> Tuple[float, Optional[float]]:
+        """Record one sample of the (0..1 normalized) load.
+
+        Returns ``(next_interval, report)`` where ``report`` is the value to
+        send to the server, or None when the change is below the reporting
+        cut-off (the sample is discarded locally).
+        """
+        cfg = self.config
+        self.samples_taken += 1
+        if self.last_sample is None:
+            # First observation: report it, keep the base interval.
+            self.last_sample = load
+            self.last_reported = load
+            self.reports_sent += 1
+            return self.interval, load
+        change = abs(load - self.last_sample)
+        self.last_sample = load
+        if change < cfg.sampling_cutoff:
+            self.interval = min(cfg.max_interval,
+                                self.interval * cfg.grow_factor)
+        else:
+            self.interval = max(cfg.min_interval,
+                                self.interval * cfg.shrink_factor)
+        report: Optional[float] = None
+        if (self.last_reported is None
+                or abs(load - self.last_reported) >= cfg.report_cutoff):
+            report = load
+            self.last_reported = load
+            self.reports_sent += 1
+        return self.interval, report
+
+    @property
+    def discard_fraction(self) -> float:
+        if self.samples_taken == 0:
+            return 0.0
+        return 1.0 - self.reports_sent / self.samples_taken
+
+
+# ---------------------------------------------------------------------------
+# Offline evaluation (benchmark M1)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class MonitoringRun:
+    """Result of replaying a monitor over a load trace."""
+
+    strategy: str
+    samples_taken: int
+    reports_sent: int
+    mean_error: float          # mean |server view - truth| per truth point
+    max_error: float
+    network_messages: int
+
+    @property
+    def discard_fraction(self) -> float:
+        if self.samples_taken == 0:
+            return 0.0
+        return 1.0 - self.reports_sent / self.samples_taken
+
+
+def synthetic_load_trace(duration: float, step: float = 1.0, seed: int = 0,
+                         volatility: float = 0.01,
+                         jump_rate: float = 0.001) -> List[Tuple[float, float]]:
+    """A plausible cluster-node load curve in [0, 1].
+
+    A mean-reverting random walk punctuated by job-arrival/departure jumps:
+    long quiet plateaus (where adaptive monitoring wins) with bursts of
+    change (where it shrinks its interval).
+    """
+    rng = random.Random(f"load-trace/{seed}")
+    trace: List[Tuple[float, float]] = []
+    load = rng.uniform(0.1, 0.6)
+    target = load
+    t = 0.0
+    while t <= duration:
+        if rng.random() < jump_rate:
+            target = rng.uniform(0.0, 1.0)
+        load += 0.15 * (target - load) + rng.gauss(0.0, volatility)
+        load = min(1.0, max(0.0, load))
+        trace.append((t, load))
+        t += step
+    return trace
+
+
+def _view_error(trace: List[Tuple[float, float]],
+                reports: List[Tuple[float, float]]) -> Tuple[float, float]:
+    """Compare the server's piecewise-constant view against the truth."""
+    if not reports:
+        return 1.0, 1.0
+    total = 0.0
+    worst = 0.0
+    report_index = 0
+    current = reports[0][1]
+    for t, truth in trace:
+        while (report_index + 1 < len(reports)
+               and reports[report_index + 1][0] <= t):
+            report_index += 1
+            current = reports[report_index][1]
+        error = abs(current - truth)
+        total += error
+        worst = max(worst, error)
+    return total / len(trace), worst
+
+
+def simulate_monitoring(trace: List[Tuple[float, float]],
+                        config: Optional[MonitorConfig] = None,
+                        strategy: str = "adaptive") -> MonitoringRun:
+    """Replay a monitoring strategy over a load trace.
+
+    ``strategy``:
+
+    * ``"adaptive"`` — the two-cut-off algorithm;
+    * ``"fixed"`` — sample every ``base_interval`` seconds, report every
+      sample (the naive baseline the paper improves on);
+    * ``"fixed-threshold"`` — fixed sampling, report only significant
+      changes (isolates the contribution of the reporting cut-off).
+    """
+    config = config or MonitorConfig()
+    monitor = AdaptiveMonitor(config)
+    duration = trace[-1][0]
+    step = trace[1][0] - trace[0][0] if len(trace) > 1 else 1.0
+
+    def truth_at(time: float) -> float:
+        index = min(len(trace) - 1, max(0, int(time / step)))
+        return trace[index][1]
+
+    reports: List[Tuple[float, float]] = []
+    samples = 0
+    t = 0.0
+    if strategy == "adaptive":
+        while t <= duration:
+            _interval, report = monitor.observe(truth_at(t))
+            if report is not None:
+                reports.append((t, report))
+            samples = monitor.samples_taken
+            t += monitor.interval
+        sent = monitor.reports_sent
+    elif strategy in ("fixed", "fixed-threshold"):
+        last_reported: Optional[float] = None
+        while t <= duration:
+            samples += 1
+            value = truth_at(t)
+            significant = (
+                last_reported is None
+                or abs(value - last_reported) >= config.report_cutoff
+            )
+            if strategy == "fixed" or significant:
+                reports.append((t, value))
+                last_reported = value
+            t += config.base_interval
+        sent = len(reports)
+    else:
+        raise ValueError(f"unknown monitoring strategy {strategy!r}")
+    mean_error, max_error = _view_error(trace, reports)
+    return MonitoringRun(
+        strategy=strategy,
+        samples_taken=samples,
+        reports_sent=sent,
+        mean_error=mean_error,
+        max_error=max_error,
+        network_messages=sent,
+    )

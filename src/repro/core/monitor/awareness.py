@@ -1,0 +1,146 @@
+"""Awareness model: the server's view of the computing environment.
+
+"Beyond task start times, task finish times and task failures, the system
+also stores information regarding the load in each node, node availability,
+node failure, node capacity... All together, this information allows the
+creation of an awareness model which allows BioOpera to react to changes in
+the computing environment" (paper, Section 3.4).
+
+The :class:`AwarenessModel` is deliberately an *estimate*: external load is
+whatever the adaptive monitors last reported, which may be stale — exactly
+the situation behind the paper's scheduling-limitation discussion (Section
+5.4) and our migration ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ...errors import EngineError
+
+
+@dataclass
+class NodeView:
+    """What the server currently believes about one node."""
+
+    name: str
+    cpus: int
+    speed: float = 1.0
+    tags: Tuple[str, ...] = ()
+    up: bool = True
+    external_load: float = 0.0     # CPUs' worth of non-BioOpera demand
+    assigned: Set[str] = field(default_factory=set)  # job ids placed here
+    last_report: float = 0.0
+
+    @property
+    def assigned_count(self) -> int:
+        return len(self.assigned)
+
+    def free_slots(self) -> int:
+        """Slots not holding one of our jobs (hard placement bound)."""
+        return max(0, self.cpus - self.assigned_count)
+
+    def effective_free(self) -> float:
+        """Estimated CPUs actually available: capacity minus external load
+        minus our own assignments."""
+        return max(0.0, self.cpus - self.external_load) - self.assigned_count
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "cpus": self.cpus,
+            "speed": self.speed,
+            "tags": list(self.tags),
+            "up": self.up,
+            "external_load": self.external_load,
+        }
+
+
+class AwarenessModel:
+    """Mutable registry of node views, fed by PEC reports."""
+
+    def __init__(self):
+        self._nodes: Dict[str, NodeView] = {}
+
+    def register(self, name: str, cpus: int, speed: float = 1.0,
+                 tags: Tuple[str, ...] = ()) -> NodeView:
+        view = NodeView(name=name, cpus=cpus, speed=speed, tags=tuple(tags))
+        self._nodes[name] = view
+        return view
+
+    def forget(self, name: str) -> None:
+        self._nodes.pop(name, None)
+
+    def node(self, name: str) -> NodeView:
+        view = self._nodes.get(name)
+        if view is None:
+            raise EngineError(f"awareness model has no node {name!r}")
+        return view
+
+    def has_node(self, name: str) -> bool:
+        return name in self._nodes
+
+    def nodes(self) -> List[NodeView]:
+        return [self._nodes[name] for name in sorted(self._nodes)]
+
+    # -- report ingestion -------------------------------------------------------
+
+    def node_up(self, name: str, time: float = 0.0) -> None:
+        view = self.node(name)
+        view.up = True
+        view.last_report = time
+
+    def node_down(self, name: str, time: float = 0.0) -> List[str]:
+        """Mark a node down; returns the job ids that were assigned to it."""
+        view = self.node(name)
+        view.up = False
+        view.last_report = time
+        orphans = sorted(view.assigned)
+        view.assigned.clear()
+        return orphans
+
+    def load_report(self, name: str, external_load: float,
+                    time: float = 0.0) -> None:
+        view = self.node(name)
+        view.external_load = max(0.0, float(external_load))
+        view.last_report = time
+
+    def reconfigure(self, name: str, cpus: Optional[int] = None,
+                    speed: Optional[float] = None) -> None:
+        """Hardware upgrade (the paper's one-to-two-processors event)."""
+        view = self.node(name)
+        if cpus is not None:
+            view.cpus = cpus
+        if speed is not None:
+            view.speed = speed
+
+    # -- placement bookkeeping -----------------------------------------------------
+
+    def assign(self, name: str, job_id: str) -> None:
+        self.node(name).assigned.add(job_id)
+
+    def release(self, name: str, job_id: str) -> None:
+        if name in self._nodes:
+            self._nodes[name].assigned.discard(job_id)
+
+    # -- queries -------------------------------------------------------------------
+
+    def candidates(self, placement: str = "") -> List[NodeView]:
+        """Up nodes with a free slot, optionally filtered by placement tag."""
+        result = []
+        for view in self.nodes():
+            if not view.up or view.free_slots() < 1:
+                continue
+            if placement and placement not in view.tags:
+                continue
+            result.append(view)
+        return result
+
+    def total_cpus(self, only_up: bool = True) -> int:
+        return sum(
+            v.cpus for v in self._nodes.values() if v.up or not only_up
+        )
+
+    def assigned_jobs(self, name: str) -> List[str]:
+        return sorted(self.node(name).assigned)

@@ -1,0 +1,130 @@
+"""Analytical queries over the persistent instance space.
+
+"The fact that the process state is persistently stored in a database also
+offers significant advantages for monitoring and querying purposes"
+(paper, Section 3.2). These queries read only the durable event logs, so
+they work on live servers, on recovered stores, and on the archives of
+finished runs alike — the operator analytics behind questions like *which
+nodes did the work*, *where did the time go*, and *what kept failing*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...store.spaces import OperaStore
+
+
+@dataclass
+class NodeUsage:
+    """Per-node accounting derived from completion events."""
+
+    node: str
+    activities: int = 0
+    cpu_seconds: float = 0.0
+    failures: int = 0
+
+    @property
+    def cpu_per_activity(self) -> float:
+        return self.cpu_seconds / self.activities if self.activities else 0.0
+
+
+def node_usage(store: OperaStore,
+               instance_id: Optional[str] = None) -> List[NodeUsage]:
+    """CPU and activity counts per node (descending by CPU)."""
+    usage: Dict[str, NodeUsage] = {}
+    instance_ids = ([instance_id] if instance_id
+                    else store.instances.instance_ids())
+    for iid in instance_ids:
+        for event in store.instances.events(iid):
+            node = event.get("node")
+            if not node:
+                continue
+            entry = usage.setdefault(node, NodeUsage(node))
+            if event["type"] == "task_completed":
+                entry.activities += 1
+                entry.cpu_seconds += event.get("cost", 0.0)
+            elif event["type"] == "task_failed":
+                entry.failures += 1
+    return sorted(usage.values(), key=lambda u: -u.cpu_seconds)
+
+
+def event_histogram(store: OperaStore,
+                    instance_id: str) -> Dict[str, int]:
+    """Event counts by type for one instance."""
+    histogram: Dict[str, int] = {}
+    for event in store.instances.events(instance_id):
+        histogram[event["type"]] = histogram.get(event["type"], 0) + 1
+    return histogram
+
+
+def completions_over_time(store: OperaStore, instance_id: str,
+                          bucket: float) -> List[Tuple[float, int]]:
+    """Progress curve: completed activities per time bucket."""
+    buckets: Dict[int, int] = {}
+    for event in store.instances.events(instance_id):
+        if event["type"] == "task_completed" and event.get("cost"):
+            index = int(event["time"] // bucket)
+            buckets[index] = buckets.get(index, 0) + 1
+    return [(index * bucket, count)
+            for index, count in sorted(buckets.items())]
+
+
+def slowest_activities(store: OperaStore, instance_id: str,
+                       top: int = 10) -> List[Tuple[str, float]]:
+    """The activities that consumed the most CPU (paths, descending)."""
+    costs: Dict[str, float] = {}
+    for event in store.instances.events(instance_id):
+        if event["type"] == "task_completed" and event.get("cost"):
+            path = event["path"]
+            costs[path] = costs.get(path, 0.0) + event["cost"]
+    ranked = sorted(costs.items(), key=lambda kv: -kv[1])
+    return ranked[:top]
+
+
+def retry_hotspots(store: OperaStore, instance_id: str,
+                   minimum: int = 2) -> List[Tuple[str, int, List[str]]]:
+    """Tasks dispatched ``minimum``+ times, with their failure reasons."""
+    dispatches: Dict[str, int] = {}
+    reasons: Dict[str, List[str]] = {}
+    for event in store.instances.events(instance_id):
+        if event["type"] == "task_dispatched":
+            dispatches[event["path"]] = dispatches.get(event["path"], 0) + 1
+        elif event["type"] == "task_failed":
+            reasons.setdefault(event["path"], []).append(event["reason"])
+    hotspots = [
+        (path, count, reasons.get(path, []))
+        for path, count in dispatches.items() if count >= minimum
+    ]
+    return sorted(hotspots, key=lambda h: -h[1])
+
+
+def wall_time_breakdown(store: OperaStore,
+                        instance_id: str) -> Dict[str, float]:
+    """Where the wall time went: running vs suspended vs (post-)terminal.
+
+    Suspension intervals come from the suspend/resume events; the
+    remainder up to the final event is counted as running time.
+    """
+    events = list(store.instances.events(instance_id))
+    if not events:
+        return {"running": 0.0, "suspended": 0.0, "total": 0.0}
+    start = events[0]["time"]
+    end = events[-1]["time"]
+    suspended = 0.0
+    suspend_start: Optional[float] = None
+    for event in events:
+        if event["type"] == "instance_suspended":
+            suspend_start = event["time"]
+        elif event["type"] == "instance_resumed" and suspend_start is not None:
+            suspended += event["time"] - suspend_start
+            suspend_start = None
+    if suspend_start is not None:
+        suspended += end - suspend_start
+    total = end - start
+    return {
+        "running": max(0.0, total - suspended),
+        "suspended": suspended,
+        "total": total,
+    }

@@ -1,0 +1,7 @@
+"""OCR — Opera Canonical Representation: textual process language."""
+
+from .lexer import Token, tokenize
+from .parser import parse_ocr, parse_ocr_unchecked
+from .printer import print_ocr
+
+__all__ = ["Token", "tokenize", "parse_ocr", "parse_ocr_unchecked", "print_ocr"]

@@ -1,0 +1,150 @@
+"""Tokenizer for the OCR (Opera Canonical Representation) text format.
+
+OCR is the "internal programming language used in BioOpera to represent and
+manipulate processes" (paper, Figure 2). The reproduction's concrete syntax
+is keyword-oriented and free-form (newlines are not significant); ``#``
+starts a comment to end of line. Activation conditions are carried verbatim
+inside ``[...]`` and handed to the condition parser, e.g.::
+
+    CONNECT UserInput -> QueueGeneration WHEN [NOT DEFINED(wb.queue_file)]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ...errors import OCRSyntaxError
+
+KEYWORDS = {
+    "PROCESS", "DESCRIPTION", "INPUT", "OUTPUT", "OPTIONAL", "DEFAULT",
+    "ACTIVITY", "PROGRAM", "PARAM", "IN", "MAP", "ON_FAILURE", "RETRY",
+    "THEN", "ABORT", "IGNORE", "ALTERNATIVE", "BLOCK", "PARALLEL",
+    "FOREACH", "AS", "SUBPROCESS", "TEMPLATE", "VERSION", "CONNECT",
+    "WHEN", "JOIN", "SPHERE", "TASKS", "COMPENSATE", "WITH", "ON_ABORT",
+    "RAISE", "AWAIT", "END", "TRUE", "FALSE", "NULL",
+}
+
+# token kinds: kw, ident, dotted (a.b.c), string, number, punct, condition, eof
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+_PUNCT = ("->", "=", ",")
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize OCR source text; raises :class:`OCRSyntaxError` on garbage."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    position = 0
+    length = len(source)
+
+    def error(message: str) -> OCRSyntaxError:
+        return OCRSyntaxError(message, line=line, column=column)
+
+    while position < length:
+        ch = source[position]
+        if ch == "\n":
+            position += 1
+            line += 1
+            column = 1
+            continue
+        if ch in " \t\r":
+            position += 1
+            column += 1
+            continue
+        if ch == "#":
+            while position < length and source[position] != "\n":
+                position += 1
+            continue
+        start_line, start_column = line, column
+        if ch == "[":
+            end = source.find("]", position + 1)
+            if end < 0:
+                raise error("unterminated condition '['")
+            raw = source[position + 1:end]
+            if "\n" in raw:
+                line += raw.count("\n")
+                column = len(raw) - raw.rfind("\n")
+            else:
+                column += end - position + 1
+            tokens.append(Token("condition", raw.strip(), start_line, start_column))
+            position = end + 1
+            continue
+        if ch == '"':
+            end = position + 1
+            chunks: List[str] = []
+            while end < length and source[end] != '"':
+                if source[end] == "\\" and end + 1 < length:
+                    nxt = source[end + 1]
+                    chunks.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+                                  .get(nxt, nxt))
+                    end += 2
+                elif source[end] == "\n":
+                    raise error("newline inside string literal")
+                else:
+                    chunks.append(source[end])
+                    end += 1
+            if end >= length:
+                raise error("unterminated string literal")
+            tokens.append(Token("string", "".join(chunks),
+                                start_line, start_column))
+            column += end - position + 1
+            position = end + 1
+            continue
+        two = source[position:position + 2]
+        if two == "->":
+            tokens.append(Token("punct", "->", start_line, start_column))
+            position += 2
+            column += 2
+            continue
+        if ch in "=,":
+            tokens.append(Token("punct", ch, start_line, start_column))
+            position += 1
+            column += 1
+            continue
+        if ch.isdigit() or (ch == "-" and position + 1 < length
+                            and source[position + 1].isdigit()):
+            end = position + 1
+            while end < length and (source[end].isdigit() or source[end] == "."):
+                end += 1
+            text = source[position:end]
+            if text.count(".") > 1:
+                raise error(f"malformed number {text!r}")
+            tokens.append(Token("number", text, start_line, start_column))
+            column += end - position
+            position = end
+            continue
+        if ch.isalpha() or ch == "_":
+            end = position + 1
+            while end < length and (source[end].isalnum()
+                                    or source[end] in "_."):
+                end += 1
+            text = source[position:end].rstrip(".")
+            end = position + len(text)
+            # Keywords are recognized in UPPERCASE only, so identifiers like
+            # `Join` or `End` remain usable as task names.
+            if text in KEYWORDS and "." not in text:
+                tokens.append(Token("kw", text.upper(),
+                                    start_line, start_column))
+            elif "." in text:
+                tokens.append(Token("dotted", text, start_line, start_column))
+            else:
+                tokens.append(Token("ident", text, start_line, start_column))
+            column += end - position
+            position = end
+            continue
+        raise error(f"unexpected character {ch!r}")
+    tokens.append(Token("eof", "", line, column))
+    return tokens

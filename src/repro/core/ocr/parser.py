@@ -1,0 +1,474 @@
+"""Recursive-descent parser: OCR text -> :class:`ProcessTemplate`.
+
+The concrete grammar (see :mod:`repro.core.ocr.lexer` for tokens)::
+
+    process    := "PROCESS" IDENT header* item* "END"
+    header     := "DESCRIPTION" STRING
+                | "INPUT" IDENT ["OPTIONAL"] ["DEFAULT" literal]
+                          ["DESCRIPTION" STRING]
+                | "OUTPUT" IDENT "=" binding
+    item       := task | connect | sphere
+    task       := activity | block | parallel | subprocess
+    activity   := "ACTIVITY" IDENT "PROGRAM" name body* "END"
+    block      := "BLOCK" IDENT body* (task|connect)* "END"
+    parallel   := "PARALLEL" IDENT "FOREACH" binding "AS" IDENT
+                  body* task "END"
+    subprocess := "SUBPROCESS" IDENT "TEMPLATE" name ["VERSION" NUMBER]
+                  body* "END"
+    body       := "IN" IDENT "=" binding
+                | "MAP" IDENT "->" IDENT
+                | "PARAM" IDENT "=" literal
+                | "JOIN" ("AND"|"OR" as IDENT)
+                | "DESCRIPTION" STRING
+                | on_failure
+    on_failure := "ON_FAILURE" ( "IGNORE" | "ABORT"
+                | "ALTERNATIVE" name param*
+                | "RETRY" NUMBER ["THEN" ("ABORT"|"IGNORE"|"ALTERNATIVE" name)] )
+    connect    := "CONNECT" IDENT "->" IDENT ["WHEN" CONDITION]
+    sphere     := "SPHERE" IDENT "TASKS" IDENT+
+                  ("COMPENSATE" IDENT "WITH" name)*
+                  ["ON_ABORT" IDENT] "END"
+    binding    := "wb" "." IDENT | IDENT "." IDENT | literal
+    literal    := STRING | NUMBER | "TRUE" | "FALSE" | "NULL"
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ...errors import OCRSyntaxError
+from ..model.conditions import parse_condition
+from ..model.data import Binding, ProcessParameter
+from ..model.failure import (
+    ABORT,
+    ALTERNATIVE,
+    FailureHandler,
+    IGNORE,
+    RETRY,
+    Sphere,
+)
+from ..model.process import ProcessTemplate, TaskGraph
+from ..model.tasks import Activity, Block, ParallelTask, SubprocessTask, Task
+from .lexer import Token, tokenize
+
+_TASK_KEYWORDS = ("ACTIVITY", "BLOCK", "PARALLEL", "SUBPROCESS")
+
+
+class _TaskBody:
+    """Accumulated common clauses of a task body."""
+
+    def __init__(self):
+        self.inputs: Dict[str, Binding] = {}
+        self.output_mappings: List[Tuple[str, str]] = []
+        self.parameters: Dict[str, Any] = {}
+        self.failure: Optional[FailureHandler] = None
+        self.join: str = "or"
+        self.description: str = ""
+        self.raises: List[str] = []
+        self.awaits: List[str] = []
+
+    def task_kwargs(self) -> Dict[str, Any]:
+        return {
+            "inputs": self.inputs,
+            "output_mappings": self.output_mappings,
+            "failure": self.failure,
+            "join": self.join,
+            "description": self.description,
+            "raises": self.raises,
+            "awaits": self.awaits,
+        }
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing -------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def error(self, message: str, token: Optional[Token] = None) -> OCRSyntaxError:
+        token = token or self.peek()
+        return OCRSyntaxError(message, line=token.line, column=token.column)
+
+    def expect_kw(self, keyword: str) -> Token:
+        token = self.advance()
+        if token.kind != "kw" or token.value != keyword:
+            raise self.error(f"expected {keyword}, got {token.value!r}", token)
+        return token
+
+    def expect_ident(self, what: str = "identifier") -> str:
+        token = self.advance()
+        if token.kind != "ident":
+            raise self.error(f"expected {what}, got {token.value!r}", token)
+        return token.value
+
+    def expect_punct(self, punct: str) -> None:
+        token = self.advance()
+        if token.kind != "punct" or token.value != punct:
+            raise self.error(f"expected {punct!r}, got {token.value!r}", token)
+
+    def at_kw(self, *keywords: str) -> bool:
+        token = self.peek()
+        return token.kind == "kw" and token.value in keywords
+
+    def expect_name(self) -> str:
+        """A program/template name: identifier or dotted path."""
+        token = self.advance()
+        if token.kind in ("ident", "dotted"):
+            return token.value
+        raise self.error(f"expected a name, got {token.value!r}", token)
+
+    # -- literals & bindings ----------------------------------------------------
+
+    def parse_literal(self) -> Any:
+        token = self.advance()
+        if token.kind == "string":
+            return token.value
+        if token.kind == "number":
+            return float(token.value) if "." in token.value else int(token.value)
+        if token.kind == "kw" and token.value in ("TRUE", "FALSE", "NULL"):
+            return {"TRUE": True, "FALSE": False, "NULL": None}[token.value]
+        raise self.error(f"expected a literal, got {token.value!r}", token)
+
+    def parse_binding(self) -> Binding:
+        token = self.peek()
+        if token.kind == "dotted":
+            self.advance()
+            parts = token.value.split(".")
+            if len(parts) != 2:
+                raise self.error(
+                    f"binding must be wb.<item> or <task>.<field>, got "
+                    f"{token.value!r}", token
+                )
+            if parts[0] == "wb":
+                return Binding.whiteboard(parts[1])
+            return Binding.task_output(parts[0], parts[1])
+        return Binding.constant(self.parse_literal())
+
+    # -- process ----------------------------------------------------------------
+
+    def parse_process(self) -> ProcessTemplate:
+        self.expect_kw("PROCESS")
+        name = self.expect_ident("process name")
+        description = ""
+        parameters: List[ProcessParameter] = []
+        outputs: Dict[str, Binding] = {}
+        graph = TaskGraph()
+        spheres: List[Sphere] = []
+        while not self.at_kw("END"):
+            if self.at_kw("DESCRIPTION"):
+                self.advance()
+                token = self.advance()
+                if token.kind != "string":
+                    raise self.error("DESCRIPTION needs a string", token)
+                description = token.value
+            elif self.at_kw("INPUT"):
+                parameters.append(self.parse_input())
+            elif self.at_kw("OUTPUT"):
+                self.advance()
+                out_name = self.expect_ident("output name")
+                self.expect_punct("=")
+                outputs[out_name] = self.parse_binding()
+            elif self.at_kw(*_TASK_KEYWORDS):
+                graph.add_task(self.parse_task())
+            elif self.at_kw("CONNECT"):
+                self.parse_connect(graph)
+            elif self.at_kw("SPHERE"):
+                spheres.append(self.parse_sphere())
+            else:
+                raise self.error(
+                    f"unexpected {self.peek().value!r} in process body"
+                )
+        self.expect_kw("END")
+        if self.peek().kind != "eof":
+            raise self.error("trailing input after process END")
+        return ProcessTemplate(
+            name=name,
+            description=description,
+            parameters=parameters,
+            outputs=outputs,
+            spheres=spheres,
+            graph=graph,
+        )
+
+    def parse_input(self) -> ProcessParameter:
+        self.expect_kw("INPUT")
+        name = self.expect_ident("input name")
+        optional = False
+        default: Any = None
+        description = ""
+        while True:
+            if self.at_kw("OPTIONAL"):
+                self.advance()
+                optional = True
+            elif self.at_kw("DEFAULT"):
+                self.advance()
+                default = self.parse_literal()
+                optional = True
+            elif self.at_kw("DESCRIPTION"):
+                self.advance()
+                token = self.advance()
+                if token.kind != "string":
+                    raise self.error("DESCRIPTION needs a string", token)
+                description = token.value
+            else:
+                break
+        return ProcessParameter(
+            name=name, optional=optional, default=default,
+            description=description,
+        )
+
+    # -- tasks --------------------------------------------------------------------
+
+    def parse_task(self) -> Task:
+        if self.at_kw("ACTIVITY"):
+            return self.parse_activity()
+        if self.at_kw("BLOCK"):
+            return self.parse_block()
+        if self.at_kw("PARALLEL"):
+            return self.parse_parallel()
+        if self.at_kw("SUBPROCESS"):
+            return self.parse_subprocess()
+        raise self.error(f"expected a task, got {self.peek().value!r}")
+
+    def parse_body_clause(self, body: _TaskBody) -> bool:
+        """Parse one common clause into ``body``; False if none matched."""
+        if self.at_kw("IN"):
+            self.advance()
+            param = self.expect_ident("input parameter")
+            self.expect_punct("=")
+            body.inputs[param] = self.parse_binding()
+            return True
+        if self.at_kw("MAP"):
+            self.advance()
+            source_field = self.expect_ident("output field")
+            self.expect_punct("->")
+            wb_name = self.expect_ident("whiteboard item")
+            body.output_mappings.append((source_field, wb_name))
+            return True
+        if self.at_kw("PARAM"):
+            self.advance()
+            key = self.expect_ident("parameter name")
+            self.expect_punct("=")
+            body.parameters[key] = self.parse_literal()
+            return True
+        if self.at_kw("JOIN"):
+            self.advance()
+            mode = self.expect_ident("join mode (and/or)").lower()
+            body.join = mode
+            return True
+        if self.at_kw("DESCRIPTION"):
+            self.advance()
+            token = self.advance()
+            if token.kind != "string":
+                raise self.error("DESCRIPTION needs a string", token)
+            body.description = token.value
+            return True
+        if self.at_kw("ON_FAILURE"):
+            body.failure = self.parse_on_failure()
+            return True
+        if self.at_kw("RAISE"):
+            self.advance()
+            body.raises.append(self.expect_ident("signal name"))
+            return True
+        if self.at_kw("AWAIT"):
+            self.advance()
+            body.awaits.append(self.expect_ident("signal name"))
+            return True
+        return False
+
+    def parse_on_failure(self) -> FailureHandler:
+        self.expect_kw("ON_FAILURE")
+        if self.at_kw("IGNORE"):
+            self.advance()
+            return FailureHandler(strategy=IGNORE)
+        if self.at_kw("ABORT"):
+            self.advance()
+            return FailureHandler(strategy=ABORT)
+        if self.at_kw("ALTERNATIVE"):
+            self.advance()
+            program = self.expect_name()
+            return FailureHandler(strategy=ALTERNATIVE,
+                                  alternative_program=program)
+        if self.at_kw("RETRY"):
+            self.advance()
+            token = self.advance()
+            if token.kind != "number":
+                raise self.error("RETRY needs a count", token)
+            retries = int(float(token.value))
+            then = ABORT
+            program = ""
+            if self.at_kw("THEN"):
+                self.advance()
+                if self.at_kw("ABORT"):
+                    self.advance()
+                elif self.at_kw("IGNORE"):
+                    self.advance()
+                    then = IGNORE
+                elif self.at_kw("ALTERNATIVE"):
+                    self.advance()
+                    then = ALTERNATIVE
+                    program = self.expect_name()
+                else:
+                    raise self.error("bad ON_FAILURE ... THEN clause")
+            return FailureHandler(
+                strategy=RETRY, max_retries=retries, then=then,
+                alternative_program=program,
+            )
+        raise self.error("bad ON_FAILURE clause")
+
+    def parse_activity(self) -> Activity:
+        self.expect_kw("ACTIVITY")
+        name = self.expect_ident("activity name")
+        self.expect_kw("PROGRAM")
+        program = self.expect_name()
+        body = _TaskBody()
+        while self.parse_body_clause(body):
+            pass
+        self.expect_kw("END")
+        return Activity(
+            name=name, program=program, parameters=body.parameters,
+            **body.task_kwargs(),
+        )
+
+    def parse_block(self) -> Block:
+        self.expect_kw("BLOCK")
+        name = self.expect_ident("block name")
+        body = _TaskBody()
+        graph = TaskGraph()
+        while not self.at_kw("END"):
+            if self.parse_body_clause(body):
+                continue
+            if self.at_kw(*_TASK_KEYWORDS):
+                graph.add_task(self.parse_task())
+            elif self.at_kw("CONNECT"):
+                self.parse_connect(graph)
+            else:
+                raise self.error(
+                    f"unexpected {self.peek().value!r} in block body"
+                )
+        self.expect_kw("END")
+        if body.parameters:
+            raise self.error(f"block {name!r} cannot take PARAM clauses")
+        return Block(name=name, graph=graph, **body.task_kwargs())
+
+    def parse_parallel(self) -> ParallelTask:
+        self.expect_kw("PARALLEL")
+        name = self.expect_ident("parallel task name")
+        self.expect_kw("FOREACH")
+        list_input = self.parse_binding()
+        self.expect_kw("AS")
+        element_param = self.expect_ident("element parameter")
+        body = _TaskBody()
+        inner: Optional[Task] = None
+        while not self.at_kw("END"):
+            if self.parse_body_clause(body):
+                continue
+            if self.at_kw(*_TASK_KEYWORDS):
+                if inner is not None:
+                    raise self.error(
+                        f"parallel task {name!r} has more than one body task"
+                    )
+                inner = self.parse_task()
+            else:
+                raise self.error(
+                    f"unexpected {self.peek().value!r} in parallel body"
+                )
+        self.expect_kw("END")
+        if inner is None:
+            raise self.error(f"parallel task {name!r} has no body task")
+        if body.parameters:
+            raise self.error(f"parallel task {name!r} cannot take PARAM")
+        return ParallelTask(
+            name=name, list_input=list_input, body=inner,
+            element_param=element_param, **body.task_kwargs(),
+        )
+
+    def parse_subprocess(self) -> SubprocessTask:
+        self.expect_kw("SUBPROCESS")
+        name = self.expect_ident("subprocess task name")
+        self.expect_kw("TEMPLATE")
+        template_name = self.expect_name()
+        version: Optional[int] = None
+        if self.at_kw("VERSION"):
+            self.advance()
+            token = self.advance()
+            if token.kind != "number":
+                raise self.error("VERSION needs a number", token)
+            version = int(float(token.value))
+        body = _TaskBody()
+        while self.parse_body_clause(body):
+            pass
+        self.expect_kw("END")
+        if body.parameters:
+            raise self.error(f"subprocess {name!r} cannot take PARAM")
+        return SubprocessTask(
+            name=name, template_name=template_name, version=version,
+            **body.task_kwargs(),
+        )
+
+    # -- connectors & spheres -------------------------------------------------------
+
+    def parse_connect(self, graph: TaskGraph) -> None:
+        self.expect_kw("CONNECT")
+        source = self.expect_ident("source task")
+        self.expect_punct("->")
+        target = self.expect_ident("target task")
+        condition = None
+        if self.at_kw("WHEN"):
+            self.advance()
+            token = self.advance()
+            if token.kind != "condition":
+                raise self.error(
+                    "WHEN needs a bracketed condition [ ... ]", token
+                )
+            condition = parse_condition(token.value)
+        graph.connect(source, target, condition)
+
+    def parse_sphere(self) -> Sphere:
+        self.expect_kw("SPHERE")
+        name = self.expect_ident("sphere name")
+        self.expect_kw("TASKS")
+        tasks: List[str] = [self.expect_ident("sphere member")]
+        while self.peek().kind == "ident":
+            tasks.append(self.advance().value)
+        compensation: List[Tuple[str, str]] = []
+        on_abort = "abort_process"
+        while not self.at_kw("END"):
+            if self.at_kw("COMPENSATE"):
+                self.advance()
+                member = self.expect_ident("compensated task")
+                self.expect_kw("WITH")
+                compensation.append((member, self.expect_name()))
+            elif self.at_kw("ON_ABORT"):
+                self.advance()
+                on_abort = self.expect_ident("sphere policy")
+            else:
+                raise self.error(
+                    f"unexpected {self.peek().value!r} in sphere body"
+                )
+        self.expect_kw("END")
+        return Sphere(
+            name=name, tasks=tuple(tasks),
+            compensation=tuple(compensation), on_abort=on_abort,
+        )
+
+
+def parse_ocr(source: str) -> ProcessTemplate:
+    """Parse OCR source text into a validated :class:`ProcessTemplate`."""
+    template = _Parser(tokenize(source)).parse_process()
+    return template.ensure_valid()
+
+
+def parse_ocr_unchecked(source: str) -> ProcessTemplate:
+    """Parse without validation (used by tooling that inspects drafts)."""
+    return _Parser(tokenize(source)).parse_process()

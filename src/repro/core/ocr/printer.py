@@ -1,0 +1,193 @@
+"""Canonical OCR printer: :class:`ProcessTemplate` -> text.
+
+The printer emits the same grammar the parser accepts, so
+``parse_ocr(print_ocr(t))`` reproduces ``t`` exactly (a property test
+enforces this). Templates built programmatically can therefore be stored,
+diffed, and reviewed as readable OCR text.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, List
+
+from ...errors import OCRError
+from ..model.conditions import TRUE
+from ..model.data import Binding
+from ..model.failure import (
+    ABORT,
+    ALTERNATIVE,
+    FailureHandler,
+    IGNORE,
+    RETRY,
+)
+from ..model.process import ProcessTemplate, TaskGraph
+from ..model.tasks import Activity, Block, ParallelTask, SubprocessTask, Task
+
+_INDENT = "  "
+
+
+def _literal(value: Any) -> str:
+    if value is True:
+        return "TRUE"
+    if value is False:
+        return "FALSE"
+    if value is None:
+        return "NULL"
+    if isinstance(value, str):
+        return json.dumps(value)
+    if isinstance(value, (int, float)):
+        return repr(value)
+    raise OCRError(
+        f"value {value!r} of type {type(value).__name__} has no OCR literal "
+        f"form"
+    )
+
+
+def _binding(binding: Binding) -> str:
+    if binding.kind == "const":
+        return _literal(binding.value)
+    return binding.to_text()
+
+
+def _string(text: str) -> str:
+    return json.dumps(text)
+
+
+class _Printer:
+    def __init__(self):
+        self.lines: List[str] = []
+        self.depth = 0
+
+    def emit(self, text: str) -> None:
+        self.lines.append(f"{_INDENT * self.depth}{text}")
+
+    def blank(self) -> None:
+        if self.lines and self.lines[-1] != "":
+            self.lines.append("")
+
+    # -- common clauses ---------------------------------------------------------
+
+    def emit_body(self, task: Task, *, default_join: str = "or") -> None:
+        if task.description:
+            self.emit(f"DESCRIPTION {_string(task.description)}")
+        if task.join != default_join:
+            self.emit(f"JOIN {task.join}")
+        for param, binding in sorted(task.inputs.items()):
+            self.emit(f"IN {param} = {_binding(binding)}")
+        for source_field, wb_name in task.output_mappings:
+            self.emit(f"MAP {source_field} -> {wb_name}")
+        for signal in task.awaits:
+            self.emit(f"AWAIT {signal}")
+        for signal in task.raises:
+            self.emit(f"RAISE {signal}")
+        if task.failure is not None:
+            self.emit(self.failure_clause(task.failure))
+
+    @staticmethod
+    def failure_clause(handler: FailureHandler) -> str:
+        if handler.strategy == IGNORE:
+            return "ON_FAILURE IGNORE"
+        if handler.strategy == ABORT:
+            return "ON_FAILURE ABORT"
+        if handler.strategy == ALTERNATIVE:
+            return f"ON_FAILURE ALTERNATIVE {handler.alternative_program}"
+        clause = f"ON_FAILURE RETRY {handler.max_retries}"
+        if handler.then == ALTERNATIVE:
+            clause += f" THEN ALTERNATIVE {handler.alternative_program}"
+        elif handler.then == IGNORE:
+            clause += " THEN IGNORE"
+        else:
+            clause += " THEN ABORT"
+        return clause
+
+    # -- tasks -------------------------------------------------------------------
+
+    def emit_task(self, task: Task) -> None:
+        if isinstance(task, Activity):
+            self.emit(f"ACTIVITY {task.name}")
+            self.depth += 1
+            self.emit(f"PROGRAM {task.program}")
+            self.emit_body(task)
+            for key, value in sorted(task.parameters.items()):
+                self.emit(f"PARAM {key} = {_literal(value)}")
+            self.depth -= 1
+            self.emit("END")
+        elif isinstance(task, ParallelTask):
+            self.emit(f"PARALLEL {task.name}")
+            self.depth += 1
+            self.emit(
+                f"FOREACH {_binding(task.list_input)} AS {task.element_param}"
+            )
+            self.emit_body(task)
+            self.emit_task(task.body)
+            self.depth -= 1
+            self.emit("END")
+        elif isinstance(task, Block):
+            self.emit(f"BLOCK {task.name}")
+            self.depth += 1
+            self.emit_body(task)
+            self.emit_graph(task.graph)
+            self.depth -= 1
+            self.emit("END")
+        elif isinstance(task, SubprocessTask):
+            self.emit(f"SUBPROCESS {task.name}")
+            self.depth += 1
+            clause = f"TEMPLATE {task.template_name}"
+            if task.version is not None:
+                clause += f" VERSION {task.version}"
+            self.emit(clause)
+            self.emit_body(task)
+            self.depth -= 1
+            self.emit("END")
+        else:  # pragma: no cover - defensive
+            raise OCRError(f"cannot print task kind {task.kind!r}")
+
+    def emit_graph(self, graph: TaskGraph) -> None:
+        for task in graph.tasks.values():
+            self.emit_task(task)
+        for connector in graph.connectors:
+            clause = f"CONNECT {connector.source} -> {connector.target}"
+            if connector.condition != TRUE:
+                clause += f" WHEN [{connector.condition.to_text()}]"
+            self.emit(clause)
+
+    # -- process -----------------------------------------------------------------
+
+    def emit_process(self, template: ProcessTemplate) -> None:
+        self.emit(f"PROCESS {template.name}")
+        self.depth += 1
+        if template.description:
+            self.emit(f"DESCRIPTION {_string(template.description)}")
+        for param in template.parameters:
+            clause = f"INPUT {param.name}"
+            if param.default is not None:
+                clause += f" DEFAULT {_literal(param.default)}"
+            elif param.optional:
+                clause += " OPTIONAL"
+            if param.description:
+                clause += f" DESCRIPTION {_string(param.description)}"
+            self.emit(clause)
+        for out_name, binding in sorted(template.outputs.items()):
+            self.emit(f"OUTPUT {out_name} = {_binding(binding)}")
+        self.blank()
+        self.emit_graph(template.graph)
+        for sphere in template.spheres:
+            self.emit(f"SPHERE {sphere.name}")
+            self.depth += 1
+            self.emit("TASKS " + " ".join(sphere.tasks))
+            for member, program in sphere.compensation:
+                self.emit(f"COMPENSATE {member} WITH {program}")
+            if sphere.on_abort != "abort_process":
+                self.emit(f"ON_ABORT {sphere.on_abort}")
+            self.depth -= 1
+            self.emit("END")
+        self.depth -= 1
+        self.emit("END")
+
+
+def print_ocr(template: ProcessTemplate) -> str:
+    """Render a template as canonical OCR text."""
+    printer = _Printer()
+    printer.emit_process(template)
+    return "\n".join(printer.lines) + "\n"

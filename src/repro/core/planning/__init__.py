@@ -1,0 +1,5 @@
+"""Planning: what-if outage analysis and drain plans."""
+
+from .whatif import InstanceImpact, OutagePlan, drain_plan, outage_impact
+
+__all__ = ["InstanceImpact", "OutagePlan", "outage_impact", "drain_plan"]

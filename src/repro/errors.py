@@ -1,0 +1,165 @@
+"""Exception hierarchy for the BioOpera reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class. Sub-hierarchies mirror the package
+layout: model / OCR language / engine / store / cluster / bio / planning.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# --------------------------------------------------------------------------
+# Process model
+# --------------------------------------------------------------------------
+
+class ModelError(ReproError):
+    """A process template or one of its parts is malformed."""
+
+
+class ValidationError(ModelError):
+    """A process template failed structural validation."""
+
+    def __init__(self, problems):
+        self.problems = list(problems)
+        super().__init__(
+            "process validation failed:\n  " + "\n  ".join(self.problems)
+        )
+
+
+class BindingError(ModelError):
+    """A data binding refers to a name that cannot be resolved."""
+
+
+class ConditionError(ModelError):
+    """An activation condition is malformed or failed to evaluate."""
+
+
+# --------------------------------------------------------------------------
+# OCR language
+# --------------------------------------------------------------------------
+
+class OCRError(ReproError):
+    """Base class for OCR (Opera Canonical Representation) errors."""
+
+
+class OCRSyntaxError(OCRError):
+    """The OCR source text could not be tokenized or parsed."""
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+
+
+class OCRCompileError(OCRError):
+    """The OCR program parsed but could not be compiled to a template."""
+
+
+# --------------------------------------------------------------------------
+# Engine
+# --------------------------------------------------------------------------
+
+class EngineError(ReproError):
+    """Base class for runtime engine errors."""
+
+
+class UnknownInstanceError(EngineError):
+    """An operation referred to a process instance the server does not know."""
+
+
+class UnknownTemplateError(EngineError):
+    """An operation referred to a template not present in the template space."""
+
+
+class InvalidStateError(EngineError):
+    """An operation is not legal in the current instance or task state."""
+
+
+class DispatchError(EngineError):
+    """The dispatcher could not place a job on any node."""
+
+
+class ActivityFailure(EngineError):
+    """An activity failed at runtime.
+
+    ``reason`` is a short machine-readable failure class (for example
+    ``"node-crash"``, ``"disk-full"``, ``"program-error"``) used by failure
+    handlers to decide how to react.
+    """
+
+    def __init__(self, reason, detail=""):
+        self.reason = reason
+        self.detail = detail
+        message = f"activity failed ({reason})"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
+# --------------------------------------------------------------------------
+# Persistent store
+# --------------------------------------------------------------------------
+
+class StoreError(ReproError):
+    """Base class for persistence errors."""
+
+
+class CodecError(StoreError):
+    """A value could not be serialized or deserialized."""
+
+
+class CorruptLogError(StoreError):
+    """The write-ahead log contains an undecodable (non-torn-tail) record."""
+
+
+# --------------------------------------------------------------------------
+# Simulated cluster
+# --------------------------------------------------------------------------
+
+class ClusterError(ReproError):
+    """Base class for cluster-simulation errors."""
+
+
+class NodeDownError(ClusterError):
+    """A job was sent to (or running on) a node that is down."""
+
+
+class DiskFullError(ClusterError):
+    """Shared storage ran out of space (Figure 5, event class 5)."""
+
+
+class SimulationError(ClusterError):
+    """The discrete-event kernel was misused (time travel, re-run, ...)."""
+
+
+# --------------------------------------------------------------------------
+# Bioinformatics substrate
+# --------------------------------------------------------------------------
+
+class BioError(ReproError):
+    """Base class for errors from the Darwin-substitute substrate."""
+
+
+class AlignmentError(BioError):
+    """Alignment inputs were invalid (empty sequence, bad alphabet, ...)."""
+
+
+class MatrixError(BioError):
+    """A scoring-matrix request was invalid."""
+
+
+# --------------------------------------------------------------------------
+# Planning
+# --------------------------------------------------------------------------
+
+class PlanningError(ReproError):
+    """A what-if planning query was invalid."""

@@ -1,0 +1,33 @@
+"""Pre-built process library: the all-vs-all (Figure 3) and the tower of
+information (Figure 1), plus queue/partition descriptors and pre-packaged
+activity programs."""
+
+from . import partitioning
+from .activities import register_all_vs_all_programs
+from .all_vs_all import (
+    ALIGN_CHUNK_OCR,
+    ALL_VS_ALL_OCR,
+    build_align_chunk_template,
+    build_all_vs_all_template,
+    install_all_vs_all,
+)
+from .tower import (
+    TOWER_OCR,
+    build_tower_template,
+    install_tower,
+    register_tower_programs,
+)
+
+__all__ = [
+    "partitioning",
+    "register_all_vs_all_programs",
+    "ALIGN_CHUNK_OCR",
+    "ALL_VS_ALL_OCR",
+    "build_align_chunk_template",
+    "build_all_vs_all_template",
+    "install_all_vs_all",
+    "TOWER_OCR",
+    "build_tower_template",
+    "install_tower",
+    "register_tower_programs",
+]

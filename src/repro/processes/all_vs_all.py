@@ -1,0 +1,155 @@
+"""The all-vs-all process exactly as Figure 3 draws it.
+
+Two templates, written in OCR (so the process library doubles as example
+OCR code):
+
+* ``align_chunk`` — the subprocess run inside the Alignment parallel task:
+  a fixed-PAM first pass over one TEU followed by PAM-parameter refinement
+  of its matches (``Qi ⊆ Pi``, ``Ri ⊆ Qi`` in the figure).
+* ``all_vs_all`` — the root process: user input, optional queue
+  generation (conditional on the queue file's absence — the activation
+  condition the paper spells out), preprocessing into TEUs, the parallel
+  Alignment block, and the two merge tasks.
+
+The Preprocessing/Alignment pair sits in a sphere of atomicity with a
+cleanup compensation, exercising OCR's exception-handling constructs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..bio.darwin import DarwinEngine
+from ..core.engine.library import ProgramRegistry
+from ..core.engine.server import BioOperaServer
+from ..core.model.process import ProcessTemplate
+from ..core.ocr.parser import parse_ocr
+from .activities import register_all_vs_all_programs
+
+ALIGN_CHUNK_OCR = '''
+PROCESS align_chunk
+  DESCRIPTION "Align one task execution unit (TEU) and refine its matches"
+  INPUT partition
+  INPUT queue_file
+  INPUT db_name
+  INPUT refine_placement DEFAULT ""
+  OUTPUT matches = Refine.match_set
+  OUTPUT pairs = FixedPAM.pairs
+
+  ACTIVITY FixedPAM
+    PROGRAM darwin.align_fixed_pam
+    DESCRIPTION "First alignment, using a fixed PAM distance"
+    IN partition = wb.partition
+    IN queue = wb.queue_file
+    IN db = wb.db_name
+    ON_FAILURE RETRY 3 THEN ABORT
+  END
+  ACTIVITY Refine
+    PROGRAM darwin.refine_pam
+    DESCRIPTION "Alignment algorithm finding PAM distance maximizing similarity"
+    IN matches = FixedPAM.match_set
+    IN db = wb.db_name
+    IN placement = wb.refine_placement
+    ON_FAILURE RETRY 3 THEN ABORT
+  END
+  CONNECT FixedPAM -> Refine
+END
+'''
+
+ALL_VS_ALL_OCR = '''
+PROCESS all_vs_all
+  DESCRIPTION "Self-comparison of all entries in a sequence database"
+  INPUT db_name
+  INPUT queue_file OPTIONAL
+  INPUT granularity DEFAULT 50
+  INPUT partition_strategy DEFAULT "interleaved"
+  INPUT output_file DEFAULT "allvsall.out"
+  INPUT refine_placement DEFAULT ""
+  OUTPUT master_file = MergeByEntry.master_file
+  OUTPUT match_count = MergeByEntry.match_count
+  OUTPUT pam_histogram = MergeByPAM.histogram
+
+  ACTIVITY UserInput
+    PROGRAM allvsall.user_input
+    DESCRIPTION "Request from the user the names of output files and database to use"
+    IN db = wb.db_name
+    IN queue_file = wb.queue_file
+    IN output_file = wb.output_file
+    MAP queue_file -> queue_file
+    MAP output_file -> output_file
+  END
+
+  ACTIVITY QueueGeneration
+    PROGRAM darwin.queue_generation
+    DESCRIPTION "If user does not provide a queue file, generate one"
+    IN db = wb.db_name
+    MAP queue_file -> queue_file
+  END
+
+  ACTIVITY Preprocessing
+    PROGRAM darwin.preprocess
+    DESCRIPTION "Create data partition P based on given input data"
+    IN queue = wb.queue_file
+    IN granularity = wb.granularity
+    IN strategy = wb.partition_strategy
+    MAP partitions -> partitions
+  END
+
+  PARALLEL Alignment
+    FOREACH wb.partitions AS partition
+    DESCRIPTION "For each Pi in P: align every entry against the database"
+    JOIN and
+    SUBPROCESS Chunk
+      TEMPLATE align_chunk
+      IN queue_file = wb.queue_file
+      IN db_name = wb.db_name
+      IN refine_placement = wb.refine_placement
+    END
+  END
+
+  ACTIVITY MergeByEntry
+    PROGRAM darwin.merge_by_entry
+    DESCRIPTION "Merge results, sorting by entry number"
+    IN results = Alignment.results
+    IN output_file = wb.output_file
+  END
+
+  ACTIVITY MergeByPAM
+    PROGRAM darwin.merge_by_pam
+    DESCRIPTION "Merge results, sorting by PAM distance of each alignment"
+    IN results = Alignment.results
+  END
+
+  CONNECT UserInput -> QueueGeneration WHEN [NOT DEFINED(wb.queue_file)]
+  CONNECT UserInput -> Preprocessing WHEN [DEFINED(wb.queue_file)]
+  CONNECT QueueGeneration -> Preprocessing
+  CONNECT Preprocessing -> Alignment
+  CONNECT Alignment -> MergeByEntry
+  CONNECT Alignment -> MergeByPAM
+
+  SPHERE AlignmentSphere
+    TASKS Preprocessing Alignment
+    COMPENSATE Preprocessing WITH darwin.cleanup
+    ON_ABORT abort_process
+  END
+END
+'''
+
+
+def build_align_chunk_template() -> ProcessTemplate:
+    """Parse and validate the ``align_chunk`` subprocess template."""
+    return parse_ocr(ALIGN_CHUNK_OCR)
+
+
+def build_all_vs_all_template() -> ProcessTemplate:
+    """Parse and validate the root ``all_vs_all`` template."""
+    return parse_ocr(ALL_VS_ALL_OCR)
+
+
+def install_all_vs_all(server: BioOperaServer,
+                       darwin: DarwinEngine) -> None:
+    """Register templates and programs on a server (idempotent templates;
+    programs must not be already present)."""
+    register_all_vs_all_programs(server.registry, darwin)
+    server.define_template(build_align_chunk_template())
+    server.define_template(build_all_vs_all_template())

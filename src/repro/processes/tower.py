@@ -1,0 +1,201 @@
+"""The Tower of Information (paper, Figure 1) as a BioOpera process.
+
+"One of the main goals of the BioOpera project ... is to be able to build
+a software system capable of automatically predicting the secondary
+structure of a protein given the recipe encoded in its DNA": raw DNA →
+genes → protein sequences → pairwise alignments (the all-vs-all, here a
+**subprocess** — the paper's motivation for modular design) → variances
+and distances → multiple sequence alignments & phylogenetic trees (two
+branches) → probabilistic ancestral sequences → secondary-structure
+prediction → protein function.
+
+Each derivation step is modeled (the real algorithms are "NP-complete and
+algorithms are yet to be developed for some of them"), but every step
+produces real derived artifacts with lineage, and the pairwise-alignment
+step runs the genuine all-vs-all process, so the tower exercises nesting,
+late binding, and cross-step data flow end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..bio.darwin import DarwinEngine
+from ..core.engine.library import (
+    ProgramContext,
+    ProgramRegistry,
+    ProgramResult,
+)
+from ..core.engine.server import BioOperaServer
+from ..core.model.process import ProcessTemplate
+from ..core.ocr.parser import parse_ocr
+from .all_vs_all import install_all_vs_all
+
+TOWER_OCR = '''
+PROCESS tower_of_information
+  DESCRIPTION "Raw DNA to protein function (Figure 1)"
+  INPUT genome_name
+  INPUT genome_size DEFAULT 100000
+  INPUT db_name
+  INPUT granularity DEFAULT 50
+  OUTPUT functions = FunctionPrediction.functions
+  OUTPUT tree = PhylogeneticTree.tree
+  OUTPUT structure_confidence = SecondaryStructure.confidence
+
+  ACTIVITY GeneLocation
+    PROGRAM tower.gene_location
+    DESCRIPTION "Locate genes in the raw DNA"
+    IN genome = wb.genome_name
+    IN size = wb.genome_size
+    MAP genes -> genes
+  END
+
+  ACTIVITY Translation
+    PROGRAM tower.translate
+    DESCRIPTION "Translate located genes into protein sequences"
+    IN genes = wb.genes
+    MAP proteins -> proteins
+  END
+
+  SUBPROCESS PairwiseAlignments
+    TEMPLATE all_vs_all
+    IN db_name = wb.db_name
+    IN granularity = wb.granularity
+  END
+
+  ACTIVITY Distances
+    PROGRAM tower.distances
+    DESCRIPTION "Pairwise variances and distances from the alignments"
+    IN match_count = PairwiseAlignments.match_count
+    IN proteins = wb.proteins
+    MAP distance_matrix -> distance_matrix
+  END
+
+  ACTIVITY MultipleAlignment
+    PROGRAM tower.msa
+    DESCRIPTION "Multiple sequence alignments"
+    IN distances = wb.distance_matrix
+    IN proteins = wb.proteins
+  END
+
+  ACTIVITY PhylogeneticTree
+    PROGRAM tower.phylo_tree
+    DESCRIPTION "Build the phylogenetic (evolutionary) tree"
+    IN distances = wb.distance_matrix
+  END
+
+  ACTIVITY AncestralSequences
+    PROGRAM tower.ancestral
+    DESCRIPTION "Probabilistic ancestral sequences"
+    IN msa = MultipleAlignment.msa
+    IN tree = PhylogeneticTree.tree
+    JOIN and
+  END
+
+  ACTIVITY SecondaryStructure
+    PROGRAM tower.secondary_structure
+    DESCRIPTION "Secondary structure prediction"
+    IN msa = MultipleAlignment.msa
+    IN ancestors = AncestralSequences.ancestors
+  END
+
+  ACTIVITY FunctionPrediction
+    PROGRAM tower.function
+    DESCRIPTION "Deduce protein function from the predicted shape"
+    IN structure = SecondaryStructure.structure
+  END
+
+  CONNECT GeneLocation -> Translation
+  CONNECT Translation -> PairwiseAlignments
+  CONNECT PairwiseAlignments -> Distances
+  CONNECT Distances -> MultipleAlignment
+  CONNECT Distances -> PhylogeneticTree
+  CONNECT MultipleAlignment -> AncestralSequences
+  CONNECT PhylogeneticTree -> AncestralSequences
+  CONNECT AncestralSequences -> SecondaryStructure
+  CONNECT SecondaryStructure -> FunctionPrediction
+END
+'''
+
+
+def register_tower_programs(registry: ProgramRegistry,
+                            darwin: DarwinEngine) -> None:
+    """Modeled derivation steps for the tower levels above the all-vs-all."""
+    n = len(darwin.profile)
+
+    def gene_location(inputs, ctx: ProgramContext) -> ProgramResult:
+        size = int(inputs.get("size", 100_000))
+        rng = ctx.rng()
+        genes = max(1, int(size / rng.uniform(900, 1100)))
+        return ProgramResult(
+            {"genes": genes, "genome": inputs.get("genome", "")},
+            cost=0.002 * size / 100.0,
+        )
+
+    def translate(inputs, ctx: ProgramContext) -> ProgramResult:
+        genes = int(inputs["genes"])
+        return ProgramResult(
+            {"proteins": genes, "mean_length": 360},
+            cost=0.01 * genes,
+        )
+
+    def distances(inputs, ctx: ProgramContext) -> ProgramResult:
+        matches = int(inputs.get("match_count", 0))
+        return ProgramResult(
+            {"distance_matrix": f"distances({matches} matches)",
+             "pairs_used": matches},
+            cost=5.0 + 0.001 * matches,
+        )
+
+    def msa(inputs, ctx: ProgramContext) -> ProgramResult:
+        return ProgramResult(
+            {"msa": "msa.aln", "columns": 1200},
+            cost=120.0,
+        )
+
+    def phylo_tree(inputs, ctx: ProgramContext) -> ProgramResult:
+        return ProgramResult(
+            {"tree": f"((...) likelihood tree over {n} taxa)",
+             "taxa": n},
+            cost=300.0,
+        )
+
+    def ancestral(inputs, ctx: ProgramContext) -> ProgramResult:
+        return ProgramResult(
+            {"ancestors": "ancestral.seqs", "nodes": max(1, n - 1)},
+            cost=90.0,
+        )
+
+    def secondary_structure(inputs, ctx: ProgramContext) -> ProgramResult:
+        rng = ctx.rng()
+        return ProgramResult(
+            {"structure": "helix/sheet/coil assignment",
+             "confidence": round(rng.uniform(0.6, 0.8), 3)},
+            cost=60.0,
+        )
+
+    def function(inputs, ctx: ProgramContext) -> ProgramResult:
+        return ProgramResult(
+            {"functions": "predicted-function-table"},
+            cost=20.0,
+        )
+
+    registry.register("tower.gene_location", gene_location)
+    registry.register("tower.translate", translate)
+    registry.register("tower.distances", distances)
+    registry.register("tower.msa", msa)
+    registry.register("tower.phylo_tree", phylo_tree)
+    registry.register("tower.ancestral", ancestral)
+    registry.register("tower.secondary_structure", secondary_structure)
+    registry.register("tower.function", function)
+
+
+def build_tower_template() -> ProcessTemplate:
+    return parse_ocr(TOWER_OCR)
+
+
+def install_tower(server: BioOperaServer, darwin: DarwinEngine) -> None:
+    """Install the tower and its dependencies (including the all-vs-all)."""
+    install_all_vs_all(server, darwin)
+    register_tower_programs(server.registry, darwin)
+    server.define_template(build_tower_template())

@@ -1,0 +1,27 @@
+"""Persistence substrate: WAL-backed KV store, BioOpera data spaces, lineage."""
+
+from .kvstore import KVStore, MEMORY, Transaction
+from .lineage import LineageGraph, LineageRecord
+from .spaces import (
+    ConfigurationSpace,
+    DataSpace,
+    InstanceSpace,
+    OperaStore,
+    TemplateSpace,
+)
+from .wal import FileWAL, MemoryWAL
+
+__all__ = [
+    "KVStore",
+    "MEMORY",
+    "Transaction",
+    "FileWAL",
+    "MemoryWAL",
+    "OperaStore",
+    "TemplateSpace",
+    "InstanceSpace",
+    "ConfigurationSpace",
+    "DataSpace",
+    "LineageRecord",
+    "LineageGraph",
+]

@@ -1,0 +1,180 @@
+"""Crash-recoverable key-value store: WAL + snapshot + replay.
+
+This is the "database" under BioOpera's data spaces. Guarantees:
+
+* **Durability** — every mutation is appended to the WAL and synced before
+  :meth:`KVStore.put` returns (unless batched in a transaction, which syncs
+  once at commit).
+* **Atomicity** — a transaction's operations are framed as one WAL record
+  and applied all-or-nothing on replay.
+* **Recovery** — :meth:`KVStore.recover` (or construction over existing
+  files) rebuilds state as snapshot + replay of the valid WAL prefix.
+
+Keys are strings; prefix scans (``items(prefix=...)``) give the namespace
+mechanism the data spaces are built on.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import StoreError
+from . import codec
+from .snapshot import FileSnapshot, MemorySnapshot
+from .wal import FileWAL, MemoryWAL
+
+MEMORY = ":memory:"
+
+
+class Transaction:
+    """Mutation batch applied atomically at commit."""
+
+    def __init__(self, store: "KVStore"):
+        self._store = store
+        self._ops: List[Tuple[str, str, Any]] = []
+        self._done = False
+
+    def put(self, key: str, value: Any) -> None:
+        self._ops.append(("put", key, value))
+
+    def delete(self, key: str) -> None:
+        self._ops.append(("del", key, None))
+
+    def commit(self) -> None:
+        if self._done:
+            raise StoreError("transaction already finished")
+        self._done = True
+        self._store._commit_batch(self._ops)
+
+    def abort(self) -> None:
+        self._done = True
+        self._ops = []
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None and not self._done:
+            self.commit()
+        elif not self._done:
+            self.abort()
+
+
+class KVStore:
+    """Recoverable key-value store.
+
+    Parameters
+    ----------
+    path:
+        Directory for ``store.wal`` / ``store.snapshot``, or
+        :data:`MEMORY` for an in-process store with simulated durability.
+    """
+
+    def __init__(self, path: str = MEMORY):
+        self.path = path
+        if path == MEMORY:
+            self._wal = MemoryWAL()
+            self._snapshot = MemorySnapshot()
+        else:
+            os.makedirs(path, exist_ok=True)
+            self._wal = FileWAL(os.path.join(path, "store.wal"))
+            self._snapshot = FileSnapshot(os.path.join(path, "store.snapshot"))
+        self._state: Dict[str, Any] = {}
+        self._replay()
+
+    # -- recovery -------------------------------------------------------------
+
+    def _replay(self) -> None:
+        snapshot = self._snapshot.load()
+        self._state = dict(snapshot) if snapshot else {}
+        for record in self._wal.records():
+            self._apply_batch(codec.decode(record))
+
+    def _apply_batch(self, ops: List[List[Any]]) -> None:
+        for op, key, value in ops:
+            if op == "put":
+                self._state[key] = value
+            elif op == "del":
+                self._state.pop(key, None)
+            else:
+                raise StoreError(f"unknown WAL op {op!r}")
+
+    def recover(self) -> "KVStore":
+        """Re-open the store from durable state (no-op for a live store)."""
+        if self.path == MEMORY:
+            raise StoreError(
+                "recover() reopens on-disk stores; use simulate_crash() "
+                "for in-memory stores"
+            )
+        self.close()
+        return KVStore(self.path)
+
+    def simulate_crash(self) -> "KVStore":
+        """Return a new store holding only what a crash would preserve.
+
+        Only meaningful for in-memory stores; on-disk stores are recovered
+        by re-opening the directory.
+        """
+        if self.path != MEMORY:
+            raise StoreError("simulate_crash() applies to in-memory stores")
+        survivor = KVStore.__new__(KVStore)
+        survivor.path = MEMORY
+        survivor._wal = self._wal.simulate_crash()
+        survivor._snapshot = self._snapshot
+        survivor._state = {}
+        survivor._replay()
+        return survivor
+
+    # -- mutations ------------------------------------------------------------
+
+    def _commit_batch(self, ops: List[Tuple[str, str, Any]]) -> None:
+        if not ops:
+            return
+        record = [[op, key, value] for op, key, value in ops]
+        self._wal.append(codec.encode(record))
+        self._wal.sync()
+        self._apply_batch(record)
+
+    def put(self, key: str, value: Any) -> None:
+        """Durably set ``key`` to ``value``."""
+        self._commit_batch([("put", key, value)])
+
+    def delete(self, key: str) -> None:
+        """Durably remove ``key`` (no error if absent)."""
+        self._commit_batch([("del", key, None)])
+
+    def transaction(self) -> Transaction:
+        """Open an atomic mutation batch (context manager)."""
+        return Transaction(self)
+
+    def checkpoint(self) -> None:
+        """Write a snapshot of current state and reset the WAL."""
+        self._snapshot.save(self._state)
+        self._wal.reset()
+
+    # -- reads ----------------------------------------------------------------
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._state.get(key, default)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._state
+
+    def keys(self, prefix: str = "") -> List[str]:
+        return sorted(k for k in self._state if k.startswith(prefix))
+
+    def items(self, prefix: str = "") -> Iterator[Tuple[str, Any]]:
+        for key in self.keys(prefix):
+            yield key, self._state[key]
+
+    def __len__(self) -> int:
+        return len(self._state)
+
+    @property
+    def wal_records(self) -> int:
+        """Number of records currently in the WAL (shrinks at checkpoint)."""
+        return len(self._wal)
+
+    def close(self) -> None:
+        self._wal.close()

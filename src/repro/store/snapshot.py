@@ -1,0 +1,51 @@
+"""Atomic snapshot files for the KV store.
+
+A snapshot is the full store state written to a temporary file and renamed
+into place, so a crash during snapshotting leaves either the old snapshot or
+the new one — never a partial file. An in-memory variant mirrors the same
+interface for simulation-backed stores.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional
+
+from . import codec
+
+
+class FileSnapshot:
+    """Snapshot stored at ``<path>``; written via rename for atomicity."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def save(self, state: Dict[str, Any]) -> None:
+        payload = codec.encode(state)
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "wb") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, self.path)
+
+    def load(self) -> Optional[Dict[str, Any]]:
+        if not os.path.exists(self.path):
+            return None
+        with open(self.path, "rb") as fh:
+            return codec.decode(fh.read())
+
+
+class MemorySnapshot:
+    """In-memory snapshot holder with the same save/load interface."""
+
+    def __init__(self):
+        self._payload: Optional[bytes] = None
+
+    def save(self, state: Dict[str, Any]) -> None:
+        self._payload = codec.encode(state)
+
+    def load(self) -> Optional[Dict[str, Any]]:
+        if self._payload is None:
+            return None
+        return codec.decode(self._payload)

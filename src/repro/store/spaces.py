@@ -1,0 +1,215 @@
+"""BioOpera's four data spaces on top of the KV store.
+
+The paper (Section 3.2) organizes persistent information into:
+
+* **template space** — processes as defined by the user;
+* **instance space** — processes currently executing (meta + event log);
+* **configuration space** — the hardware/software description of the
+  cluster used for placement and what-if planning;
+* **data space** — historical information about completed processes and
+  lineage records referencing the datasets they produced.
+
+Each space is a thin, typed veneer over key prefixes of one
+:class:`~repro.store.kvstore.KVStore`, so a single WAL covers all of them
+and cross-space updates can share a transaction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import StoreError, UnknownTemplateError
+from .kvstore import KVStore, MEMORY
+
+
+def _seq_key(prefix: str, seq: int) -> str:
+    return f"{prefix}{seq:010d}"
+
+
+class TemplateSpace:
+    """Versioned storage of process templates (as serialized dicts)."""
+
+    PREFIX = "template/"
+
+    def __init__(self, kv: KVStore):
+        self._kv = kv
+
+    def save(self, name: str, template_dict: Dict[str, Any]) -> int:
+        """Store a new version of ``name``; returns the version number."""
+        version = self.latest_version(name) + 1
+        with self._kv.transaction() as txn:
+            txn.put(f"{self.PREFIX}{name}/v{version:06d}", template_dict)
+            txn.put(f"{self.PREFIX}{name}/latest", version)
+        return version
+
+    def latest_version(self, name: str) -> int:
+        return int(self._kv.get(f"{self.PREFIX}{name}/latest", 0))
+
+    def load(self, name: str, version: Optional[int] = None) -> Dict[str, Any]:
+        if version is None:
+            version = self.latest_version(name)
+        template = self._kv.get(f"{self.PREFIX}{name}/v{version:06d}")
+        if template is None:
+            raise UnknownTemplateError(
+                f"template {name!r} version {version} not in template space"
+            )
+        return template
+
+    def names(self) -> List[str]:
+        found = set()
+        for key in self._kv.keys(self.PREFIX):
+            found.add(key[len(self.PREFIX):].split("/", 1)[0])
+        return sorted(found)
+
+    def __contains__(self, name: str) -> bool:
+        return self.latest_version(name) > 0
+
+
+class InstanceSpace:
+    """Durable per-instance metadata and append-only event logs."""
+
+    PREFIX = "instance/"
+
+    def __init__(self, kv: KVStore):
+        self._kv = kv
+
+    # -- metadata ---------------------------------------------------------
+
+    def create(self, instance_id: str, meta: Dict[str, Any]) -> None:
+        key = f"{self.PREFIX}{instance_id}/meta"
+        if key in self._kv:
+            raise StoreError(f"instance {instance_id!r} already exists")
+        with self._kv.transaction() as txn:
+            txn.put(key, meta)
+            txn.put(f"{self.PREFIX}{instance_id}/next_seq", 0)
+
+    def meta(self, instance_id: str) -> Optional[Dict[str, Any]]:
+        return self._kv.get(f"{self.PREFIX}{instance_id}/meta")
+
+    def update_meta(self, instance_id: str, **fields: Any) -> None:
+        meta = self.meta(instance_id)
+        if meta is None:
+            raise StoreError(f"unknown instance {instance_id!r}")
+        meta.update(fields)
+        self._kv.put(f"{self.PREFIX}{instance_id}/meta", meta)
+
+    def instance_ids(self) -> List[str]:
+        ids = set()
+        for key in self._kv.keys(self.PREFIX):
+            ids.add(key[len(self.PREFIX):].split("/", 1)[0])
+        return sorted(ids)
+
+    # -- event log ----------------------------------------------------------
+
+    def append_event(self, instance_id: str, event: Dict[str, Any]) -> int:
+        """Durably append one engine event; returns its sequence number."""
+        seq_key = f"{self.PREFIX}{instance_id}/next_seq"
+        seq = self._kv.get(seq_key)
+        if seq is None:
+            raise StoreError(f"unknown instance {instance_id!r}")
+        with self._kv.transaction() as txn:
+            txn.put(_seq_key(f"{self.PREFIX}{instance_id}/event/", seq), event)
+            txn.put(seq_key, seq + 1)
+        return seq
+
+    def events(self, instance_id: str) -> Iterator[Dict[str, Any]]:
+        prefix = f"{self.PREFIX}{instance_id}/event/"
+        for _, event in self._kv.items(prefix):
+            yield event
+
+    def event_count(self, instance_id: str) -> int:
+        return int(self._kv.get(f"{self.PREFIX}{instance_id}/next_seq", 0))
+
+
+class ConfigurationSpace:
+    """Cluster description: nodes, capacities, operating systems."""
+
+    PREFIX = "config/"
+
+    def __init__(self, kv: KVStore):
+        self._kv = kv
+
+    def save_node(self, name: str, description: Dict[str, Any]) -> None:
+        self._kv.put(f"{self.PREFIX}node/{name}", description)
+
+    def node(self, name: str) -> Optional[Dict[str, Any]]:
+        return self._kv.get(f"{self.PREFIX}node/{name}")
+
+    def remove_node(self, name: str) -> None:
+        self._kv.delete(f"{self.PREFIX}node/{name}")
+
+    def nodes(self) -> Dict[str, Dict[str, Any]]:
+        prefix = f"{self.PREFIX}node/"
+        return {
+            key[len(prefix):]: value for key, value in self._kv.items(prefix)
+        }
+
+    def set_setting(self, name: str, value: Any) -> None:
+        self._kv.put(f"{self.PREFIX}setting/{name}", value)
+
+    def setting(self, name: str, default: Any = None) -> Any:
+        return self._kv.get(f"{self.PREFIX}setting/{name}", default)
+
+
+class DataSpace:
+    """Historical run records and lineage entries."""
+
+    PREFIX = "data/"
+
+    def __init__(self, kv: KVStore):
+        self._kv = kv
+
+    def record_run(self, run_id: str, summary: Dict[str, Any]) -> None:
+        self._kv.put(f"{self.PREFIX}run/{run_id}", summary)
+
+    def run(self, run_id: str) -> Optional[Dict[str, Any]]:
+        return self._kv.get(f"{self.PREFIX}run/{run_id}")
+
+    def runs(self) -> Dict[str, Dict[str, Any]]:
+        prefix = f"{self.PREFIX}run/"
+        return {
+            key[len(prefix):]: value for key, value in self._kv.items(prefix)
+        }
+
+    def append_lineage(self, record: Dict[str, Any]) -> int:
+        seq = int(self._kv.get(f"{self.PREFIX}lineage_seq", 0))
+        with self._kv.transaction() as txn:
+            txn.put(_seq_key(f"{self.PREFIX}lineage/", seq), record)
+            txn.put(f"{self.PREFIX}lineage_seq", seq + 1)
+        return seq
+
+    def lineage_records(self) -> List[Dict[str, Any]]:
+        return [rec for _, rec in self._kv.items(f"{self.PREFIX}lineage/")]
+
+
+class OperaStore:
+    """All four spaces over one KV store (one WAL, one recovery unit)."""
+
+    def __init__(self, path: str = MEMORY):
+        self.kv = KVStore(path)
+        self.templates = TemplateSpace(self.kv)
+        self.instances = InstanceSpace(self.kv)
+        self.configuration = ConfigurationSpace(self.kv)
+        self.data = DataSpace(self.kv)
+
+    def checkpoint(self) -> None:
+        self.kv.checkpoint()
+
+    def simulate_crash(self) -> "OperaStore":
+        """Crash-and-recover an in-memory store (synced prefix survives)."""
+        survivor = OperaStore.__new__(OperaStore)
+        survivor.kv = self.kv.simulate_crash()
+        survivor.templates = TemplateSpace(survivor.kv)
+        survivor.instances = InstanceSpace(survivor.kv)
+        survivor.configuration = ConfigurationSpace(survivor.kv)
+        survivor.data = DataSpace(survivor.kv)
+        return survivor
+
+    def reopen(self) -> "OperaStore":
+        """Close and re-open an on-disk store (crash-recovery path)."""
+        path = self.kv.path
+        self.kv.close()
+        return OperaStore(path)
+
+    def close(self) -> None:
+        self.kv.close()

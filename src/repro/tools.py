@@ -1,0 +1,130 @@
+"""Command-line utilities for working with OCR process files.
+
+Usage::
+
+    python -m repro.tools check   process.ocr     # parse + validate
+    python -m repro.tools format  process.ocr     # canonical pretty-print
+    python -m repro.tools dot     process.ocr     # Graphviz DOT to stdout
+    python -m repro.tools inspect process.ocr     # inventory: tasks, flows
+
+Exit status is non-zero on syntax or validation errors, with the error
+location on stderr — suitable for CI checks over a process library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.model.dot import template_to_dot
+from .core.model.process import ProcessTemplate
+from .core.ocr.parser import parse_ocr_unchecked
+from .core.ocr.printer import print_ocr
+from .errors import OCRError, ReproError, ValidationError
+
+
+def _load(path: str) -> ProcessTemplate:
+    if path == "-":
+        source = sys.stdin.read()
+    else:
+        with open(path) as fh:
+            source = fh.read()
+    return parse_ocr_unchecked(source)
+
+
+def cmd_check(args) -> int:
+    try:
+        template = _load(args.file)
+    except OCRError as exc:
+        print(f"{args.file}: syntax error: {exc}", file=sys.stderr)
+        return 1
+    problems = template.validate()
+    if problems:
+        for problem in problems:
+            print(f"{args.file}: {problem}", file=sys.stderr)
+        return 2
+    print(f"{args.file}: OK — process {template.name!r}, "
+          f"{len(template.graph.tasks)} top-level tasks, "
+          f"{len(template.graph.connectors)} connectors")
+    return 0
+
+
+def cmd_format(args) -> int:
+    template = _load(args.file)
+    sys.stdout.write(print_ocr(template))
+    return 0
+
+
+def cmd_dot(args) -> int:
+    template = _load(args.file)
+    sys.stdout.write(template_to_dot(template))
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    template = _load(args.file)
+    print(f"process {template.name}")
+    if template.description:
+        print(f"  description: {template.description}")
+    for param in template.parameters:
+        flags = []
+        if param.optional:
+            flags.append("optional")
+        if param.default is not None:
+            flags.append(f"default={param.default!r}")
+        suffix = f" ({', '.join(flags)})" if flags else ""
+        print(f"  input  {param.name}{suffix}")
+    for name, binding in sorted(template.outputs.items()):
+        print(f"  output {name} = {binding.to_text()}")
+    print("  tasks:")
+    for path, task in template.graph.walk_tasks():
+        detail = ""
+        if hasattr(task, "program"):
+            detail = f" -> {task.program}"
+        elif hasattr(task, "template_name"):
+            detail = f" -> subprocess {task.template_name}"
+        print(f"    [{task.kind:<10}] {path}{detail}")
+    programs = sorted(template.activity_programs())
+    print(f"  external bindings ({len(programs)}):")
+    for program in programs:
+        print(f"    {program}")
+    subs = sorted(template.subprocess_names())
+    if subs:
+        print(f"  subprocess templates required: {', '.join(subs)}")
+    if template.spheres:
+        for sphere in template.spheres:
+            print(f"  sphere {sphere.name}: {', '.join(sphere.tasks)}")
+    problems = template.validate()
+    if problems:
+        print(f"  INVALID ({len(problems)} problems):")
+        for problem in problems:
+            print(f"    {problem}")
+        return 2
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, fn in (("check", cmd_check), ("format", cmd_format),
+                     ("dot", cmd_dot), ("inspect", cmd_inspect)):
+        command = sub.add_parser(name)
+        command.add_argument("file", help="OCR file path, or - for stdin")
+        command.set_defaults(fn=fn)
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

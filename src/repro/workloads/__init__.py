@@ -1,0 +1,23 @@
+"""Workloads: datasets, scripted experiment scenarios, and reporting."""
+
+from . import datasets, reporting, scenarios
+from .scenarios import (
+    GranularityPoint,
+    LifecycleReport,
+    PAPER_TEU_COUNTS,
+    granularity_study,
+    nonshared_run,
+    shared_run,
+)
+
+__all__ = [
+    "datasets",
+    "reporting",
+    "scenarios",
+    "GranularityPoint",
+    "LifecycleReport",
+    "PAPER_TEU_COUNTS",
+    "granularity_study",
+    "shared_run",
+    "nonshared_run",
+]

@@ -1,0 +1,129 @@
+"""Renderers that print the paper's tables and figures from run results.
+
+Benchmarks call these to emit the same rows/series the paper reports:
+:func:`granularity_table` (Figure 4's embedded table), :func:`table1`
+(Table 1), and :func:`lifecycle_chart` (ASCII availability/utilization
+timelines standing in for Figures 5 and 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..cluster.simulation import format_duration
+from .scenarios import GranularityPoint, LifecycleReport
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Plain fixed-width table."""
+    cells = [[str(h) for h in headers]] + [
+        [str(value) for value in row] for row in rows
+    ]
+    widths = [
+        max(len(row[col]) for row in cells)
+        for col in range(len(headers))
+    ]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(
+            value.rjust(widths[col]) for col, value in enumerate(row)
+        ))
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def granularity_table(points: Sequence[GranularityPoint]) -> str:
+    """Figure 4's embedded table: # TEUs | CPU | WALL (seconds)."""
+    rows = [
+        (p.teus, f"{p.cpu_seconds:.0f}", f"{p.wall_seconds:.0f}")
+        for p in points
+    ]
+    return format_table(("# TEUs", "CPU (s)", "WALL (s)"), rows)
+
+
+def granularity_segments(points: Sequence[GranularityPoint]
+                         ) -> Dict[str, object]:
+    """The anchors the paper's prose fixes for Figure 4."""
+    by_teus = {p.teus: p for p in points}
+    best_wall = min(points, key=lambda p: p.wall_seconds)
+    first = min(points, key=lambda p: p.teus)
+    last = max(points, key=lambda p: p.teus)
+    return {
+        "best_cpu_at_1_teu": min(points, key=lambda p: p.cpu_seconds).teus == first.teus,
+        "wall_optimum_teus": best_wall.teus,
+        "cpu_ratio_max_vs_1": last.cpu_seconds / first.cpu_seconds,
+        "wall_ratio_1_vs_optimum": first.wall_seconds / best_wall.wall_seconds,
+    }
+
+
+def lifecycle_summary(report: LifecycleReport) -> List[Tuple[str, str]]:
+    """One Table 1 column as (metric, value) pairs."""
+    return [
+        ("Max # of CPUs", f"{report.max_cpus:.0f}"),
+        ("CPU(pi)", format_duration(report.cpu_seconds)),
+        ("WALL(pi)", format_duration(report.wall_seconds)),
+        ("CPU(A)", format_duration(report.cpu_per_activity)),
+        ("Activities", str(report.activities)),
+        ("Matches", str(report.match_count)),
+        ("Utilization", f"{report.utilization_fraction:.0%}"),
+        ("Manual interventions", str(report.manual_interventions)),
+    ]
+
+
+def table1(shared: LifecycleReport, nonshared: LifecycleReport) -> str:
+    """Table 1: performance of the all-vs-all for the two experiments."""
+    shared_col = dict(lifecycle_summary(shared))
+    nonshared_col = dict(lifecycle_summary(nonshared))
+    rows = [
+        (metric, shared_col[metric], nonshared_col[metric])
+        for metric, _ in lifecycle_summary(shared)
+    ]
+    return format_table(("", "Shared cluster", "Non-shared cluster"), rows)
+
+
+def lifecycle_chart(report: LifecycleReport, width: int = 60) -> str:
+    """ASCII rendition of Figures 5/6: one row per day, availability as
+    ``.`` and utilization as ``#``, with event annotations inline."""
+    series = report.trace_daily
+    if not series:
+        return "(no trace)"
+    scale_max = max(report.max_cpus, 1.0)
+    # infer the (possibly scaled) day length from the series spacing
+    day_seconds = series[1][0] - series[0][0] if len(series) > 1 else 86400.0
+    annotations_by_day: Dict[int, List[str]] = {}
+    for t, label in report.annotations:
+        annotations_by_day.setdefault(int(t // day_seconds), []).append(label)
+    lines = [
+        f"{report.name}: processor availability (.) vs utilization (#)",
+        f"0 {'-' * width} {scale_max:.0f} CPUs",
+    ]
+    for t, available, busy in series:
+        day = int(t // day_seconds)
+        available_col = int(round(available / scale_max * width))
+        busy_col = int(round(busy / scale_max * width))
+        bar = ["#" if col < busy_col else "." if col < available_col else " "
+               for col in range(width)]
+        note = "; ".join(annotations_by_day.get(day, []))
+        lines.append(f"d{day:3d} |{''.join(bar)}| {note}")
+    return "\n".join(lines)
+
+
+def monitoring_table(runs) -> str:
+    """Benchmark M1: strategy | samples | sent | discarded | mean error."""
+    rows = [
+        (
+            run.strategy,
+            run.samples_taken,
+            run.reports_sent,
+            f"{run.discard_fraction:.0%}",
+            f"{run.mean_error:.3f}",
+            f"{run.max_error:.3f}",
+        )
+        for run in runs
+    ]
+    return format_table(
+        ("strategy", "samples", "sent", "discarded", "mean err", "max err"),
+        rows,
+    )

@@ -1,0 +1,171 @@
+"""Smith-Waterman alignment: exactness, invariants, traceback."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bio import default_family, sw_align, sw_score
+from repro.bio.align import self_score
+from repro.bio.alphabet import AMINO_ACIDS
+from repro.errors import AlignmentError
+
+residues = st.text(alphabet=AMINO_ACIDS, min_size=1, max_size=25)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return default_family().matrix(100.0)
+
+
+def reference_sw(seq_a, seq_b, matrix, gap_open, gap_extend):
+    """Plain-Python Gotoh reference implementation (O(mn), slow, obvious)."""
+    from repro.bio.alphabet import encode
+
+    a, b = encode(seq_a), encode(seq_b)
+    m, n = len(a), len(b)
+    NEG = float("-inf")
+    h = [[0.0] * (n + 1) for _ in range(m + 1)]
+    e = [[NEG] * (n + 1) for _ in range(m + 1)]
+    f = [[NEG] * (n + 1) for _ in range(m + 1)]
+    best = 0.0
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            e[i][j] = max(h[i][j - 1] - gap_open, e[i][j - 1] - gap_extend)
+            f[i][j] = max(h[i - 1][j] - gap_open, f[i - 1][j] - gap_extend)
+            diag = h[i - 1][j - 1] + matrix[a[i - 1], b[j - 1]]
+            h[i][j] = max(0.0, diag, e[i][j], f[i][j])
+            best = max(best, h[i][j])
+    return best
+
+
+class TestScore:
+    def test_identical_sequences(self, matrix):
+        seq = "MKTAYIAKQRQISFVKSHFSRQ"
+        assert sw_score(seq, seq, matrix) == pytest.approx(
+            self_score(seq, matrix)
+        )
+
+    def test_unrelated_short_sequences_score_low(self, matrix):
+        assert sw_score("AAAA", "WWWW", matrix) == 0.0
+
+    def test_score_nonnegative(self, matrix):
+        assert sw_score("MK", "WC", matrix) >= 0.0
+
+    def test_symmetry(self, matrix):
+        a, b = "MKTAYIAKQRQISF", "MKTAYIQKQRHISF"
+        assert sw_score(a, b, matrix) == pytest.approx(
+            sw_score(b, a, matrix)
+        )
+
+    def test_local_alignment_ignores_junk_flanks(self, matrix):
+        core = "MKTAYIAKQRQISFVKSHFSRQ"
+        flanked = "WWWWW" + core + "CCCCC"
+        assert sw_score(flanked, core, matrix) == pytest.approx(
+            sw_score(core, core, matrix)
+        )
+
+    def test_empty_sequence_rejected(self, matrix):
+        with pytest.raises(AlignmentError):
+            sw_score("", "MK", matrix)
+
+    def test_invalid_residue_rejected(self, matrix):
+        with pytest.raises(AlignmentError):
+            sw_score("MKX", "MK", matrix)
+
+    @settings(max_examples=60, deadline=None)
+    @given(residues, residues)
+    def test_matches_reference_implementation(self, a, b):
+        matrix = default_family().matrix(100.0)
+        fast = sw_score(a, b, matrix, 12.0, 1.0)
+        slow = reference_sw(a, b, matrix, 12.0, 1.0)
+        assert fast == pytest.approx(slow, abs=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(residues, residues)
+    def test_score_symmetric_property(self, a, b):
+        matrix = default_family().matrix(100.0)
+        assert sw_score(a, b, matrix) == pytest.approx(
+            sw_score(b, a, matrix), abs=1e-6
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(residues)
+    def test_self_score_is_upper_bound(self, seq):
+        matrix = default_family().matrix(100.0)
+        assert sw_score(seq, seq, matrix) <= self_score(seq, matrix) + 1e-9
+
+
+class TestAlign:
+    def test_traceback_score_matches_sw_score(self, matrix):
+        a = "MKTAYIAKQRQISFVKSHFSRQ"
+        b = "MKTAYIQKQRHISFVKSHFSRQ"
+        alignment = sw_align(a, b, matrix)
+        assert alignment.score == pytest.approx(sw_score(a, b, matrix))
+
+    def test_identical_alignment_full_identity(self, matrix):
+        seq = "MKTAYIAKQRQISF"
+        alignment = sw_align(seq, seq, matrix)
+        assert alignment.identity == 1.0
+        assert alignment.aligned_a == seq
+        assert alignment.gaps == 0
+
+    def test_substitution_visible(self, matrix):
+        a = "MKTAYIAKQRQISFVKSH"
+        b = "MKTAYIAKWRQISFVKSH"
+        alignment = sw_align(a, b, matrix)
+        assert alignment.length == len(a)
+        assert 0.9 < alignment.identity < 1.0
+
+    def test_gap_in_alignment(self, matrix):
+        a = "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ"
+        b = "MKTAYIAKQRQISFSHFSRQLEERLGLIEVQ"  # 2-residue deletion
+        alignment = sw_align(a, b, matrix)
+        assert alignment.gaps == 2
+        assert "--" in alignment.aligned_b
+
+    def test_coordinates_identify_core(self, matrix):
+        core = "MKTAYIAKQRQISFVKSHFSRQ"
+        flanked = "WWWWW" + core + "CCCCC"
+        alignment = sw_align(flanked, core, matrix)
+        assert flanked[alignment.start_a:alignment.end_a] == core
+
+    def test_aligned_strings_equal_length(self, matrix):
+        alignment = sw_align("MKTAYIAKQR", "MKTAYIRQG", matrix)
+        assert len(alignment.aligned_a) == len(alignment.aligned_b)
+
+    def test_zero_score_gives_empty_alignment(self, matrix):
+        alignment = sw_align("AAA", "WWW", matrix)
+        assert alignment.score == 0.0
+        assert alignment.length == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(residues, residues)
+    def test_traceback_consistency(self, a, b):
+        """The aligned strings, rescored column by column, reproduce the
+        alignment score exactly."""
+        matrix = default_family().matrix(100.0)
+        alignment = sw_align(a, b, matrix, 12.0, 1.0)
+        if alignment.length == 0:
+            return
+        from repro.bio.alphabet import INDEX
+
+        score = 0.0
+        in_gap = False
+        for x, y in zip(alignment.aligned_a, alignment.aligned_b):
+            if x == "-" or y == "-":
+                score += -1.0 if in_gap else -12.0
+                in_gap = True
+            else:
+                score += matrix[INDEX[x], INDEX[y]]
+                in_gap = False
+        assert score == pytest.approx(alignment.score, abs=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(residues, residues)
+    def test_ungapped_columns_match_originals(self, a, b):
+        matrix = default_family().matrix(100.0)
+        alignment = sw_align(a, b, matrix)
+        sub_a = alignment.aligned_a.replace("-", "")
+        sub_b = alignment.aligned_b.replace("-", "")
+        assert sub_a == a[alignment.start_a:alignment.end_a]
+        assert sub_b == b[alignment.start_b:alignment.end_b]

@@ -1,0 +1,56 @@
+"""Amino-acid alphabet and property tables."""
+
+import numpy as np
+import pytest
+
+from repro.bio import alphabet
+
+
+class TestAlphabet:
+    def test_twenty_residues(self):
+        assert len(alphabet.AMINO_ACIDS) == 20
+        assert len(set(alphabet.AMINO_ACIDS)) == 20
+
+    def test_alphabetical_order(self):
+        assert list(alphabet.AMINO_ACIDS) == sorted(alphabet.AMINO_ACIDS)
+
+    def test_index_inverse(self):
+        for index, residue in enumerate(alphabet.AMINO_ACIDS):
+            assert alphabet.INDEX[residue] == index
+
+    def test_frequencies_sum_to_one(self):
+        assert abs(sum(alphabet.FREQUENCIES.values()) - 1.0) < 0.01
+        assert np.isclose(alphabet.frequency_vector().sum(), 1.0)
+
+    def test_frequencies_positive(self):
+        assert all(f > 0 for f in alphabet.FREQUENCIES.values())
+
+    def test_leucine_most_common(self):
+        # a well-known fact of protein composition
+        assert max(alphabet.FREQUENCIES, key=alphabet.FREQUENCIES.get) == "L"
+
+
+class TestProperties:
+    def test_property_matrix_shape(self):
+        assert alphabet.property_matrix().shape == (20, 4)
+
+    def test_property_matrix_standardized(self):
+        props = alphabet.property_matrix()
+        assert np.allclose(props.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(props.std(axis=0), 1.0, atol=1e-9)
+
+
+class TestEncoding:
+    def test_encode_decode_round_trip(self):
+        sequence = "MKTAYIAKQR"
+        assert alphabet.decode(alphabet.encode(sequence)) == sequence
+
+    def test_encode_dtype(self):
+        assert alphabet.encode("ACDE").dtype == np.int8
+
+    def test_encode_invalid_residue_raises(self):
+        with pytest.raises(KeyError):
+            alphabet.encode("ABX")  # B and X are not in the 20-letter set
+
+    def test_encode_empty(self):
+        assert len(alphabet.encode("")) == 0

@@ -1,0 +1,131 @@
+"""PAM matrix family: stochasticity, reversibility, score structure."""
+
+import numpy as np
+import pytest
+
+from repro.bio.alphabet import INDEX, frequency_vector
+from repro.bio.matrices import (
+    MatrixFamily,
+    default_family,
+    exchangeability,
+    rate_matrix,
+)
+from repro.errors import MatrixError
+
+
+@pytest.fixture(scope="module")
+def family():
+    return MatrixFamily()
+
+
+class TestRateMatrix:
+    def test_exchangeability_symmetric_nonneg(self):
+        s = exchangeability()
+        assert np.allclose(s, s.T)
+        assert (s >= 0).all()
+        assert np.allclose(np.diag(s), 0.0)
+
+    def test_rows_sum_to_zero(self):
+        q = rate_matrix()
+        assert np.allclose(q.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_off_diagonal_nonnegative(self):
+        q = rate_matrix()
+        off = q - np.diag(np.diag(q))
+        assert (off >= 0).all()
+
+    def test_normalized_to_one_pam(self):
+        q = rate_matrix()
+        freqs = frequency_vector()
+        rate = -(freqs * np.diag(q)).sum()
+        assert np.isclose(rate, 0.01)
+
+    def test_detailed_balance(self):
+        """Reversibility: f_i Q_ij == f_j Q_ji."""
+        q = rate_matrix()
+        freqs = frequency_vector()
+        flux = freqs[:, None] * q
+        assert np.allclose(flux, flux.T, atol=1e-12)
+
+
+class TestSubstitutionProbabilities:
+    def test_rows_stochastic(self, family):
+        for pam in (1.0, 50.0, 250.0):
+            p = family.substitution_probabilities(pam)
+            assert np.allclose(p.sum(axis=1), 1.0)
+            assert (p >= 0).all()
+
+    def test_zero_time_is_identity(self, family):
+        p = family.substitution_probabilities(0.0)
+        assert np.allclose(p, np.eye(20), atol=1e-9)
+
+    def test_stationary_distribution_preserved(self, family):
+        freqs = frequency_vector()
+        p = family.substitution_probabilities(100.0)
+        assert np.allclose(freqs @ p, freqs, atol=1e-9)
+
+    def test_long_time_approaches_stationary(self, family):
+        p = family.substitution_probabilities(20000.0)
+        freqs = frequency_vector()
+        assert np.allclose(p, np.tile(freqs, (20, 1)), atol=1e-4)
+
+    def test_chapman_kolmogorov(self, family):
+        """P(s+t) == P(s) P(t) — the family is a true Markov semigroup."""
+        p50 = family.substitution_probabilities(50.0)
+        p30 = family.substitution_probabilities(30.0)
+        p80 = family.substitution_probabilities(80.0)
+        assert np.allclose(p50 @ p30, p80, atol=1e-9)
+
+    def test_negative_pam_rejected(self, family):
+        with pytest.raises(MatrixError):
+            family.substitution_probabilities(-1.0)
+
+
+class TestScoreMatrices:
+    def test_symmetric(self, family):
+        s = family.matrix(100.0)
+        assert np.allclose(s, s.T)
+
+    def test_diagonal_positive_at_moderate_distance(self, family):
+        s = family.matrix(100.0)
+        assert (np.diag(s) > 0).all()
+
+    def test_expected_score_negative(self, family):
+        """Random (unrelated) residue pairs must score negative on average,
+        or local alignment scores would grow without bound."""
+        s = family.matrix(100.0)
+        freqs = frequency_vector()
+        expected = freqs @ s @ freqs
+        assert expected < 0
+
+    def test_conservative_beats_radical(self, family):
+        """I<->V (both hydrophobic, similar size) must score better than
+        I<->D (hydrophobic vs charged)."""
+        s = family.matrix(100.0)
+        assert s[INDEX["I"], INDEX["V"]] > s[INDEX["I"], INDEX["D"]]
+
+    def test_rare_residue_identity_scores_high(self, family):
+        """W (rarest) self-score must exceed A (common) self-score."""
+        s = family.matrix(100.0)
+        assert s[INDEX["W"], INDEX["W"]] > s[INDEX["A"], INDEX["A"]]
+
+    def test_diagonal_decreases_with_distance(self, family):
+        near = np.diag(family.matrix(30.0)).mean()
+        far = np.diag(family.matrix(250.0)).mean()
+        assert near > far
+
+    def test_caching_returns_same_object(self, family):
+        assert family.matrix(100.0) is family.matrix(100.0)
+
+
+class TestExpectedIdentity:
+    def test_decreasing_in_distance(self, family):
+        identities = [family.expected_identity(p) for p in (10, 50, 100, 250)]
+        assert identities == sorted(identities, reverse=True)
+
+    def test_pam_one_is_about_99_percent(self, family):
+        assert 0.985 < family.expected_identity(1.0) < 0.9999
+
+
+def test_default_family_is_shared():
+    assert default_family() is default_family()

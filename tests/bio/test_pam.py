@@ -1,0 +1,82 @@
+"""PAM-distance estimation: the similarity-maximizing search."""
+
+import random
+
+import pytest
+
+from repro.bio import default_family, refine_distance, scan_distance
+from repro.bio.alphabet import AMINO_ACIDS, FREQUENCIES
+
+
+@pytest.fixture(scope="module")
+def family():
+    return default_family()
+
+
+def mutate_to_pam(sequence: str, pam: float, family, seed: int = 0) -> str:
+    """Evolve a sequence along the family's own substitution process."""
+    rng = random.Random(f"mutate/{seed}")
+    p = family.substitution_probabilities(pam)
+    out = []
+    for residue in sequence:
+        row = p[AMINO_ACIDS.index(residue)]
+        out.append(rng.choices(AMINO_ACIDS, weights=row)[0])
+    return "".join(out)
+
+
+def random_protein(length: int, seed: int = 0) -> str:
+    rng = random.Random(f"protein/{seed}")
+    residues = list(AMINO_ACIDS)
+    weights = [FREQUENCIES[aa] for aa in residues]
+    return "".join(rng.choices(residues, weights=weights, k=length))
+
+
+class TestScan:
+    def test_scan_covers_ladder(self, family):
+        a = random_protein(60, seed=1)
+        estimate = scan_distance(a, a, family)
+        assert estimate.evaluations == len(family.standard_distances())
+        assert estimate.pam in family.standard_distances()
+
+    def test_identical_sequences_pick_smallest_distance(self, family):
+        a = random_protein(80, seed=2)
+        estimate = scan_distance(a, a, family)
+        assert estimate.pam == min(family.standard_distances())
+
+
+class TestRefine:
+    def test_refinement_improves_or_matches_scan(self, family):
+        a = random_protein(70, seed=3)
+        b = mutate_to_pam(a, 80.0, family, seed=3)
+        coarse = scan_distance(a, b, family)
+        fine = refine_distance(a, b, family)
+        assert fine.score >= coarse.score
+
+    def test_more_evaluations_than_scan(self, family):
+        a = random_protein(50, seed=4)
+        fine = refine_distance(a, a, family)
+        assert fine.evaluations > len(family.standard_distances())
+
+    @pytest.mark.parametrize("true_pam", [30.0, 90.0, 180.0])
+    def test_estimates_track_true_distance(self, family, true_pam):
+        """Sequences evolved to PAM t should estimate near t, and the
+        estimates must be ordered with the true distances."""
+        a = random_protein(150, seed=int(true_pam))
+        b = mutate_to_pam(a, true_pam, family, seed=int(true_pam))
+        estimate = refine_distance(a, b, family)
+        assert 0.25 * true_pam <= estimate.pam <= 3.0 * true_pam
+
+    def test_ordering_of_estimates(self, family):
+        a = random_protein(150, seed=9)
+        near = mutate_to_pam(a, 20.0, family, seed=9)
+        far = mutate_to_pam(a, 200.0, family, seed=9)
+        est_near = refine_distance(a, near, family)
+        est_far = refine_distance(a, far, family)
+        assert est_near.pam < est_far.pam
+
+    def test_score_decreases_with_divergence(self, family):
+        a = random_protein(120, seed=10)
+        near = mutate_to_pam(a, 20.0, family, seed=10)
+        far = mutate_to_pam(a, 250.0, family, seed=10)
+        assert (refine_distance(a, near, family).score
+                > refine_distance(a, far, family).score)

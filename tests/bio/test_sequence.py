@@ -1,0 +1,135 @@
+"""Sequences and synthetic databases."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bio import Sequence, SequenceDatabase
+from repro.errors import BioError
+
+
+class TestSequence:
+    def test_basic(self):
+        seq = Sequence("s1", "MKT")
+        assert len(seq) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(BioError):
+            Sequence("s1", "")
+
+    def test_invalid_residue_rejected(self):
+        with pytest.raises(BioError) as excinfo:
+            Sequence("s1", "MKX")
+        assert "X" in str(excinfo.value)
+
+
+class TestDatabase:
+    def test_entry_is_one_based(self):
+        db = SequenceDatabase("d", [Sequence("a", "MK"), Sequence("b", "ACD")])
+        assert db.entry(1).id == "a"
+        assert db.entry(2).id == "b"
+
+    def test_entry_out_of_range(self):
+        db = SequenceDatabase("d", [Sequence("a", "MK")])
+        with pytest.raises(BioError):
+            db.entry(0)
+        with pytest.raises(BioError):
+            db.entry(2)
+
+    def test_by_id(self):
+        db = SequenceDatabase("d", [Sequence("a", "MK")])
+        assert db.by_id("a").residues == "MK"
+        with pytest.raises(BioError):
+            db.by_id("zz")
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(BioError):
+            SequenceDatabase("d", [Sequence("a", "MK"), Sequence("a", "AC")])
+
+    def test_entry_indexes_match_paper_queue(self):
+        db = SequenceDatabase("d", [Sequence(f"s{i}", "MK") for i in range(5)])
+        assert db.entry_indexes() == [1, 2, 3, 4, 5]
+
+    def test_total_residues(self):
+        db = SequenceDatabase("d", [Sequence("a", "MK"), Sequence("b", "ACD")])
+        assert db.total_residues() == 5
+
+
+class TestSynthetic:
+    def test_size(self):
+        db = SequenceDatabase.synthetic("s", 30, seed=1, mean_length=50)
+        assert len(db) == 30
+
+    def test_deterministic(self):
+        db1 = SequenceDatabase.synthetic("s", 20, seed=9)
+        db2 = SequenceDatabase.synthetic("s", 20, seed=9)
+        assert [e.residues for e in db1] == [e.residues for e in db2]
+
+    def test_seed_changes_content(self):
+        db1 = SequenceDatabase.synthetic("s", 20, seed=1)
+        db2 = SequenceDatabase.synthetic("s", 20, seed=2)
+        assert [e.residues for e in db1] != [e.residues for e in db2]
+
+    def test_length_bounds(self):
+        db = SequenceDatabase.synthetic("s", 50, seed=3, mean_length=40,
+                                        min_length=20, max_length=80)
+        assert all(20 <= len(e) <= 80 for e in db)
+
+    def test_families_exist_with_multiple_members(self):
+        db = SequenceDatabase.synthetic("s", 40, seed=4, family_fraction=0.5,
+                                        family_size=4)
+        families = {}
+        for entry in db:
+            if entry.family:
+                families.setdefault(entry.family, []).append(entry)
+        assert families
+        assert any(len(members) >= 2 for members in families.values())
+
+    def test_family_members_are_similar(self):
+        db = SequenceDatabase.synthetic("s", 40, seed=5, family_fraction=0.5,
+                                        family_size=4, mutation_rate=0.1)
+        families = {}
+        for entry in db:
+            if entry.family:
+                families.setdefault(entry.family, []).append(entry)
+        name, members = next(
+            (k, v) for k, v in families.items() if len(v) >= 2
+        )
+        a, b = members[0].residues, members[1].residues
+        overlap = min(len(a), len(b))
+        same = sum(1 for x, y in zip(a, b) if x == y)
+        # ~90% conservation, minus end trims; random pairs would be ~6%
+        assert same / overlap > 0.4
+
+    def test_no_families_when_fraction_zero(self):
+        db = SequenceDatabase.synthetic("s", 20, seed=6, family_fraction=0.0)
+        assert all(e.family is None for e in db)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(BioError):
+            SequenceDatabase.synthetic("s", 0)
+
+
+class TestFasta:
+    def test_round_trip(self):
+        db = SequenceDatabase.synthetic("s", 10, seed=7, mean_length=100)
+        restored = SequenceDatabase.from_fasta("s", db.to_fasta())
+        assert [e.id for e in restored] == [e.id for e in db]
+        assert [e.residues for e in restored] == [e.residues for e in db]
+        assert [e.family for e in restored] == [e.family for e in db]
+
+    def test_long_sequences_wrapped(self):
+        db = SequenceDatabase("d", [Sequence("a", "M" * 150)])
+        lines = db.to_fasta().splitlines()
+        assert max(len(line) for line in lines) <= 60
+
+    def test_empty_fasta_rejected(self):
+        with pytest.raises(BioError):
+            SequenceDatabase.from_fasta("d", "\n\n")
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=30),
+           st.integers(min_value=0, max_value=1000))
+    def test_round_trip_property(self, size, seed):
+        db = SequenceDatabase.synthetic("p", size, seed=seed, mean_length=40)
+        restored = SequenceDatabase.from_fasta("p", db.to_fasta())
+        assert [e.residues for e in restored] == [e.residues for e in db]

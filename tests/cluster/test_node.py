@@ -1,0 +1,173 @@
+"""SimNode compute mechanics: rates, preemption, crashes, upgrades."""
+
+import pytest
+
+from repro.cluster.node import NodeSpec, SimNode
+from repro.cluster.simulation import SimKernel
+from repro.errors import NodeDownError
+
+
+class Harness:
+    def __init__(self, cpus=2, speed=1.0):
+        self.kernel = SimKernel()
+        self.done = []
+        self.node = SimNode(
+            self.kernel,
+            NodeSpec(name="n", cpus=cpus, speed=speed),
+            on_job_done=lambda node, job_id, payload, cpu: self.done.append(
+                (self.kernel.now, job_id, cpu)),
+        )
+
+
+class TestBasicExecution:
+    def test_single_job_duration_equals_work_over_speed(self):
+        h = Harness(cpus=1, speed=2.0)
+        h.node.start_job("j1", work=10.0, payload=None)
+        h.kernel.run()
+        time, job_id, cpu = h.done[0]
+        assert job_id == "j1"
+        assert time == pytest.approx(5.0)       # 10 work at speed 2
+        assert cpu == pytest.approx(5.0)        # 5 CPU-seconds on this node
+
+    def test_two_jobs_two_cpus_run_in_parallel(self):
+        h = Harness(cpus=2)
+        h.node.start_job("j1", work=10.0, payload=None)
+        h.node.start_job("j2", work=10.0, payload=None)
+        h.kernel.run()
+        assert [t for t, _j, _c in h.done] == pytest.approx([10.0, 10.0])
+
+    def test_three_jobs_two_cpus_share(self):
+        h = Harness(cpus=2)
+        for j in ("j1", "j2", "j3"):
+            h.node.start_job(j, work=10.0, payload=None)
+        h.kernel.run()
+        # each job progresses at 2/3 speed: 15 seconds
+        assert h.done[0][0] == pytest.approx(15.0)
+
+    def test_staggered_arrivals_integrate_progress(self):
+        h = Harness(cpus=1)
+        h.node.start_job("j1", work=10.0, payload=None)
+        h.kernel.schedule(5.0, h.node.start_job, "j2", 10.0, None)
+        h.kernel.run()
+        # j1 runs alone 5s (5 work done), then shares: each at 0.5 rate.
+        # j1 needs 5 more work -> 10 more seconds -> done at 15.
+        # j2 then runs alone: 5 work left at t=15 -> done at 20.
+        times = {job_id: t for t, job_id, _c in h.done}
+        assert times["j1"] == pytest.approx(15.0)
+        assert times["j2"] == pytest.approx(20.0)
+
+
+class TestExternalLoad:
+    def test_full_preemption_stalls_jobs(self):
+        h = Harness(cpus=1)
+        h.node.start_job("j1", work=10.0, payload=None)
+        h.kernel.schedule(2.0, h.node.set_external_load, 1.0)
+        h.kernel.run(until=100.0)
+        assert h.done == []  # stalled forever (load never drops)
+
+    def test_load_release_resumes(self):
+        h = Harness(cpus=1)
+        h.node.start_job("j1", work=10.0, payload=None)
+        h.kernel.schedule(2.0, h.node.set_external_load, 1.0)
+        h.kernel.schedule(12.0, h.node.set_external_load, 0.0)
+        h.kernel.run()
+        # 2s of work, 10s stalled, 8 more seconds of work
+        assert h.done[0][0] == pytest.approx(20.0)
+
+    def test_partial_load_slows_proportionally(self):
+        h = Harness(cpus=2)
+        h.node.start_job("j1", work=10.0, payload=None)
+        h.node.set_external_load(1.0)  # one CPU's worth taken
+        h.kernel.run()
+        assert h.done[0][0] == pytest.approx(10.0)  # still a full CPU free
+        h2 = Harness(cpus=2)
+        h2.node.start_job("j1", work=10.0, payload=None)
+        h2.node.set_external_load(1.5)  # only half a CPU left
+        h2.kernel.run()
+        assert h2.done[0][0] == pytest.approx(20.0)
+
+    def test_cpu_consumed_excludes_stall_time(self):
+        h = Harness(cpus=1)
+        h.node.start_job("j1", work=10.0, payload=None)
+        h.kernel.schedule(2.0, h.node.set_external_load, 1.0)
+        h.kernel.schedule(12.0, h.node.set_external_load, 0.0)
+        h.kernel.run()
+        assert h.done[0][2] == pytest.approx(10.0)  # not 20
+
+    def test_load_clamped_to_cpus(self):
+        h = Harness(cpus=2)
+        h.node.set_external_load(99.0)
+        assert h.node.external_load == 2.0
+
+
+class TestCrash:
+    def test_crash_loses_running_jobs(self):
+        h = Harness()
+        h.node.start_job("j1", work=10.0, payload=None)
+        h.kernel.schedule(3.0, h.node.crash)
+        h.kernel.run()
+        assert h.done == []
+        assert not h.node.up
+
+    def test_crash_returns_lost_job_ids(self):
+        h = Harness()
+        h.node.start_job("j1", work=10.0, payload=None)
+        h.node.start_job("j2", work=10.0, payload=None)
+        assert h.node.crash() == ["j1", "j2"]
+
+    def test_start_on_down_node_rejected(self):
+        h = Harness()
+        h.node.crash()
+        with pytest.raises(NodeDownError):
+            h.node.start_job("j1", work=1.0, payload=None)
+
+    def test_restore_allows_new_work(self):
+        h = Harness()
+        h.node.crash()
+        h.node.restore()
+        h.node.start_job("j1", work=4.0, payload=None)
+        h.kernel.run()
+        assert h.done[0][1] == "j1"
+
+
+class TestKillAndUpgrade:
+    def test_kill_job(self):
+        h = Harness()
+        h.node.start_job("j1", work=10.0, payload=None)
+        assert h.node.kill_job("j1") is True
+        assert h.node.kill_job("j1") is False
+        h.kernel.run()
+        assert h.done == []
+
+    def test_upgrade_mid_job_speeds_completion(self):
+        h = Harness(cpus=1, speed=1.0)
+        h.node.start_job("j1", work=10.0, payload=None)
+        h.kernel.schedule(5.0, h.node.upgrade, None, 2.0)  # speed x2
+        h.kernel.run()
+        # 5 work in first 5s, remaining 5 work at speed 2 -> 2.5s
+        assert h.done[0][0] == pytest.approx(7.5)
+
+    def test_cpu_upgrade_unshares_jobs(self):
+        h = Harness(cpus=1)
+        h.node.start_job("j1", work=10.0, payload=None)
+        h.node.start_job("j2", work=10.0, payload=None)
+        h.kernel.schedule(5.0, h.node.upgrade, 2, None)
+        h.kernel.run()
+        # 5s shared (2.5 work each), then full speed: 7.5 more seconds
+        assert h.done[0][0] == pytest.approx(12.5)
+
+
+class TestMetrics:
+    def test_utilization_counts_progressing_jobs(self):
+        h = Harness(cpus=2)
+        assert h.node.utilization() == 0.0
+        h.node.start_job("j1", work=10.0, payload=None)
+        assert h.node.utilization() == 1.0
+        h.node.set_external_load(1.5)
+        assert h.node.utilization() == pytest.approx(0.5)
+
+    def test_available_cpus(self):
+        h = Harness(cpus=2)
+        assert h.node.available_cpus() == 2
+        h.node.crash()
+        assert h.node.available_cpus() == 0

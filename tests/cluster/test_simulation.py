@@ -1,0 +1,188 @@
+"""Discrete-event kernel: ordering, determinism, cancellation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.simulation import SimKernel, format_duration
+from repro.errors import SimulationError
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        kernel = SimKernel()
+        log = []
+        kernel.schedule(5.0, log.append, "late")
+        kernel.schedule(1.0, log.append, "early")
+        kernel.schedule(3.0, log.append, "middle")
+        kernel.run()
+        assert log == ["early", "middle", "late"]
+
+    def test_ties_run_in_insertion_order(self):
+        kernel = SimKernel()
+        log = []
+        for tag in "abc":
+            kernel.schedule(1.0, log.append, tag)
+        kernel.run()
+        assert log == ["a", "b", "c"]
+
+    def test_priority_breaks_ties(self):
+        kernel = SimKernel()
+        log = []
+        kernel.schedule(1.0, log.append, "normal", priority=0)
+        kernel.schedule(1.0, log.append, "urgent", priority=-1)
+        kernel.run()
+        assert log == ["urgent", "normal"]
+
+    def test_now_advances_to_event_time(self):
+        kernel = SimKernel()
+        seen = []
+        kernel.schedule(2.5, lambda: seen.append(kernel.now))
+        kernel.run()
+        assert seen == [2.5]
+        assert kernel.now == 2.5
+
+    def test_schedule_at_absolute(self):
+        kernel = SimKernel()
+        kernel.schedule_at(10.0, lambda: None)
+        kernel.run()
+        assert kernel.now == 10.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            SimKernel().schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        kernel = SimKernel()
+        kernel.schedule(5.0, lambda: None)
+        kernel.run()
+        with pytest.raises(SimulationError):
+            kernel.schedule_at(2.0, lambda: None)
+
+    def test_events_scheduled_during_run_execute(self):
+        kernel = SimKernel()
+        log = []
+
+        def chain(n):
+            log.append(n)
+            if n < 3:
+                kernel.schedule(1.0, chain, n + 1)
+
+        kernel.schedule(0.0, chain, 0)
+        kernel.run()
+        assert log == [0, 1, 2, 3]
+        assert kernel.now == 3.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        kernel = SimKernel()
+        log = []
+        handle = kernel.schedule(1.0, log.append, "no")
+        kernel.schedule(2.0, log.append, "yes")
+        handle.cancel()
+        kernel.run()
+        assert log == ["yes"]
+
+    def test_cancel_is_idempotent(self):
+        kernel = SimKernel()
+        handle = kernel.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        kernel.run()
+
+    def test_pending_excludes_cancelled(self):
+        kernel = SimKernel()
+        handle = kernel.schedule(1.0, lambda: None)
+        kernel.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert kernel.pending == 1
+
+
+class TestRunControl:
+    def test_run_until_horizon_inclusive(self):
+        kernel = SimKernel()
+        log = []
+        kernel.schedule(1.0, log.append, "in")
+        kernel.schedule(5.0, log.append, "at")
+        kernel.schedule(5.1, log.append, "beyond")
+        kernel.run(until=5.0)
+        assert log == ["in", "at"]
+        assert kernel.now == 5.0
+
+    def test_run_max_events(self):
+        kernel = SimKernel()
+        log = []
+        for i in range(5):
+            kernel.schedule(float(i + 1), log.append, i)
+        kernel.run(max_events=2)
+        assert log == [0, 1]
+
+    def test_step_returns_false_when_empty(self):
+        assert SimKernel().step() is False
+
+    def test_reentrant_run_rejected(self):
+        kernel = SimKernel()
+
+        def recurse():
+            kernel.run()
+
+        kernel.schedule(1.0, recurse)
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+    def test_events_processed_counter(self):
+        kernel = SimKernel()
+        for i in range(3):
+            kernel.schedule(float(i), lambda: None)
+        kernel.run()
+        assert kernel.events_processed == 3
+
+
+class TestRandomness:
+    def test_streams_deterministic_per_seed(self):
+        a = SimKernel(seed=7).rng("x").random()
+        b = SimKernel(seed=7).rng("x").random()
+        assert a == b
+
+    def test_streams_independent_by_name(self):
+        kernel = SimKernel(seed=7)
+        assert kernel.rng("x").random() != kernel.rng("y").random()
+
+    def test_stream_is_cached(self):
+        kernel = SimKernel()
+        assert kernel.rng("x") is kernel.rng("x")
+
+    def test_new_stream_does_not_perturb_existing(self):
+        k1 = SimKernel(seed=3)
+        first = [k1.rng("a").random() for _ in range(3)]
+        k2 = SimKernel(seed=3)
+        k2.rng("b").random()  # extra consumer
+        second = [k2.rng("a").random() for _ in range(3)]
+        assert first == second
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False), max_size=30))
+    def test_execution_times_monotonic(self, delays):
+        kernel = SimKernel()
+        times = []
+        for delay in delays:
+            kernel.schedule(delay, lambda: times.append(kernel.now))
+        kernel.run()
+        assert times == sorted(times)
+        assert len(times) == len(delays)
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize("seconds,expected", [
+        (0, "0s"),
+        (59, "59s"),
+        (61, "1m 1s"),
+        (3_600, "1h 0m 0s"),
+        (86_400 * 38 + 3_600 * 3 + 60 * 22, "38d 3h 22m"),
+        (-5, "0s"),
+    ])
+    def test_formats(self, seconds, expected):
+        assert format_duration(seconds) == expected

@@ -1,0 +1,114 @@
+"""Adaptive load monitoring: the two-cut-off algorithm and its evaluation."""
+
+import pytest
+
+from repro.core.monitor.adaptive import (
+    AdaptiveMonitor,
+    MonitorConfig,
+    simulate_monitoring,
+    synthetic_load_trace,
+)
+
+
+class TestAdaptiveMonitor:
+    def test_first_observation_always_reports(self):
+        monitor = AdaptiveMonitor()
+        _interval, report = monitor.observe(0.5)
+        assert report == 0.5
+
+    def test_small_change_grows_interval(self):
+        config = MonitorConfig(base_interval=60.0)
+        monitor = AdaptiveMonitor(config)
+        monitor.observe(0.5)
+        interval, report = monitor.observe(0.5 + 0.001)
+        assert interval > 60.0
+        assert report is None  # below reporting cutoff
+
+    def test_large_change_shrinks_interval(self):
+        config = MonitorConfig(base_interval=60.0)
+        monitor = AdaptiveMonitor(config)
+        monitor.observe(0.2)
+        interval, report = monitor.observe(0.9)
+        assert interval < 60.0
+        assert report == 0.9
+
+    def test_interval_bounded(self):
+        config = MonitorConfig(min_interval=10, max_interval=100,
+                               base_interval=50)
+        monitor = AdaptiveMonitor(config)
+        for _ in range(20):
+            monitor.observe(0.5)  # constant load
+        assert monitor.interval == 100
+        monitor.observe(1.0)
+        monitor.observe(0.0)
+        assert monitor.interval == 10
+
+    def test_report_cutoff_relative_to_last_report(self):
+        config = MonitorConfig(report_cutoff=0.1)
+        monitor = AdaptiveMonitor(config)
+        monitor.observe(0.50)          # reported
+        _, r1 = monitor.observe(0.56)  # +0.06 < cutoff: silent
+        _, r2 = monitor.observe(0.62)  # +0.12 vs last report: reported
+        assert r1 is None
+        assert r2 == 0.62
+
+    def test_discard_fraction(self):
+        monitor = AdaptiveMonitor()
+        monitor.observe(0.5)
+        for _ in range(9):
+            monitor.observe(0.5)
+        assert monitor.samples_taken == 10
+        assert monitor.reports_sent == 1
+        assert monitor.discard_fraction == pytest.approx(0.9)
+
+
+class TestTrace:
+    def test_trace_in_unit_interval(self):
+        trace = synthetic_load_trace(1000.0, seed=1)
+        assert all(0.0 <= v <= 1.0 for _t, v in trace)
+
+    def test_trace_deterministic(self):
+        assert synthetic_load_trace(500, seed=4) == synthetic_load_trace(
+            500, seed=4)
+
+    def test_trace_has_variation(self):
+        values = [v for _t, v in synthetic_load_trace(20000, seed=2)]
+        assert max(values) - min(values) > 0.2
+
+
+class TestSimulation:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return synthetic_load_trace(7 * 86400.0, step=5.0, seed=3)
+
+    def test_paper_claim_discard_90_error_3(self, trace):
+        """Section 3.4: discarding ~90% of samples costs only a few percent
+        of view accuracy."""
+        run = simulate_monitoring(trace, strategy="adaptive")
+        assert run.discard_fraction >= 0.80
+        assert run.mean_error <= 0.06
+
+    def test_adaptive_sends_far_fewer_messages_than_fixed(self, trace):
+        adaptive = simulate_monitoring(trace, strategy="adaptive")
+        fixed = simulate_monitoring(trace, strategy="fixed")
+        assert adaptive.network_messages < fixed.network_messages / 5
+
+    def test_adaptive_error_close_to_fixed(self, trace):
+        adaptive = simulate_monitoring(trace, strategy="adaptive")
+        fixed = simulate_monitoring(trace, strategy="fixed")
+        assert adaptive.mean_error <= fixed.mean_error + 0.05
+
+    def test_fixed_threshold_between_the_two(self, trace):
+        fixed_threshold = simulate_monitoring(trace,
+                                              strategy="fixed-threshold")
+        fixed = simulate_monitoring(trace, strategy="fixed")
+        assert fixed_threshold.network_messages < fixed.network_messages
+
+    def test_adaptive_takes_fewer_samples(self, trace):
+        adaptive = simulate_monitoring(trace, strategy="adaptive")
+        fixed = simulate_monitoring(trace, strategy="fixed")
+        assert adaptive.samples_taken < fixed.samples_taken
+
+    def test_unknown_strategy_rejected(self, trace):
+        with pytest.raises(ValueError):
+            simulate_monitoring(trace, strategy="psychic")

@@ -1,0 +1,143 @@
+"""Activation-condition language: parsing, evaluation, round trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.model.conditions import (
+    BoolOp,
+    Compare,
+    Defined,
+    Literal,
+    Not,
+    Ref,
+    TRUE,
+    parse_condition,
+)
+from repro.core.model.data import Binding, UNDEFINED
+from repro.errors import ConditionError
+
+
+class DictScope:
+    """Test scope: whiteboard items + task outputs from plain dicts."""
+
+    def __init__(self, wb=None, tasks=None):
+        self.wb = wb or {}
+        self.tasks = tasks or {}
+
+    def resolve(self, binding: Binding):
+        if binding.kind == "const":
+            return binding.value
+        if binding.kind == "whiteboard":
+            return self.wb.get(binding.name, UNDEFINED)
+        return self.tasks.get(binding.name, {}).get(binding.field, UNDEFINED)
+
+
+def evaluate(text, wb=None, tasks=None):
+    return parse_condition(text).evaluate(DictScope(wb, tasks))
+
+
+class TestParsing:
+    def test_empty_is_true(self):
+        assert parse_condition("") is TRUE
+        assert parse_condition("   ") is TRUE
+
+    def test_literals(self):
+        assert evaluate("TRUE") is True
+        assert evaluate("FALSE") is False
+        assert parse_condition("NULL").evaluate(DictScope()) is None
+        assert parse_condition("42").evaluate(DictScope()) == 42
+        assert parse_condition("-3.5").evaluate(DictScope()) == -3.5
+        assert parse_condition('"hi"').evaluate(DictScope()) == "hi"
+
+    def test_keywords_case_insensitive(self):
+        assert evaluate("true AND not false")
+
+    def test_precedence_not_over_and_over_or(self):
+        # NOT binds tightest; AND over OR
+        assert evaluate("TRUE OR FALSE AND FALSE") is True
+        assert evaluate("NOT FALSE AND TRUE") is True
+
+    def test_parentheses(self):
+        assert evaluate("(TRUE OR FALSE) AND FALSE") is False
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConditionError):
+            parse_condition("AND AND")
+        with pytest.raises(ConditionError):
+            parse_condition("wb.x >")
+        with pytest.raises(ConditionError):
+            parse_condition("1 == 2 extra")
+        with pytest.raises(ConditionError):
+            parse_condition("(TRUE")
+
+    def test_bare_identifier_rejected(self):
+        with pytest.raises(ConditionError) as excinfo:
+            parse_condition("queue_file")
+        assert "wb.queue_file" in str(excinfo.value)
+
+    def test_string_escapes(self):
+        assert parse_condition('"a\\"b"').evaluate(DictScope()) == 'a"b'
+
+
+class TestReferences:
+    def test_whiteboard_ref(self):
+        assert evaluate("wb.x == 5", wb={"x": 5})
+
+    def test_task_output_ref(self):
+        assert evaluate("Produce.value > 3", tasks={"Produce": {"value": 10}})
+
+    def test_undefined_ref_raises(self):
+        with pytest.raises(ConditionError):
+            evaluate("wb.missing == 1")
+
+    def test_defined_guard(self):
+        assert evaluate("DEFINED(wb.x)", wb={"x": 1}) is True
+        assert evaluate("DEFINED(wb.x)") is False
+        assert evaluate("NOT DEFINED(wb.queue_file)") is True
+
+    def test_defined_does_not_shortcircuit_and_bug(self):
+        # guard + use pattern works when defined
+        assert evaluate("DEFINED(wb.x) AND wb.x > 1", wb={"x": 5})
+
+    def test_references_collected(self):
+        expr = parse_condition("wb.a > 1 AND DEFINED(T.out) OR NOT wb.b")
+        refs = {b.to_text() for b in expr.references()}
+        assert refs == {"wb.a", "T.out", "wb.b"}
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("text,expected", [
+        ("1 < 2", True), ("2 <= 2", True), ("3 > 4", False),
+        ("4 >= 5", False), ("1 == 1", True), ("1 != 1", False),
+        ('"a" < "b"', True), ('"x" == "x"', True),
+    ])
+    def test_operators(self, text, expected):
+        assert evaluate(text) is expected
+
+    def test_mixed_type_comparison_raises(self):
+        with pytest.raises(ConditionError):
+            evaluate('1 < "two"')
+
+    def test_equality_across_types_is_false(self):
+        assert evaluate('1 == "1"') is False
+
+
+class TestRoundTrip:
+    conditions = st.sampled_from([
+        "TRUE",
+        "NOT DEFINED(wb.queue_file)",
+        "wb.x > 5 AND Task.out == \"done\"",
+        "(wb.a == 1 OR wb.b == 2) AND NOT wb.c",
+        "DEFINED(T.field) AND T.field >= 2.5",
+        "wb.s != \"a b c\"",
+        "NOT (TRUE AND FALSE)",
+    ])
+
+    @given(conditions)
+    def test_to_text_parses_back_equal(self, text):
+        expr = parse_condition(text)
+        assert parse_condition(expr.to_text()) == expr
+
+    def test_equality_semantics(self):
+        assert parse_condition("wb.a > 1") == parse_condition("wb.a > 1")
+        assert parse_condition("wb.a > 1") != parse_condition("wb.a > 2")

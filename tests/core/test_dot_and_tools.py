@@ -1,0 +1,122 @@
+"""DOT export and the repro.tools command line."""
+
+import pytest
+
+from repro.core.model.dot import instance_to_dot, template_to_dot
+from repro.processes import build_all_vs_all_template
+from repro.tools import main as tools_main
+
+from ..conftest import constant_program, run_process
+
+
+class TestDot:
+    def test_template_dot_structure(self):
+        template = build_all_vs_all_template()
+        dot = template_to_dot(template)
+        assert dot.startswith('digraph "all_vs_all"')
+        assert dot.rstrip().endswith("}")
+        # every top-level task appears
+        for name in template.graph.tasks:
+            assert f'"{name}"' in dot
+        # conditional edges carry their condition text
+        assert "NOT DEFINED(wb.queue_file)" in dot
+        # the parallel body is rendered
+        assert "Alignment/Chunk" in dot
+        # data flow appears dashed
+        assert "style=dashed" in dot
+
+    def test_instance_dot_reflects_status(self):
+        server, _env, iid = run_process(
+            """
+            PROCESS P
+              INPUT flag OPTIONAL
+              ACTIVITY A
+                PROGRAM t.ok
+              END
+              ACTIVITY B
+                PROGRAM t.ok
+              END
+              CONNECT A -> B WHEN [DEFINED(wb.flag)]
+            END
+            """,
+            {"t.ok": constant_program({})},
+        )
+        dot = instance_to_dot(server.instance(iid))
+        assert "palegreen" in dot   # completed A
+        assert "lightgray" in dot   # skipped B
+        assert "completed" in dot   # instance status in label
+
+    def test_quotes_escaped(self):
+        from repro.core.model import Activity, ProcessTemplate, TaskGraph
+
+        template = ProcessTemplate(
+            "Q",
+            graph=TaskGraph(tasks=[
+                Activity("A", program="p", description='say "hi"'),
+            ]),
+        )
+        dot = template_to_dot(template)
+        assert 'digraph "Q"' in dot
+
+
+class TestToolsCli:
+    @pytest.fixture()
+    def ocr_file(self, tmp_path):
+        path = tmp_path / "proc.ocr"
+        path.write_text("""
+PROCESS Demo
+  INPUT x
+  OUTPUT y = A.out
+  ACTIVITY A
+    PROGRAM ns.run
+    IN x = wb.x
+  END
+END
+""")
+        return str(path)
+
+    def test_check_valid(self, ocr_file, capsys):
+        assert tools_main(["check", ocr_file]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "Demo" in out
+
+    def test_check_syntax_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.ocr"
+        path.write_text("PROCESS Broken ACTIVITY END")
+        assert tools_main(["check", str(path)]) == 1
+        assert "syntax error" in capsys.readouterr().err
+
+    def test_check_validation_error(self, tmp_path, capsys):
+        path = tmp_path / "invalid.ocr"
+        path.write_text("""
+PROCESS Bad
+  ACTIVITY A
+    PROGRAM p
+    IN x = Ghost.out
+  END
+END
+""")
+        assert tools_main(["check", str(path)]) == 2
+        assert "Ghost" in capsys.readouterr().err
+
+    def test_format_is_canonical(self, ocr_file, capsys):
+        assert tools_main(["format", ocr_file]) == 0
+        formatted = capsys.readouterr().out
+        from repro.core.ocr import parse_ocr, print_ocr
+
+        assert print_ocr(parse_ocr(formatted)) == formatted
+
+    def test_dot_output(self, ocr_file, capsys):
+        assert tools_main(["dot", ocr_file]) == 0
+        assert capsys.readouterr().out.startswith('digraph "Demo"')
+
+    def test_inspect_inventory(self, ocr_file, capsys):
+        assert tools_main(["inspect", ocr_file]) == 0
+        out = capsys.readouterr().out
+        assert "input  x" in out
+        assert "output y = A.out" in out
+        assert "ns.run" in out
+
+    def test_missing_file(self, capsys):
+        assert tools_main(["check", "/does/not/exist.ocr"]) == 1
+        assert "error" in capsys.readouterr().err

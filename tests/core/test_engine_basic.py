@@ -1,0 +1,297 @@
+"""Engine basics: linear flows, conditional branching, data flow, joins."""
+
+import pytest
+
+from repro.core.engine import ProgramResult
+from repro.errors import InvalidStateError, UnknownTemplateError
+
+from ..conftest import constant_program, echo_program, make_inline_server, run_process
+
+
+class TestLinearFlow:
+    def test_two_step_chain(self):
+        server, _env, iid = run_process(
+            """
+            PROCESS P
+              OUTPUT v = B.v
+              ACTIVITY A
+                PROGRAM t.a
+              END
+              ACTIVITY B
+                PROGRAM t.b
+                IN x = A.v
+              END
+              CONNECT A -> B
+            END
+            """,
+            {"t.a": constant_program({"v": 1}),
+             "t.b": lambda i, c: ProgramResult({"v": i["x"] + 1}, 1.0)},
+        )
+        instance = server.instance(iid)
+        assert instance.status == "completed"
+        assert instance.outputs == {"v": 2}
+
+    def test_whiteboard_mapping_flows(self):
+        server, _env, iid = run_process(
+            """
+            PROCESS P
+              OUTPUT out = B.echoed
+              ACTIVITY A
+                PROGRAM t.a
+                MAP v -> value
+              END
+              ACTIVITY B
+                PROGRAM t.echo
+                IN echoed = wb.value
+              END
+              CONNECT A -> B
+            END
+            """,
+            {"t.a": constant_program({"v": 42}),
+             "t.echo": echo_program()},
+        )
+        assert server.instance(iid).outputs == {"out": 42}
+
+    def test_static_parameters_reach_program(self):
+        seen = {}
+
+        def capture(inputs, ctx):
+            seen.update(inputs)
+            return ProgramResult({}, 0.1)
+
+        run_process(
+            """
+            PROCESS P
+              ACTIVITY A
+                PROGRAM t.cap
+                PARAM alpha = 5
+                PARAM beta = "x"
+              END
+            END
+            """,
+            {"t.cap": capture},
+        )
+        assert seen == {"alpha": 5, "beta": "x"}
+
+    def test_process_inputs_default_and_override(self):
+        source = """
+        PROCESS P
+          INPUT n DEFAULT 3
+          OUTPUT n = A.n
+          ACTIVITY A
+            PROGRAM t.echo
+            IN n = wb.n
+          END
+        END
+        """
+        server, _env, iid = run_process(
+            source, {"t.echo": echo_program()})
+        assert server.instance(iid).outputs == {"n": 3}
+        server2, env2, _ = run_process(
+            source, {"t.echo": echo_program()}, inputs={"n": 9})
+        iid2 = sorted(server2.instances)[-1]
+        assert server2.instance(iid2).outputs == {"n": 9}
+
+    def test_missing_required_input_rejected_at_launch(self):
+        server, _env = make_inline_server({"t.a": constant_program({})})
+        server.define_template_ocr("""
+        PROCESS P
+          INPUT must_have
+          ACTIVITY A
+            PROGRAM t.a
+          END
+        END
+        """)
+        with pytest.raises(InvalidStateError):
+            server.launch("P", {})
+
+    def test_launch_unknown_template(self):
+        server, _env = make_inline_server()
+        with pytest.raises(UnknownTemplateError):
+            server.launch("Ghost")
+
+
+class TestBranching:
+    SOURCE = """
+    PROCESS P
+      INPUT flag OPTIONAL
+      OUTPUT path = Join.path
+      ACTIVITY Start
+        PROGRAM t.start
+      END
+      ACTIVITY Left
+        PROGRAM t.left
+      END
+      ACTIVITY Right
+        PROGRAM t.right
+      END
+      ACTIVITY Join
+        PROGRAM t.join
+        IN l = Left.tag
+        IN r = Right.tag
+      END
+      CONNECT Start -> Left WHEN [DEFINED(wb.flag)]
+      CONNECT Start -> Right WHEN [NOT DEFINED(wb.flag)]
+      CONNECT Left -> Join
+      CONNECT Right -> Join
+    END
+    """
+
+    def programs(self):
+        return {
+            "t.start": constant_program({}),
+            "t.left": constant_program({"tag": "left"}),
+            "t.right": constant_program({"tag": "right"}),
+            "t.join": lambda i, c: ProgramResult(
+                {"path": i.get("l", i.get("r"))}, 0.1),
+        }
+
+    def test_branch_taken_when_flag_defined(self):
+        server, _env, iid = run_process(
+            self.SOURCE, self.programs(), inputs={"flag": 1})
+        instance = server.instance(iid)
+        assert instance.outputs == {"path": "left"}
+        assert instance.find_state("Right").status == "skipped"
+        assert instance.find_state("Left").status == "completed"
+
+    def test_other_branch_and_dead_path_elimination(self):
+        server, _env, iid = run_process(self.SOURCE, self.programs())
+        instance = server.instance(iid)
+        assert instance.outputs == {"path": "right"}
+        assert instance.find_state("Left").status == "skipped"
+
+    def test_or_join_runs_once_with_single_fired_connector(self):
+        calls = {"join": 0}
+
+        def counting_join(inputs, ctx):
+            calls["join"] += 1
+            return ProgramResult({"path": "x"}, 0.1)
+
+        programs = self.programs()
+        programs["t.join"] = counting_join
+        run_process(self.SOURCE, programs, inputs={"flag": 1})
+        assert calls["join"] == 1
+
+
+class TestAndJoin:
+    def test_and_join_requires_all_connectors(self):
+        """A task with JOIN and is skipped when any incoming path is dead."""
+        server, _env, iid = run_process(
+            """
+            PROCESS P
+              INPUT flag OPTIONAL
+              ACTIVITY S
+                PROGRAM t.s
+              END
+              ACTIVITY A
+                PROGRAM t.s
+              END
+              ACTIVITY Both
+                PROGRAM t.s
+                JOIN and
+              END
+              CONNECT S -> A WHEN [DEFINED(wb.flag)]
+              CONNECT S -> Both
+              CONNECT A -> Both
+            END
+            """,
+            {"t.s": constant_program({})},
+        )
+        instance = server.instance(iid)
+        assert instance.find_state("A").status == "skipped"
+        assert instance.find_state("Both").status == "skipped"
+        assert instance.status == "completed"
+
+    def test_and_join_fires_when_all_complete(self):
+        server, _env, iid = run_process(
+            """
+            PROCESS P
+              ACTIVITY S
+                PROGRAM t.s
+              END
+              ACTIVITY A
+                PROGRAM t.s
+              END
+              ACTIVITY Both
+                PROGRAM t.s
+                JOIN and
+              END
+              CONNECT S -> A
+              CONNECT S -> Both
+              CONNECT A -> Both
+            END
+            """,
+            {"t.s": constant_program({})},
+        )
+        assert server.instance(iid).find_state("Both").status == "completed"
+
+
+class TestConditionOnTaskOutput:
+    def test_condition_reads_source_output(self):
+        server, _env, iid = run_process(
+            """
+            PROCESS P
+              ACTIVITY Gen
+                PROGRAM t.gen
+              END
+              ACTIVITY Big
+                PROGRAM t.noop
+              END
+              ACTIVITY Small
+                PROGRAM t.noop
+              END
+              CONNECT Gen -> Big WHEN [Gen.value > 10]
+              CONNECT Gen -> Small WHEN [Gen.value <= 10]
+            END
+            """,
+            {"t.gen": constant_program({"value": 3}),
+             "t.noop": constant_program({})},
+        )
+        instance = server.instance(iid)
+        assert instance.find_state("Big").status == "skipped"
+        assert instance.find_state("Small").status == "completed"
+
+    def test_condition_error_fails_task(self):
+        """A condition over undefined data is a process bug: the target
+        fails with condition-error (and default handler aborts)."""
+        server, _env, iid = run_process(
+            """
+            PROCESS P
+              INPUT maybe OPTIONAL
+              ACTIVITY A
+                PROGRAM t.noop
+              END
+              ACTIVITY B
+                PROGRAM t.noop
+              END
+              CONNECT A -> B WHEN [wb.maybe > 1]
+            END
+            """,
+            {"t.noop": constant_program({})},
+        )
+        instance = server.instance(iid)
+        assert instance.status == "aborted"
+        assert "condition-error" in instance.abort_reason
+
+
+class TestStatistics:
+    def test_accounting(self):
+        server, _env, iid = run_process(
+            """
+            PROCESS P
+              ACTIVITY A
+                PROGRAM t.a
+              END
+              ACTIVITY B
+                PROGRAM t.b
+              END
+              CONNECT A -> B
+            END
+            """,
+            {"t.a": constant_program({}, cost=2.0),
+             "t.b": constant_program({}, cost=3.0)},
+        )
+        stats = server.statistics(iid)
+        assert stats["activities_completed"] == 2
+        assert stats["cpu_seconds"] == pytest.approx(5.0)
+        assert stats["cpu_per_activity"] == pytest.approx(2.5)

@@ -1,0 +1,308 @@
+"""Structured tasks: blocks, parallel fan-out, subprocesses, late binding."""
+
+import pytest
+
+from repro.core.engine import ProgramResult
+from repro.core.ocr import parse_ocr
+
+from ..conftest import constant_program, echo_program, make_inline_server, run_process
+
+
+class TestParallel:
+    SOURCE = """
+    PROCESS P
+      INPUT items
+      OUTPUT total = Sum.total
+      PARALLEL Fan
+        FOREACH wb.items AS e
+        JOIN and
+        ACTIVITY Square
+          PROGRAM t.sq
+        END
+      END
+      ACTIVITY Sum
+        PROGRAM t.sum
+        IN results = Fan.results
+      END
+      CONNECT Fan -> Sum
+    END
+    """
+
+    def programs(self):
+        return {
+            "t.sq": lambda i, c: ProgramResult({"v": i["e"] ** 2}, 1.0),
+            "t.sum": lambda i, c: ProgramResult(
+                {"total": sum(r["v"] for r in i["results"])}, 0.1),
+        }
+
+    def test_fan_out_and_gather(self):
+        server, _env, iid = run_process(
+            self.SOURCE, self.programs(), inputs={"items": [1, 2, 3, 4]})
+        assert server.instance(iid).outputs == {"total": 30}
+
+    def test_results_preserve_element_order(self):
+        server, _env, iid = run_process(
+            """
+            PROCESS P
+              INPUT items
+              OUTPUT results = Fan.results
+              PARALLEL Fan
+                FOREACH wb.items AS e
+                ACTIVITY Id
+                  PROGRAM t.echo
+                END
+              END
+            END
+            """,
+            {"t.echo": echo_program()},
+            inputs={"items": [5, 1, 9]},
+        )
+        results = server.instance(iid).outputs["results"]
+        assert [r["e"] for r in results] == [5, 1, 9]
+
+    def test_empty_list_completes_immediately(self):
+        server, _env, iid = run_process(
+            self.SOURCE, self.programs(), inputs={"items": []})
+        assert server.instance(iid).outputs == {"total": 0}
+
+    def test_degree_of_parallelism_from_input(self):
+        """"The degree of parallelism can be determined at runtime" —
+        body instances equal the list length."""
+        server, _env, iid = run_process(
+            self.SOURCE, self.programs(), inputs={"items": list(range(17))})
+        instance = server.instance(iid)
+        frame = instance.frames["Fan/"]
+        assert len(frame.states) == 17
+
+    def test_non_list_input_fails_task(self):
+        server, _env, iid = run_process(
+            self.SOURCE, self.programs(), inputs={"items": "not-a-list"})
+        assert server.instance(iid).status == "aborted"
+
+    def test_body_inputs_resolve_in_parent_scope(self):
+        server, _env, iid = run_process(
+            """
+            PROCESS P
+              INPUT items
+              INPUT scale DEFAULT 10
+              OUTPUT results = Fan.results
+              PARALLEL Fan
+                FOREACH wb.items AS e
+                ACTIVITY Mul
+                  PROGRAM t.mul
+                  IN k = wb.scale
+                END
+              END
+            END
+            """,
+            {"t.mul": lambda i, c: ProgramResult({"v": i["e"] * i["k"]}, 0.1)},
+            inputs={"items": [1, 2], "scale": 100},
+        )
+        results = server.instance(iid).outputs["results"]
+        assert [r["v"] for r in results] == [100, 200]
+
+
+class TestBlock:
+    def test_block_internal_graph_runs_in_order(self):
+        order = []
+
+        def tracer(tag):
+            def fn(inputs, ctx):
+                order.append(tag)
+                return ProgramResult({"tag": tag}, 0.1)
+            return fn
+
+        server, _env, iid = run_process(
+            """
+            PROCESS P
+              ACTIVITY Before
+                PROGRAM t.before
+              END
+              BLOCK Middle
+                ACTIVITY In1
+                  PROGRAM t.in1
+                END
+                ACTIVITY In2
+                  PROGRAM t.in2
+                  IN x = In1.tag
+                END
+                CONNECT In1 -> In2
+              END
+              ACTIVITY After
+                PROGRAM t.after
+              END
+              CONNECT Before -> Middle
+              CONNECT Middle -> After
+            END
+            """,
+            {"t.before": tracer("before"), "t.in1": tracer("in1"),
+             "t.in2": tracer("in2"), "t.after": tracer("after")},
+        )
+        assert order == ["before", "in1", "in2", "after"]
+        assert server.instance(iid).status == "completed"
+
+    def test_block_inner_mappings_hit_process_whiteboard(self):
+        server, _env, iid = run_process(
+            """
+            PROCESS P
+              OUTPUT got = Reader.got
+              BLOCK B
+                ACTIVITY Writer
+                  PROGRAM t.w
+                  MAP v -> shared
+                END
+              END
+              ACTIVITY Reader
+                PROGRAM t.r
+                IN got = wb.shared
+              END
+              CONNECT B -> Reader
+            END
+            """,
+            {"t.w": constant_program({"v": "hello"}),
+             "t.r": echo_program()},
+        )
+        assert server.instance(iid).outputs == {"got": "hello"}
+
+
+class TestSubprocess:
+    CHILD = """
+    PROCESS child
+      INPUT x
+      OUTPUT doubled = D.v
+      ACTIVITY D
+        PROGRAM t.double
+        IN x = wb.x
+      END
+    END
+    """
+
+    PARENT = """
+    PROCESS parent
+      INPUT start
+      OUTPUT result = Sub.doubled
+      SUBPROCESS Sub
+        TEMPLATE child
+        IN x = wb.start
+      END
+    END
+    """
+
+    def test_subprocess_runs_with_own_whiteboard(self):
+        server, _env, iid = run_process(
+            self.PARENT,
+            {"t.double": lambda i, c: ProgramResult({"v": i["x"] * 2}, 0.5)},
+            inputs={"start": 21},
+            extra_templates=(self.CHILD,),
+        )
+        assert server.instance(iid).outputs == {"result": 42}
+
+    def test_missing_subprocess_input_aborts(self):
+        server, env = make_inline_server(
+            {"t.double": lambda i, c: ProgramResult({"v": 1}, 0.1)})
+        server.define_template_ocr(self.CHILD)
+        server.define_template_ocr("""
+        PROCESS parent
+          SUBPROCESS Sub
+            TEMPLATE child
+          END
+        END
+        """)
+        import pytest as _pytest
+        from repro.errors import InvalidStateError
+        with _pytest.raises(InvalidStateError):
+            server.launch("parent", {})
+
+    def test_late_binding_picks_latest_version(self):
+        """Redefining the child template between launches changes behaviour
+        of subsequent subprocess starts — the paper's dynamic modification."""
+        programs = {
+            "t.double": lambda i, c: ProgramResult({"v": i["x"] * 2}, 0.1),
+            "t.triple": lambda i, c: ProgramResult({"v": i["x"] * 3}, 0.1),
+        }
+        server, env = make_inline_server(programs)
+        server.define_template_ocr(self.CHILD)
+        server.define_template_ocr(self.PARENT)
+        first = server.launch("parent", {"start": 10})
+        env.run_instance(first)
+        assert server.instance(first).outputs == {"result": 20}
+        # evolve the child algorithm
+        server.define_template_ocr(self.CHILD.replace("t.double", "t.triple"))
+        second = server.launch("parent", {"start": 10})
+        env.run_instance(second)
+        assert server.instance(second).outputs == {"result": 30}
+
+    def test_pinned_version_ignores_updates(self):
+        programs = {
+            "t.double": lambda i, c: ProgramResult({"v": i["x"] * 2}, 0.1),
+            "t.triple": lambda i, c: ProgramResult({"v": i["x"] * 3}, 0.1),
+        }
+        server, env = make_inline_server(programs)
+        server.define_template_ocr(self.CHILD)
+        server.define_template_ocr(
+            self.PARENT.replace("TEMPLATE child", "TEMPLATE child VERSION 1"))
+        server.define_template_ocr(self.CHILD.replace("t.double", "t.triple"))
+        iid = server.launch("parent", {"start": 10})
+        env.run_instance(iid)
+        assert server.instance(iid).outputs == {"result": 20}
+
+    def test_nested_parallel_subprocess(self):
+        """The all-vs-all shape: parallel task whose body is a subprocess."""
+        server, _env, iid = run_process(
+            """
+            PROCESS parent
+              INPUT items
+              OUTPUT results = Fan.results
+              PARALLEL Fan
+                FOREACH wb.items AS x
+                SUBPROCESS Sub
+                  TEMPLATE child
+                END
+              END
+            END
+            """,
+            {"t.double": lambda i, c: ProgramResult({"v": i["x"] * 2}, 0.1)},
+            inputs={"items": [1, 2, 3]},
+            extra_templates=(self.CHILD,),
+        )
+        results = server.instance(iid).outputs["results"]
+        assert [r["doubled"] for r in results] == [2, 4, 6]
+
+    def test_three_level_nesting(self):
+        grandchild = """
+        PROCESS grandchild
+          INPUT y
+          OUTPUT out = G.v
+          ACTIVITY G
+            PROGRAM t.inc
+            IN y = wb.y
+          END
+        END
+        """
+        child = """
+        PROCESS mid
+          INPUT x
+          OUTPUT out = Inner.out
+          SUBPROCESS Inner
+            TEMPLATE grandchild
+            IN y = wb.x
+          END
+        END
+        """
+        parent = """
+        PROCESS top
+          INPUT x
+          OUTPUT out = Mid.out
+          SUBPROCESS Mid
+            TEMPLATE mid
+            IN x = wb.x
+          END
+        END
+        """
+        server, _env, iid = run_process(
+            parent,
+            {"t.inc": lambda i, c: ProgramResult({"v": i["y"] + 1}, 0.1)},
+            inputs={"x": 7},
+            extra_templates=(grandchild, child),
+        )
+        assert server.instance(iid).outputs == {"out": 8}

@@ -1,0 +1,57 @@
+"""The exception hierarchy contract: one base, informative messages."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    ALL_ERRORS = [
+        errors.ModelError, errors.ValidationError, errors.BindingError,
+        errors.ConditionError, errors.OCRError, errors.OCRSyntaxError,
+        errors.OCRCompileError, errors.EngineError,
+        errors.UnknownInstanceError, errors.UnknownTemplateError,
+        errors.InvalidStateError, errors.DispatchError,
+        errors.ActivityFailure, errors.StoreError, errors.CodecError,
+        errors.CorruptLogError, errors.ClusterError, errors.NodeDownError,
+        errors.DiskFullError, errors.SimulationError, errors.BioError,
+        errors.AlignmentError, errors.MatrixError, errors.PlanningError,
+    ]
+
+    def test_everything_derives_from_repro_error(self):
+        for klass in self.ALL_ERRORS:
+            assert issubclass(klass, errors.ReproError), klass
+
+    def test_catching_the_base_catches_all(self):
+        for klass in (errors.CodecError, errors.NodeDownError,
+                      errors.OCRCompileError):
+            with pytest.raises(errors.ReproError):
+                raise klass("boom")
+
+
+class TestValidationError:
+    def test_lists_all_problems(self):
+        error = errors.ValidationError(["first", "second"])
+        assert error.problems == ["first", "second"]
+        assert "first" in str(error) and "second" in str(error)
+
+
+class TestOCRSyntaxError:
+    def test_location_formatting(self):
+        assert "line 3, column 7" in str(
+            errors.OCRSyntaxError("bad token", line=3, column=7))
+        assert "line 3" in str(errors.OCRSyntaxError("bad", line=3))
+        assert "line" not in str(errors.OCRSyntaxError("bad"))
+
+
+class TestActivityFailure:
+    def test_reason_and_detail(self):
+        failure = errors.ActivityFailure("disk-full", "no space on /data")
+        assert failure.reason == "disk-full"
+        assert "disk-full" in str(failure)
+        assert "no space" in str(failure)
+
+    def test_detail_optional(self):
+        failure = errors.ActivityFailure("io-error")
+        assert failure.detail == ""
+        assert str(failure).endswith("(io-error)")

@@ -1,0 +1,309 @@
+"""Process model: bindings, tasks, graphs, templates, validation."""
+
+import pytest
+
+from repro.core.model import (
+    Activity,
+    Binding,
+    Block,
+    ControlConnector,
+    FailureHandler,
+    ParallelTask,
+    ProcessTemplate,
+    Sphere,
+    SubprocessTask,
+    Task,
+    TaskGraph,
+)
+from repro.core.model.data import ProcessParameter, Whiteboard, UNDEFINED
+from repro.errors import BindingError, ModelError, ValidationError
+
+
+class TestBinding:
+    def test_text_round_trip(self):
+        for binding in (
+            Binding.whiteboard("queue"),
+            Binding.task_output("Align", "matches"),
+            Binding.constant(42),
+            Binding.constant("text"),
+            Binding.constant(None),
+            Binding.constant([1, 2]),
+        ):
+            assert Binding.from_text(binding.to_text()) == binding
+
+    def test_dict_round_trip(self):
+        for binding in (
+            Binding.whiteboard("x"),
+            Binding.task_output("T", "f"),
+            Binding.constant({"a": 1}),
+        ):
+            assert Binding.from_dict(binding.to_dict()) == binding
+
+    def test_bad_text_rejected(self):
+        with pytest.raises(BindingError):
+            Binding.from_text("")
+        with pytest.raises(BindingError):
+            Binding.from_text("a.b.c")
+        with pytest.raises(BindingError):
+            Binding.from_text("wb.")
+
+    def test_bad_dict_kind(self):
+        with pytest.raises(BindingError):
+            Binding.from_dict({"kind": "galactic"})
+
+
+class TestWhiteboard:
+    def test_undefined_semantics(self):
+        board = Whiteboard()
+        assert board.get("x") is UNDEFINED
+        assert not board.defined("x")
+        board.set("x", None)
+        assert board.defined("x")
+        assert board.get("x") is None
+
+    def test_delete(self):
+        board = Whiteboard({"x": 1})
+        board.delete("x")
+        assert "x" not in board
+        board.delete("x")  # idempotent
+
+    def test_as_dict_is_copy(self):
+        board = Whiteboard({"x": 1})
+        snapshot = board.as_dict()
+        snapshot["x"] = 99
+        assert board.get("x") == 1
+
+
+class TestTasks:
+    def test_activity_requires_program(self):
+        with pytest.raises(ModelError):
+            Activity("A", program="")
+
+    def test_bad_task_name_rejected(self):
+        with pytest.raises(ModelError):
+            Activity("has space", program="p")
+
+    def test_bad_join_rejected(self):
+        with pytest.raises(ModelError):
+            Activity("A", program="p", join="xor")
+
+    def test_parallel_body_must_be_simple(self):
+        block = Block("B", graph=TaskGraph(tasks=[Activity("X", program="p")]))
+        with pytest.raises(ModelError):
+            ParallelTask("P", list_input=Binding.whiteboard("items"),
+                         body=block)
+
+    def test_subprocess_requires_template(self):
+        with pytest.raises(ModelError):
+            SubprocessTask("S", template_name="")
+
+    def test_task_dict_round_trip(self):
+        tasks = [
+            Activity("A", program="p.q",
+                     inputs={"x": Binding.whiteboard("x")},
+                     output_mappings=[("out", "wb_out")],
+                     failure=FailureHandler(max_retries=2),
+                     parameters={"k": 1}, join="and",
+                     description="d"),
+            ParallelTask("P", list_input=Binding.whiteboard("items"),
+                         body=Activity("B", program="p"),
+                         element_param="item"),
+            SubprocessTask("S", template_name="sub", version=3),
+            Block("K", graph=TaskGraph(tasks=[Activity("In", program="p")])),
+        ]
+        for task in tasks:
+            restored = Task.from_dict(task.to_dict())
+            assert restored.to_dict() == task.to_dict()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ModelError):
+            Task.from_dict({"kind": "magic", "name": "x"})
+
+
+class TestFailureHandler:
+    def test_defaults(self):
+        handler = FailureHandler()
+        assert handler.strategy == "retry"
+        assert handler.max_retries == 3
+
+    def test_alternative_requires_program(self):
+        with pytest.raises(ModelError):
+            FailureHandler(strategy="alternative")
+        with pytest.raises(ModelError):
+            FailureHandler(strategy="retry", then="alternative")
+
+    def test_bad_strategy(self):
+        with pytest.raises(ModelError):
+            FailureHandler(strategy="explode")
+
+    def test_round_trip(self):
+        handler = FailureHandler(strategy="retry", max_retries=5,
+                                 then="alternative",
+                                 alternative_program="alt.prog")
+        assert FailureHandler.from_dict(handler.to_dict()) == handler
+
+
+class TestSphere:
+    def test_empty_sphere_rejected(self):
+        with pytest.raises(ModelError):
+            Sphere("s", tasks=())
+
+    def test_compensation_of_nonmember_rejected(self):
+        with pytest.raises(ModelError):
+            Sphere("s", tasks=("a",), compensation=(("b", "undo"),))
+
+    def test_round_trip(self):
+        sphere = Sphere("s", tasks=("a", "b"),
+                        compensation=(("a", "undo.a"),),
+                        on_abort="continue")
+        assert Sphere.from_dict(sphere.to_dict()) == sphere
+
+    def test_compensation_program_lookup(self):
+        sphere = Sphere("s", tasks=("a", "b"), compensation=(("a", "u"),))
+        assert sphere.compensation_program("a") == "u"
+        assert sphere.compensation_program("b") is None
+
+
+class TestTaskGraph:
+    def make_chain(self):
+        graph = TaskGraph()
+        graph.add_task(Activity("A", program="p"))
+        graph.add_task(Activity("B", program="p"))
+        graph.add_task(Activity("C", program="p"))
+        graph.connect("A", "B")
+        graph.connect("B", "C")
+        return graph
+
+    def test_duplicate_task_rejected(self):
+        graph = TaskGraph()
+        graph.add_task(Activity("A", program="p"))
+        with pytest.raises(ModelError):
+            graph.add_task(Activity("A", program="q"))
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ModelError):
+            ControlConnector("A", "A")
+
+    def test_start_tasks(self):
+        graph = self.make_chain()
+        assert graph.start_tasks() == ["A"]
+
+    def test_topological_order(self):
+        graph = self.make_chain()
+        assert graph.topological_order() == ["A", "B", "C"]
+
+    def test_cycle_detected(self):
+        graph = self.make_chain()
+        graph.connect("C", "A")
+        with pytest.raises(ModelError):
+            graph.topological_order()
+
+    def test_incoming_outgoing(self):
+        graph = self.make_chain()
+        assert [c.source for c in graph.incoming("B")] == ["A"]
+        assert [c.target for c in graph.outgoing("B")] == ["C"]
+
+    def test_data_connectors_derived(self):
+        graph = TaskGraph()
+        graph.add_task(Activity("A", program="p"))
+        graph.add_task(Activity("B", program="p", inputs={
+            "x": Binding.task_output("A", "out"),
+            "y": Binding.whiteboard("item"),
+            "z": Binding.constant(1),
+        }))
+        edges = graph.data_connectors()
+        kinds = {(e.source_kind, e.source_name, e.target_param)
+                 for e in edges}
+        assert ("task", "A", "x") in kinds
+        assert ("whiteboard", "item", "y") in kinds
+        assert len(edges) == 2  # constants are not edges
+
+    def test_walk_tasks_recurses(self):
+        inner = TaskGraph(tasks=[Activity("In", program="p")])
+        graph = TaskGraph(tasks=[
+            Block("Blk", graph=inner),
+            ParallelTask("Par", list_input=Binding.whiteboard("xs"),
+                         body=Activity("Body", program="p")),
+        ])
+        paths = {path for path, _task in graph.walk_tasks()}
+        assert paths == {"Blk", "Blk/In", "Par", "Par/Body"}
+
+
+class TestTemplateValidation:
+    def valid_template(self):
+        graph = TaskGraph()
+        graph.add_task(Activity("A", program="p",
+                                output_mappings=[("v", "value")]))
+        graph.add_task(Activity("B", program="p",
+                                inputs={"x": Binding.task_output("A", "v")}))
+        graph.connect("A", "B", "wb.value > 1")
+        return ProcessTemplate(
+            "P", graph=graph,
+            parameters=[ProcessParameter("inp")],
+            outputs={"out": Binding.task_output("B", "r")},
+        )
+
+    def test_valid_template_passes(self):
+        assert self.valid_template().validate() == []
+
+    def test_empty_graph_invalid(self):
+        template = ProcessTemplate("P")
+        assert any("no tasks" in p for p in template.validate())
+
+    def test_connector_to_unknown_task(self):
+        template = self.valid_template()
+        template.graph.add_connector(ControlConnector("A", "Ghost"))
+        assert any("Ghost" in p for p in template.validate())
+
+    def test_binding_to_unknown_task(self):
+        template = self.valid_template()
+        template.graph.tasks["B"].inputs["bad"] = Binding.task_output(
+            "Nope", "f")
+        assert any("Nope" in p for p in template.validate())
+
+    def test_binding_to_unknown_whiteboard_item(self):
+        template = self.valid_template()
+        template.graph.tasks["B"].inputs["bad"] = Binding.whiteboard(
+            "never_written")
+        assert any("never_written" in p for p in template.validate())
+
+    def test_whiteboard_item_from_mapping_is_known(self):
+        template = self.valid_template()
+        template.graph.tasks["B"].inputs["ok"] = Binding.whiteboard("value")
+        assert template.validate() == []
+
+    def test_cycle_reported(self):
+        template = self.valid_template()
+        template.graph.connect("B", "A")
+        assert any("cycle" in p for p in template.validate())
+
+    def test_sphere_unknown_member(self):
+        template = self.valid_template()
+        template.spheres.append(Sphere("s", tasks=("Ghost",)))
+        assert any("Ghost" in p for p in template.validate())
+
+    def test_duplicate_parameters(self):
+        template = self.valid_template()
+        template.parameters.append(ProcessParameter("inp"))
+        assert any("duplicate" in p for p in template.validate())
+
+    def test_ensure_valid_raises(self):
+        template = ProcessTemplate("P")
+        with pytest.raises(ValidationError):
+            template.ensure_valid()
+
+    def test_dict_round_trip(self):
+        template = self.valid_template()
+        template.spheres.append(
+            Sphere("s", tasks=("A",), compensation=(("A", "undo"),)))
+        restored = ProcessTemplate.from_dict(template.to_dict())
+        assert restored.to_dict() == template.to_dict()
+
+    def test_activity_programs_collected(self):
+        template = self.valid_template()
+        assert template.activity_programs() == {"p"}
+
+    def test_required_parameters(self):
+        template = self.valid_template()
+        template.parameters.append(ProcessParameter("opt", optional=True))
+        assert template.required_parameters() == ["inp"]

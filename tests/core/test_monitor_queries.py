@@ -1,0 +1,114 @@
+"""Analytics over the persistent instance space."""
+
+import pytest
+
+from repro.bio import DarwinEngine, DatabaseProfile
+from repro.cluster import SimKernel, SimulatedCluster, uniform
+from repro.core.engine import BioOperaServer
+from repro.core.monitor import queries
+from repro.processes import install_all_vs_all
+
+
+@pytest.fixture(scope="module")
+def finished_run():
+    profile = DatabaseProfile.synthetic("qtest", 100, seed=4)
+    darwin = DarwinEngine(profile, mode="modeled", random_match_rate=1e-3,
+                          seed=2)
+    kernel = SimKernel(seed=8)
+    cluster = SimulatedCluster(kernel, uniform(3, cpus=2),
+                               execution_noise=0.1)
+    server = BioOperaServer(seed=8)
+    server.attach_environment(cluster)
+    install_all_vs_all(server, darwin)
+    instance_id = server.launch("all_vs_all", {
+        "db_name": profile.name, "granularity": 6,
+    })
+    kernel.schedule(20.0, cluster.crash_node, "node002")
+    kernel.schedule(400.0, cluster.restore_node, "node002")
+    kernel.schedule(30.0, server.suspend, instance_id, "test pause")
+    kernel.schedule(600.0, lambda: cluster.server.resume(instance_id))
+    cluster.run_until_instance_done(instance_id)
+    return server, instance_id, kernel.now
+
+
+class TestNodeUsage:
+    def test_all_work_attributed_to_nodes(self, finished_run):
+        server, instance_id, _wall = finished_run
+        usage = queries.node_usage(server.store, instance_id)
+        assert usage
+        total_cpu = sum(u.cpu_seconds for u in usage)
+        assert total_cpu == pytest.approx(
+            server.instance(instance_id).total_cpu_seconds())
+        assert sum(u.activities for u in usage) == \
+            server.instance(instance_id).activity_count()
+
+    def test_sorted_by_cpu(self, finished_run):
+        server, instance_id, _wall = finished_run
+        usage = queries.node_usage(server.store, instance_id)
+        cpus = [u.cpu_seconds for u in usage]
+        assert cpus == sorted(cpus, reverse=True)
+
+    def test_crashed_node_has_failures(self, finished_run):
+        server, instance_id, _wall = finished_run
+        usage = {u.node: u for u in queries.node_usage(server.store,
+                                                       instance_id)}
+        assert usage["node002"].failures >= 1
+
+    def test_all_instances_aggregate(self, finished_run):
+        server, instance_id, _wall = finished_run
+        total = queries.node_usage(server.store)
+        specific = queries.node_usage(server.store, instance_id)
+        assert sum(u.cpu_seconds for u in total) >= \
+            sum(u.cpu_seconds for u in specific)
+
+
+class TestHistogramsAndCurves:
+    def test_event_histogram(self, finished_run):
+        server, instance_id, _wall = finished_run
+        histogram = queries.event_histogram(server.store, instance_id)
+        assert histogram["instance_created"] == 1
+        assert histogram["instance_completed"] == 1
+        assert histogram["task_completed"] >= 12
+        assert histogram["instance_suspended"] == 1
+
+    def test_completion_curve_monotone_buckets(self, finished_run):
+        server, instance_id, wall = finished_run
+        curve = queries.completions_over_time(server.store, instance_id,
+                                              bucket=wall / 10)
+        assert sum(count for _t, count in curve) == \
+            server.instance(instance_id).activity_count()
+        times = [t for t, _count in curve]
+        assert times == sorted(times)
+
+    def test_slowest_activities(self, finished_run):
+        server, instance_id, _wall = finished_run
+        ranked = queries.slowest_activities(server.store, instance_id,
+                                            top=3)
+        assert len(ranked) == 3
+        costs = [cost for _path, cost in ranked]
+        assert costs == sorted(costs, reverse=True)
+        # the heaviest work is alignment, not merging
+        assert "Alignment/" in ranked[0][0]
+
+    def test_retry_hotspots_name_the_crashed_work(self, finished_run):
+        server, instance_id, _wall = finished_run
+        hotspots = queries.retry_hotspots(server.store, instance_id)
+        assert hotspots
+        reasons = {reason for _p, _c, rs in hotspots for reason in rs}
+        assert "node-crash" in reasons
+
+
+class TestWallBreakdown:
+    def test_suspension_accounted(self, finished_run):
+        server, instance_id, wall = finished_run
+        breakdown = queries.wall_time_breakdown(server.store, instance_id)
+        assert breakdown["suspended"] == pytest.approx(570.0, abs=30.0)
+        assert breakdown["total"] == pytest.approx(
+            breakdown["running"] + breakdown["suspended"])
+
+    def test_empty_instance(self):
+        from repro.store import OperaStore
+
+        store = OperaStore()
+        store.instances.create("empty", {})
+        assert queries.wall_time_breakdown(store, "empty")["total"] == 0.0

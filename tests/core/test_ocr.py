@@ -1,0 +1,286 @@
+"""OCR language: lexer, parser, printer, round-trip property."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.model import Activity, Binding, ParallelTask, ProcessTemplate
+from repro.core.model.data import ProcessParameter
+from repro.core.model.failure import FailureHandler, Sphere
+from repro.core.model.process import TaskGraph
+from repro.core.model.tasks import Block, SubprocessTask
+from repro.core.ocr import parse_ocr, parse_ocr_unchecked, print_ocr, tokenize
+from repro.errors import OCRSyntaxError
+
+
+class TestLexer:
+    def test_keywords_and_idents(self):
+        kinds = [(t.kind, t.value) for t in tokenize("PROCESS Foo END")]
+        assert kinds == [("kw", "PROCESS"), ("ident", "Foo"),
+                         ("kw", "END"), ("eof", "")]
+
+    def test_keywords_uppercase_only(self):
+        # lowercase/mixed-case words stay identifiers, so tasks may be
+        # named Join, End, Process, ...
+        assert tokenize("process")[0].kind == "ident"
+        assert tokenize("Join")[0].kind == "ident"
+        assert tokenize("JOIN")[0].kind == "kw"
+
+    def test_dotted_names(self):
+        token = tokenize("darwin.align_fixed_pam")[0]
+        assert token.kind == "dotted"
+        assert token.value == "darwin.align_fixed_pam"
+
+    def test_comments_ignored(self):
+        tokens = tokenize("PROCESS # the whole rest is comment\nEND")
+        assert [t.kind for t in tokens] == ["kw", "kw", "eof"]
+
+    def test_condition_token_raw(self):
+        tokens = tokenize("WHEN [NOT DEFINED(wb.q)]")
+        assert tokens[1].kind == "condition"
+        assert tokens[1].value == "NOT DEFINED(wb.q)"
+
+    def test_string_escapes(self):
+        token = tokenize('"a\\"b\\n"')[0]
+        assert token.value == 'a"b\n'
+
+    def test_numbers(self):
+        tokens = tokenize("42 -7 3.5")
+        assert [t.value for t in tokens[:3]] == ["42", "-7", "3.5"]
+
+    def test_line_numbers_reported(self):
+        with pytest.raises(OCRSyntaxError) as excinfo:
+            tokenize("PROCESS\n  @bad")
+        assert excinfo.value.line == 2
+
+    def test_unterminated_string(self):
+        with pytest.raises(OCRSyntaxError):
+            tokenize('"never closed')
+
+    def test_unterminated_condition(self):
+        with pytest.raises(OCRSyntaxError):
+            tokenize("WHEN [no closing bracket")
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize("source,fragment", [
+        ("ACTIVITY A END", "PROCESS"),
+        ("PROCESS P ACTIVITY A END END", "PROGRAM"),
+        ("PROCESS P ACTIVITY A PROGRAM p END END extra", "trailing"),
+        ("PROCESS P PARALLEL F FOREACH wb.x AS e END END", "no body task"),
+        ("PROCESS P SUBPROCESS S IN x = wb.y END END", "TEMPLATE"),
+        ("PROCESS P CONNECT A -> B WHEN TRUE END", "bracketed"),
+    ])
+    def test_syntax_errors(self, source, fragment):
+        with pytest.raises(OCRSyntaxError) as excinfo:
+            parse_ocr_unchecked(source)
+        assert fragment.lower() in str(excinfo.value).lower()
+
+    def test_validation_runs_on_parse(self):
+        source = """
+        PROCESS P
+          ACTIVITY A
+            PROGRAM p
+            IN x = Ghost.field
+          END
+        END
+        """
+        from repro.errors import ValidationError
+        with pytest.raises(ValidationError):
+            parse_ocr(source)
+
+    def test_parallel_two_bodies_rejected(self):
+        source = """
+        PROCESS P
+          INPUT xs
+          PARALLEL F
+            FOREACH wb.xs AS e
+            ACTIVITY A
+              PROGRAM p
+            END
+            ACTIVITY B
+              PROGRAM p
+            END
+          END
+        END
+        """
+        with pytest.raises(OCRSyntaxError):
+            parse_ocr_unchecked(source)
+
+
+class TestParsedStructure:
+    SOURCE = """
+    PROCESS Demo
+      DESCRIPTION "demo process"
+      INPUT required
+      INPUT opt OPTIONAL
+      INPUT with_default DEFAULT 7
+      OUTPUT result = Last.value
+
+      ACTIVITY First
+        PROGRAM ns.first
+        PARAM threshold = 2.5
+        IN q = wb.required
+        MAP out -> produced
+        ON_FAILURE RETRY 2 THEN ALTERNATIVE ns.alt
+      END
+      BLOCK Inner
+        JOIN and
+        ACTIVITY Deep
+          PROGRAM ns.deep
+        END
+      END
+      PARALLEL Fan
+        FOREACH wb.produced AS element
+        SUBPROCESS Sub
+          TEMPLATE subproc
+          IN seed = wb.required
+        END
+      END
+      ACTIVITY Last
+        PROGRAM ns.last
+        IN items = Fan.results
+      END
+      CONNECT First -> Inner WHEN [DEFINED(wb.opt)]
+      CONNECT First -> Fan
+      CONNECT Inner -> Last
+      CONNECT Fan -> Last
+      SPHERE Core
+        TASKS First Fan
+        COMPENSATE First WITH ns.undo
+        ON_ABORT continue
+      END
+    END
+    """
+
+    @pytest.fixture()
+    def template(self):
+        return parse_ocr_unchecked(self.SOURCE)
+
+    def test_header(self, template):
+        assert template.name == "Demo"
+        assert template.description == "demo process"
+        params = {p.name: p for p in template.parameters}
+        assert not params["required"].optional
+        assert params["opt"].optional
+        assert params["with_default"].default == 7
+        assert template.outputs["result"] == Binding.task_output(
+            "Last", "value")
+
+    def test_activity(self, template):
+        first = template.graph.tasks["First"]
+        assert isinstance(first, Activity)
+        assert first.program == "ns.first"
+        assert first.parameters == {"threshold": 2.5}
+        assert first.inputs["q"] == Binding.whiteboard("required")
+        assert first.output_mappings == [("out", "produced")]
+        assert first.failure.max_retries == 2
+        assert first.failure.alternative_program == "ns.alt"
+
+    def test_block(self, template):
+        inner = template.graph.tasks["Inner"]
+        assert isinstance(inner, Block)
+        assert inner.join == "and"
+        assert "Deep" in inner.graph.tasks
+
+    def test_parallel_with_subprocess_body(self, template):
+        fan = template.graph.tasks["Fan"]
+        assert isinstance(fan, ParallelTask)
+        assert fan.element_param == "element"
+        assert isinstance(fan.body, SubprocessTask)
+        assert fan.body.template_name == "subproc"
+
+    def test_connectors(self, template):
+        conditions = {
+            (c.source, c.target): c.condition.to_text()
+            for c in template.graph.connectors
+        }
+        assert conditions[("First", "Inner")] == "DEFINED(wb.opt)"
+        assert conditions[("First", "Fan")] == "TRUE"
+
+    def test_sphere(self, template):
+        sphere = template.spheres[0]
+        assert sphere.tasks == ("First", "Fan")
+        assert sphere.on_abort == "continue"
+        assert sphere.compensation_program("First") == "ns.undo"
+
+
+class TestRoundTrip:
+    def test_canonical_form_stable(self):
+        template = parse_ocr_unchecked(TestParsedStructure.SOURCE)
+        text = print_ocr(template)
+        assert print_ocr(parse_ocr_unchecked(text)) == text
+
+    def test_library_templates_round_trip(self):
+        from repro.processes import (
+            ALIGN_CHUNK_OCR,
+            ALL_VS_ALL_OCR,
+            TOWER_OCR,
+        )
+        for source in (ALIGN_CHUNK_OCR, ALL_VS_ALL_OCR, TOWER_OCR):
+            template = parse_ocr(source)
+            text = print_ocr(template)
+            reparsed = parse_ocr(text)
+            assert reparsed.to_dict() == template.to_dict()
+
+    # -- random-template property ------------------------------------------------
+
+    names = st.sampled_from(["Alpha", "Beta", "Gamma", "Delta", "Eps"])
+
+    @st.composite
+    def random_template(draw):
+        task_count = draw(st.integers(min_value=1, max_value=4))
+        graph = TaskGraph()
+        task_names = []
+        for index in range(task_count):
+            name = f"T{index}"
+            task_names.append(name)
+            kind = draw(st.sampled_from(["activity", "parallel", "sub"]))
+            failure = draw(st.sampled_from([
+                None,
+                FailureHandler(strategy="ignore"),
+                FailureHandler(max_retries=draw(
+                    st.integers(min_value=1, max_value=5))),
+            ]))
+            inputs = {}
+            if draw(st.booleans()):
+                inputs["x"] = Binding.whiteboard("seed")
+            raises = draw(st.sampled_from([[], ["done"], ["done", "extra"]]))
+            awaits = draw(st.sampled_from([[], ["go"]]))
+            if kind == "activity":
+                graph.add_task(Activity(
+                    name, program="ns.prog", inputs=inputs, failure=failure,
+                    parameters={"k": draw(st.integers(0, 9))},
+                    output_mappings=[("o", "seed")] if draw(st.booleans())
+                    else [],
+                    raises=raises, awaits=awaits,
+                ))
+            elif kind == "parallel":
+                graph.add_task(ParallelTask(
+                    name, list_input=Binding.whiteboard("seed"),
+                    body=Activity("Body", program="ns.body"),
+                    inputs=inputs, failure=failure,
+                ))
+            else:
+                graph.add_task(SubprocessTask(
+                    name, template_name="ns.sub", inputs=inputs,
+                    failure=failure,
+                ))
+        # random forward edges (guaranteed acyclic)
+        for i in range(task_count):
+            for j in range(i + 1, task_count):
+                if draw(st.booleans()):
+                    condition = draw(st.sampled_from(
+                        [None, "DEFINED(wb.seed)", "wb.seed > 3"]))
+                    graph.connect(task_names[i], task_names[j], condition)
+        return ProcessTemplate(
+            "Random", graph=graph,
+            parameters=[ProcessParameter("seed", optional=True, default=1)],
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(random_template())
+    def test_print_parse_identity(self, template):
+        text = print_ocr(template)
+        reparsed = parse_ocr_unchecked(text)
+        assert reparsed.to_dict() == template.to_dict()
+        assert print_ocr(reparsed) == text

@@ -1,0 +1,234 @@
+"""Operator console queries and what-if outage planning."""
+
+import pytest
+
+from repro.core.engine import ProgramResult
+from repro.core.engine.operator_console import OperatorConsole
+from repro.core.planning import drain_plan, outage_impact
+from repro.errors import PlanningError
+
+from ..conftest import constant_program, make_inline_server
+
+SOURCE = """
+PROCESS P
+  INPUT items
+  OUTPUT total = Sum.total
+  PARALLEL Fan
+    FOREACH wb.items AS e
+    ACTIVITY Body
+      PROGRAM t.body
+    END
+  END
+  ACTIVITY Sum
+    PROGRAM t.sum
+    IN results = Fan.results
+  END
+  CONNECT Fan -> Sum
+END
+"""
+
+
+def programs():
+    return {
+        "t.body": lambda i, c: ProgramResult({"v": i["e"]}, 1.0),
+        "t.sum": lambda i, c: ProgramResult(
+            {"total": sum(r["v"] for r in i["results"])}, 0.1),
+    }
+
+
+class TestConsole:
+    def make(self):
+        server, env = make_inline_server(
+            programs(), nodes={"n1": 2, "n2": 2})
+        server.define_template_ocr(SOURCE)
+        console = OperatorConsole(server)
+        return server, env, console
+
+    def test_list_instances(self):
+        server, env, console = self.make()
+        iid = console.start("P", {"items": [1, 2]})
+        env.run_instance(iid)
+        rows = console.list_instances()
+        assert rows[0]["instance_id"] == iid
+        assert rows[0]["template"] == "P"
+        assert rows[0]["status"] == "completed"
+
+    def test_running_tasks_shows_node_and_program(self):
+        server, env, console = self.make()
+        iid = console.start("P", {"items": [1, 2, 3]})
+        rows = console.running_tasks(iid)
+        assert rows, "bodies should be dispatched"
+        assert all(row["program"] == "t.body" for row in rows)
+        assert all(row["node"] in ("n1", "n2") for row in rows)
+
+    def test_intermediate_results_while_running(self):
+        server, env, console = self.make()
+        iid = console.start("P", {"items": [1, 2, 3]})
+        env.step()  # one body finishes
+        partial = console.intermediate_results(iid, prefix="Fan/")
+        assert len(partial) == 1
+        assert list(partial.values())[0] == {"v": 1}
+
+    def test_failed_tasks_listing(self):
+        from repro.errors import ActivityFailure
+
+        def bad(inputs, ctx):
+            raise ActivityFailure("program-error", "nope")
+
+        server, env = make_inline_server({"t.bad": bad})
+        server.define_template_ocr("""
+        PROCESS Q
+          ACTIVITY A
+            PROGRAM t.bad
+            ON_FAILURE ABORT
+          END
+        END
+        """)
+        console = OperatorConsole(server)
+        iid = console.start("Q")
+        env.run_until_idle()
+        # the instance aborted; the failure is still visible in the state
+        failed = console.failed_tasks(iid)
+        assert failed and failed[0]["reason"] == "program-error"
+
+    def test_cluster_state(self):
+        server, env, console = self.make()
+        rows = console.cluster_state()
+        assert {row["node"] for row in rows} == {"n1", "n2"}
+        assert all(row["up"] for row in rows)
+
+    def test_instance_detail_includes_whiteboard(self):
+        server, env, console = self.make()
+        iid = console.start("P", {"items": [4]})
+        env.run_instance(iid)
+        detail = console.instance_detail(iid)
+        assert detail["whiteboard"]["items"] == [4]
+        assert detail["outputs"] == {"total": 4}
+
+    def test_stop_resume_counts_interventions(self):
+        server, env, console = self.make()
+        iid = console.start("P", {"items": [1, 2, 3, 4, 5, 6]})
+        console.stop(iid)
+        env.run_until_idle()
+        console.resume(iid)
+        env.run_instance(iid)
+        assert server.metrics["manual_interventions"] == 2
+        assert server.instance(iid).status == "completed"
+
+
+class TestWhatIf:
+    def make_running(self):
+        server, env = make_inline_server(
+            programs(), nodes={"n1": 2, "n2": 2, "n3": 2})
+        server.define_template_ocr(SOURCE)
+        iid = server.launch("P", {"items": [1, 2, 3, 4, 5, 6]})
+        return server, env, iid
+
+    def test_unknown_node_rejected(self):
+        server, _env, _iid = self.make_running()
+        with pytest.raises(PlanningError):
+            outage_impact(server, ["ghost"])
+
+    def test_displaced_tasks_identified(self):
+        server, _env, iid = self.make_running()
+        plan = outage_impact(server, ["n1"])
+        assert plan.removed_cpus == 2
+        assert plan.remaining_cpus == 4
+        impact = {i.instance_id: i for i in plan.affected}
+        assert iid in impact
+        displaced = impact[iid].displaced_tasks
+        instance = server.instance(iid)
+        for path in displaced:
+            assert instance.find_state(path).node == "n1"
+
+    def test_instance_can_continue_with_survivors(self):
+        server, _env, iid = self.make_running()
+        plan = outage_impact(server, ["n1"])
+        impact = {i.instance_id: i for i in plan.affected}
+        assert impact[iid].can_continue
+        assert not plan.stopped
+
+    def test_total_outage_stops_instance(self):
+        server, _env, iid = self.make_running()
+        plan = outage_impact(server, ["n1", "n2", "n3"])
+        assert plan.remaining_cpus == 0
+        assert iid in plan.stopped
+
+    def test_idle_instance_unaffected(self):
+        server, env, iid = self.make_running()
+        env.run_instance(iid)  # finished: nothing displaced
+        plan = outage_impact(server, ["n1"])
+        assert plan.affected == []
+
+    def test_summary_mentions_nodes(self):
+        server, _env, _iid = self.make_running()
+        text = outage_impact(server, ["n1"]).summary()
+        assert "n1" in text and "CPUs" in text
+
+    def test_drain_plan_steps(self):
+        server, _env, iid = self.make_running()
+        steps = drain_plan(server, ["n1"])
+        assert any("take n1 off-line" in step for step in steps)
+
+    def test_drain_plan_suspends_stopped_instances(self):
+        server, _env, iid = self.make_running()
+        steps = drain_plan(server, ["n1", "n2", "n3"])
+        assert any(step.startswith(f"suspend {iid}") for step in steps)
+        assert any(step.startswith(f"resume {iid}") for step in steps)
+
+
+class TestWhatIfPlacementTags:
+    def test_tagged_work_stops_when_tagged_node_removed(self):
+        """A job pinned to a tagged node (the paper's refine-on-ik-sun
+        pattern) cannot relocate if no surviving node carries the tag."""
+        from repro.core.engine import ProgramResult
+        from ..conftest import make_inline_server
+
+        server, env = make_inline_server(
+            {"t.long": lambda i, c: ProgramResult({}, 100.0)},
+        )
+        # one general node, one tagged node; register via awareness
+        server.register_node("general", 2)
+        server.register_node("special", 2, tags=("gpu",))
+        server.define_template_ocr("""
+        PROCESS P
+          ACTIVITY Pinned
+            PROGRAM t.long
+            PARAM placement = "gpu"
+          END
+        END
+        """)
+        iid = server.launch("P")
+        # the job is dispatched (to 'special') but not yet executed
+        state = server.instance(iid).find_state("Pinned")
+        assert state.node == "special"
+        plan = outage_impact(server, ["special"])
+        assert iid in plan.stopped
+        impact = {i.instance_id: i for i in plan.affected}[iid]
+        assert not impact.can_continue
+        assert impact.relocation == {}
+
+    def test_tagged_work_relocates_to_other_tagged_node(self):
+        from repro.core.engine import ProgramResult
+        from ..conftest import make_inline_server
+
+        server, env = make_inline_server(
+            {"t.long": lambda i, c: ProgramResult({}, 100.0)},
+        )
+        server.register_node("gpu1", 2, tags=("gpu",))
+        server.register_node("gpu2", 2, tags=("gpu",))
+        server.define_template_ocr("""
+        PROCESS P
+          ACTIVITY Pinned
+            PROGRAM t.long
+            PARAM placement = "gpu"
+          END
+        END
+        """)
+        iid = server.launch("P")
+        used = server.instance(iid).find_state("Pinned").node
+        other = "gpu2" if used == "gpu1" else "gpu1"
+        plan = outage_impact(server, [used])
+        impact = {i.instance_id: i for i in plan.affected}[iid]
+        assert impact.can_continue
+        assert impact.relocation == {"Pinned": other}

@@ -1,0 +1,242 @@
+"""Scheduling policies, awareness model, dispatcher bookkeeping."""
+
+import pytest
+
+from repro.core.engine.dispatcher import Dispatcher, JobRequest
+from repro.core.engine.scheduler import (
+    CapacityAwarePolicy,
+    LeastLoadedPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    make_policy,
+)
+from repro.core.monitor.awareness import AwarenessModel
+from repro.errors import EngineError
+
+
+def make_awareness(*specs):
+    """specs: (name, cpus, speed[, tags])"""
+    model = AwarenessModel()
+    for spec in specs:
+        name, cpus, speed = spec[0], spec[1], spec[2]
+        tags = spec[3] if len(spec) > 3 else ()
+        model.register(name, cpus, speed, tags)
+    return model
+
+
+class TestAwareness:
+    def test_candidates_excludes_down_nodes(self):
+        model = make_awareness(("a", 2, 1.0), ("b", 2, 1.0))
+        model.node_down("a")
+        assert [v.name for v in model.candidates()] == ["b"]
+
+    def test_candidates_excludes_full_nodes(self):
+        model = make_awareness(("a", 1, 1.0), ("b", 2, 1.0))
+        model.assign("a", "job1")
+        assert [v.name for v in model.candidates()] == ["b"]
+
+    def test_placement_tag_filter(self):
+        model = make_awareness(("a", 2, 1.0), ("b", 2, 1.0, ("refine",)))
+        assert [v.name for v in model.candidates("refine")] == ["b"]
+        assert [v.name for v in model.candidates()] == ["a", "b"]
+
+    def test_node_down_returns_orphans(self):
+        model = make_awareness(("a", 2, 1.0))
+        model.assign("a", "j1")
+        model.assign("a", "j2")
+        assert model.node_down("a") == ["j1", "j2"]
+        assert model.node("a").assigned == set()
+
+    def test_effective_free_accounts_for_load(self):
+        model = make_awareness(("a", 4, 1.0))
+        model.load_report("a", 2.5)
+        model.assign("a", "j1")
+        assert model.node("a").effective_free() == pytest.approx(0.5)
+
+    def test_reconfigure(self):
+        model = make_awareness(("a", 1, 1.0))
+        model.reconfigure("a", cpus=2, speed=1.5)
+        assert model.node("a").cpus == 2
+        assert model.node("a").speed == 1.5
+
+    def test_total_cpus(self):
+        model = make_awareness(("a", 2, 1.0), ("b", 3, 1.0))
+        model.node_down("b")
+        assert model.total_cpus() == 2
+        assert model.total_cpus(only_up=False) == 5
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(EngineError):
+            make_awareness().node("ghost")
+
+    def test_release_unknown_node_is_noop(self):
+        make_awareness().release("ghost", "j1")
+
+
+class TestPolicies:
+    def test_least_loaded_prefers_free_capacity(self):
+        model = make_awareness(("a", 4, 1.0), ("b", 4, 1.0))
+        model.assign("a", "j1")
+        model.assign("a", "j2")
+        policy = LeastLoadedPolicy()
+        assert policy.select(model.candidates()) == "b"
+
+    def test_least_loaded_uses_external_load(self):
+        model = make_awareness(("a", 4, 1.0), ("b", 4, 1.0))
+        model.load_report("a", 3.0)
+        assert LeastLoadedPolicy().select(model.candidates()) == "b"
+
+    def test_capacity_aware_prefers_fast_free_node(self):
+        model = make_awareness(("slow", 4, 0.5), ("fast", 2, 2.0))
+        assert CapacityAwarePolicy().select(model.candidates()) == "fast"
+
+    def test_capacity_aware_avoids_loaded_fast_node(self):
+        model = make_awareness(("slow", 4, 0.8), ("fast", 2, 2.0))
+        model.load_report("fast", 2.0)  # fully busy with other users
+        assert CapacityAwarePolicy().select(model.candidates()) == "slow"
+
+    def test_round_robin_cycles(self):
+        model = make_awareness(("a", 9, 1.0), ("b", 9, 1.0), ("c", 9, 1.0))
+        policy = RoundRobinPolicy()
+        picks = [policy.select(model.candidates()) for _ in range(6)]
+        assert picks == ["a", "b", "c", "a", "b", "c"]
+
+    def test_random_policy_deterministic_per_seed(self):
+        model = make_awareness(("a", 9, 1.0), ("b", 9, 1.0))
+        picks1 = [RandomPolicy(1).select(model.candidates())
+                  for _ in range(5)]
+        picks2 = [RandomPolicy(1).select(model.candidates())
+                  for _ in range(5)]
+        # fresh policies with the same seed agree on the first pick
+        assert picks1[0] == picks2[0]
+
+    def test_all_policies_handle_empty_candidates(self):
+        for policy in (RoundRobinPolicy(), LeastLoadedPolicy(),
+                       CapacityAwarePolicy(), RandomPolicy(0)):
+            assert policy.select([]) is None
+
+    def test_factory(self):
+        assert make_policy("round-robin").name == "round-robin"
+        assert make_policy("least-loaded").name == "least-loaded"
+        assert make_policy("capacity-aware").name == "capacity-aware"
+        assert make_policy("random").name == "random"
+        with pytest.raises(ValueError):
+            make_policy("oracle")
+
+
+class _DispatchHarness:
+    """Minimal server-side wiring for dispatcher unit tests."""
+
+    def __init__(self, awareness):
+        self.dispatcher = Dispatcher(awareness)
+        self.submitted = []
+        self.vetoed = []
+        self.dispatchable = True
+        self.dispatcher.wire(
+            submit=lambda job, node: self.submitted.append((job, node)),
+            record_dispatch=self._record,
+            is_dispatchable=lambda _iid: self.dispatchable,
+        )
+
+    def _record(self, job, node):
+        if job.task_path in self.vetoed:
+            return False
+        return True
+
+
+def job(path="T", attempt=1, placement="", instance="pi-1"):
+    return JobRequest(
+        instance_id=instance, task_path=path, program="p", inputs={},
+        attempt=attempt, placement=placement,
+    )
+
+
+class TestDispatcher:
+    def test_places_job_and_tracks_assignment(self):
+        model = make_awareness(("a", 2, 1.0))
+        harness = _DispatchHarness(model)
+        harness.dispatcher.enqueue(job())
+        assert harness.dispatcher.pump() == 1
+        assert harness.submitted[0][1] == "a"
+        assert model.node("a").assigned_count == 1
+
+    def test_duplicate_enqueue_rejected(self):
+        harness = _DispatchHarness(make_awareness(("a", 2, 1.0)))
+        assert harness.dispatcher.enqueue(job()) is True
+        assert harness.dispatcher.enqueue(job()) is False
+
+    def test_enqueue_rejected_while_in_flight(self):
+        harness = _DispatchHarness(make_awareness(("a", 2, 1.0)))
+        harness.dispatcher.enqueue(job())
+        harness.dispatcher.pump()
+        assert harness.dispatcher.enqueue(job(attempt=2)) is False
+
+    def test_requeue_allowed_after_finish(self):
+        harness = _DispatchHarness(make_awareness(("a", 2, 1.0)))
+        request = job()
+        harness.dispatcher.enqueue(request)
+        harness.dispatcher.pump()
+        harness.dispatcher.job_finished(request.job_id)
+        assert harness.dispatcher.enqueue(job(attempt=2)) is True
+
+    def test_jobs_wait_when_no_capacity(self):
+        model = make_awareness(("a", 1, 1.0))
+        harness = _DispatchHarness(model)
+        harness.dispatcher.enqueue(job("T1"))
+        harness.dispatcher.enqueue(job("T2"))
+        assert harness.dispatcher.pump() == 1
+        assert harness.dispatcher.queue_length() == 1
+        # capacity frees up -> next pump places the waiter
+        first = harness.submitted[0][0]
+        harness.dispatcher.job_finished(first.job_id)
+        assert harness.dispatcher.pump() == 1
+
+    def test_placement_tag_respected(self):
+        model = make_awareness(("a", 4, 1.0), ("b", 4, 1.0, ("gpu",)))
+        harness = _DispatchHarness(model)
+        harness.dispatcher.enqueue(job("T1", placement="gpu"))
+        harness.dispatcher.pump()
+        assert harness.submitted[0][1] == "b"
+
+    def test_unplaceable_tagged_job_waits(self):
+        model = make_awareness(("a", 4, 1.0))
+        harness = _DispatchHarness(model)
+        harness.dispatcher.enqueue(job("T1", placement="gpu"))
+        assert harness.dispatcher.pump() == 0
+        assert harness.dispatcher.queue_length() == 1
+
+    def test_suspended_instance_not_dispatched(self):
+        harness = _DispatchHarness(make_awareness(("a", 2, 1.0)))
+        harness.dispatchable = False
+        harness.dispatcher.enqueue(job())
+        assert harness.dispatcher.pump() == 0
+        harness.dispatchable = True
+        assert harness.dispatcher.pump() == 1
+
+    def test_veto_drops_job(self):
+        harness = _DispatchHarness(make_awareness(("a", 2, 1.0)))
+        harness.vetoed.append("T")
+        harness.dispatcher.enqueue(job())
+        assert harness.dispatcher.pump() == 0
+        assert harness.dispatcher.queue_length() == 0  # dropped, not waiting
+
+    def test_drop_instance_clears_queue(self):
+        harness = _DispatchHarness(make_awareness(("a", 1, 1.0)))
+        harness.dispatcher.enqueue(job("T1", instance="pi-1"))
+        harness.dispatcher.enqueue(job("T2", instance="pi-1"))
+        harness.dispatcher.enqueue(job("T3", instance="pi-2"))
+        harness.dispatcher.pump()  # places T1
+        assert harness.dispatcher.drop_instance("pi-1") == 1
+        assert harness.dispatcher.queue_length() == 1
+
+    def test_jobs_on_node(self):
+        model = make_awareness(("a", 2, 1.0))
+        harness = _DispatchHarness(model)
+        harness.dispatcher.enqueue(job("T1"))
+        harness.dispatcher.enqueue(job("T2"))
+        harness.dispatcher.pump()
+        assert len(harness.dispatcher.jobs_on_node("a")) == 2
+
+    def test_job_finished_unknown_returns_none(self):
+        harness = _DispatchHarness(make_awareness(("a", 2, 1.0)))
+        assert harness.dispatcher.job_finished("ghost") is None

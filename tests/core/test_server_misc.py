@@ -1,0 +1,173 @@
+"""Server odds and ends: registry, templates, ids, stale results."""
+
+import pytest
+
+from repro.core.engine import (
+    BioOperaServer,
+    InlineEnvironment,
+    ProgramContext,
+    ProgramRegistry,
+    ProgramResult,
+)
+from repro.errors import (
+    EngineError,
+    InvalidStateError,
+    UnknownInstanceError,
+    ValidationError,
+)
+
+from ..conftest import constant_program, make_inline_server
+
+SIMPLE = """
+PROCESS P
+  ACTIVITY A
+    PROGRAM t.ok
+  END
+END
+"""
+
+
+class TestRegistry:
+    def test_duplicate_registration_rejected(self):
+        registry = ProgramRegistry()
+        registry.register("x", constant_program({}))
+        with pytest.raises(EngineError):
+            registry.register("x", constant_program({}))
+
+    def test_replace_swaps_implementation(self):
+        registry = ProgramRegistry()
+        registry.register("x", constant_program({"v": 1}))
+        registry.replace("x", constant_program({"v": 2}))
+        ctx = ProgramContext("i", "t", 1, "n")
+        assert registry.run("x", {}, ctx).outputs == {"v": 2}
+
+    def test_unknown_program_raises(self):
+        with pytest.raises(EngineError):
+            ProgramRegistry().program("ghost")
+
+    def test_bad_return_type_rejected(self):
+        registry = ProgramRegistry()
+        registry.register("bad", lambda i, c: {"not": "a ProgramResult"})
+        with pytest.raises(EngineError):
+            registry.run("bad", {}, ProgramContext("i", "t", 1, "n"))
+
+    def test_missing_programs_for_template(self):
+        from repro.core.ocr import parse_ocr
+
+        registry = ProgramRegistry()
+        registry.register("t.ok", constant_program({}))
+        template = parse_ocr(SIMPLE)
+        assert registry.missing_programs(template) == []
+        template2 = parse_ocr(SIMPLE.replace("t.ok", "t.absent"))
+        assert registry.missing_programs(template2) == ["t.absent"]
+
+    def test_context_rng_deterministic(self):
+        a = ProgramContext("i", "t", 1, "n", seed=5).rng().random()
+        b = ProgramContext("i", "t", 1, "n", seed=5).rng().random()
+        c = ProgramContext("i", "t", 2, "n", seed=5).rng().random()
+        assert a == b
+        assert a != c
+
+    def test_describe(self):
+        registry = ProgramRegistry()
+        registry.register("x", constant_program({}), "does x")
+        assert registry.describe("x") == "does x"
+        assert registry.names() == ["x"]
+
+
+class TestTemplates:
+    def test_invalid_template_rejected_at_define(self):
+        server, _env = make_inline_server()
+        with pytest.raises(ValidationError):
+            server.define_template_ocr("""
+            PROCESS Bad
+              ACTIVITY A
+                PROGRAM p
+                IN x = Ghost.out
+              END
+            END
+            """)
+
+    def test_versions_accumulate(self):
+        server, _env = make_inline_server({"t.ok": constant_program({})})
+        assert server.define_template_ocr(SIMPLE) == 1
+        assert server.define_template_ocr(SIMPLE) == 2
+        _template, version = server.resolve_template("P")
+        assert version == 2
+        _t1, v1 = server.resolve_template("P", 1)
+        assert v1 == 1
+
+
+class TestInstanceIds:
+    def test_sequence(self):
+        server, env = make_inline_server({"t.ok": constant_program({})})
+        server.define_template_ocr(SIMPLE)
+        first = server.launch("P")
+        second = server.launch("P")
+        assert first == "pi-000001"
+        assert second == "pi-000002"
+
+    def test_explicit_id(self):
+        server, env = make_inline_server({"t.ok": constant_program({})})
+        server.define_template_ocr(SIMPLE)
+        assert server.launch("P", instance_id="my-run") == "my-run"
+
+    def test_sequence_continues_after_recovery(self):
+        server, env = make_inline_server({"t.ok": constant_program({})})
+        server.define_template_ocr(SIMPLE)
+        server.launch("P")
+        server.crash()
+        recovered = BioOperaServer.recover(server.store, server.registry,
+                                           environment=InlineEnvironment())
+        assert recovered.launch("P") == "pi-000002"
+
+    def test_unknown_instance(self):
+        server, _env = make_inline_server()
+        with pytest.raises(UnknownInstanceError):
+            server.instance("ghost")
+
+
+class TestStaleResults:
+    def test_late_result_after_retry_is_ignored(self):
+        """A result arriving for a superseded attempt must not corrupt
+        state (the duplicate-result guard)."""
+        server, env = make_inline_server({"t.ok": constant_program({})})
+        server.define_template_ocr(SIMPLE)
+        iid = server.launch("P")
+        # fabricate a stale delivery for a job the dispatcher forgot
+        server.on_job_completed(f"{iid}:A:99", {"v": "stale"}, 1.0, "nX")
+        assert server.metrics["stale_results_ignored"] == 1
+        env.run_instance(iid)
+        state = server.instance(iid).find_state("A")
+        assert state.outputs == {}
+
+    def test_result_for_terminal_instance_ignored(self):
+        server, env = make_inline_server({"t.ok": constant_program({})})
+        server.define_template_ocr(SIMPLE)
+        iid = server.launch("P")
+        env.run_instance(iid)
+        events_before = server.store.instances.event_count(iid)
+        server.on_job_failed(f"{iid}:A:1", "node-crash", "n1")
+        assert server.store.instances.event_count(iid) == events_before
+
+
+class TestInlineEnvironment:
+    def test_cancel_before_step(self):
+        server, env = make_inline_server(
+            {"t.ok": constant_program({"v": 1})})
+        server.define_template_ocr(SIMPLE)
+        iid = server.launch("P")
+        job_id = f"{iid}:A:1"
+        env.cancel(job_id)
+        env.run_until_idle()
+        assert server.instance(iid).find_state("A").status == "dispatched"
+
+    def test_run_until_idle_guard(self):
+        env = InlineEnvironment()
+        assert env.run_until_idle() == 0
+
+    def test_registers_declared_nodes(self):
+        server, env = make_inline_server(
+            {"t.ok": constant_program({})}, nodes={"big": 16, "small": 1})
+        assert server.awareness.node("big").cpus == 16
+        assert server.awareness.node("small").cpus == 1

@@ -1,0 +1,204 @@
+"""OCR event handling: RAISE / AWAIT signals (paper, Section 3.1)."""
+
+import pytest
+
+from repro.core.engine import BioOperaServer, InlineEnvironment, ProgramResult
+from repro.core.ocr import parse_ocr, print_ocr
+from repro.errors import InvalidStateError, ModelError
+
+from ..conftest import constant_program, make_inline_server, run_process
+
+
+class TestModelAndOcr:
+    def test_raise_await_round_trip(self):
+        source = """
+PROCESS P
+  ACTIVITY A
+    PROGRAM ns.a
+    RAISE data_ready
+  END
+  ACTIVITY B
+    PROGRAM ns.b
+    AWAIT data_ready
+    AWAIT green_light
+  END
+  CONNECT A -> B
+END
+"""
+        template = parse_ocr(source)
+        assert template.graph.tasks["A"].raises == ["data_ready"]
+        assert template.graph.tasks["B"].awaits == ["data_ready",
+                                                    "green_light"]
+        text = print_ocr(template)
+        assert "RAISE data_ready" in text
+        assert "AWAIT green_light" in text
+        assert parse_ocr(text).to_dict() == template.to_dict()
+
+    def test_bad_signal_name_rejected(self):
+        from repro.core.model import Activity
+
+        with pytest.raises(ModelError):
+            Activity("A", program="p", raises=["not a name"])
+
+
+class TestRuntimeSignals:
+    def test_sibling_raise_satisfies_await(self):
+        order = []
+
+        def tag(name):
+            def fn(inputs, ctx):
+                order.append(name)
+                return ProgramResult({}, 0.1)
+            return fn
+
+        server, _env, iid = run_process(
+            """
+            PROCESS P
+              ACTIVITY Producer
+                PROGRAM t.p
+                RAISE ready
+              END
+              ACTIVITY Free
+                PROGRAM t.f
+              END
+              ACTIVITY Gated
+                PROGRAM t.g
+                AWAIT ready
+              END
+            END
+            """,
+            {"t.p": tag("producer"), "t.f": tag("free"),
+             "t.g": tag("gated")},
+        )
+        instance = server.instance(iid)
+        assert instance.status == "completed"
+        # Gated has no control dependency on Producer but still ran after it
+        assert order.index("gated") > order.index("producer")
+        assert "ready" in instance.signals
+
+    def test_await_without_raise_blocks(self):
+        server, env = make_inline_server({"t.ok": constant_program({})})
+        server.define_template_ocr("""
+        PROCESS P
+          ACTIVITY Gated
+            PROGRAM t.ok
+            AWAIT never_raised
+          END
+        END
+        """)
+        iid = server.launch("P")
+        env.run_until_idle()
+        instance = server.instance(iid)
+        assert instance.status == "running"
+        assert instance.find_state("Gated").status == "inactive"
+
+    def test_external_signal_unblocks(self):
+        server, env = make_inline_server({"t.ok": constant_program({})})
+        server.define_template_ocr("""
+        PROCESS P
+          ACTIVITY Gated
+            PROGRAM t.ok
+            AWAIT operator_go
+          END
+        END
+        """)
+        iid = server.launch("P")
+        env.run_until_idle()
+        server.raise_signal(iid, "operator_go")
+        env.run_instance(iid)
+        assert server.instance(iid).status == "completed"
+
+    def test_signal_on_terminal_instance_rejected(self):
+        server, env = make_inline_server({"t.ok": constant_program({})})
+        server.define_template_ocr("""
+        PROCESS P
+          ACTIVITY A
+            PROGRAM t.ok
+          END
+        END
+        """)
+        iid = server.launch("P")
+        env.run_instance(iid)
+        with pytest.raises(InvalidStateError):
+            server.raise_signal(iid, "late")
+
+    def test_broadcast_reaches_all_live_instances(self):
+        server, env = make_inline_server({"t.ok": constant_program({})})
+        server.define_template_ocr("""
+        PROCESS P
+          ACTIVITY Gated
+            PROGRAM t.ok
+            AWAIT go
+          END
+        END
+        """)
+        first = server.launch("P")
+        second = server.launch("P")
+        env.run_until_idle()
+        server.broadcast_signal("go")
+        env.run_until_idle()
+        assert server.instance(first).status == "completed"
+        assert server.instance(second).status == "completed"
+
+    def test_signals_survive_recovery(self):
+        server, env = make_inline_server({"t.ok": constant_program({})})
+        server.define_template_ocr("""
+        PROCESS P
+          ACTIVITY Gated
+            PROGRAM t.ok
+            AWAIT go
+          END
+        END
+        """)
+        iid = server.launch("P")
+        env.run_until_idle()
+        server.raise_signal(iid, "go")
+        server.crash()  # before the gated task could run to completion
+        env2 = InlineEnvironment()
+        recovered = BioOperaServer.recover(server.store, server.registry,
+                                           environment=env2)
+        assert "go" in recovered.instance(iid).signals
+        env2.run_instance(iid)
+        assert recovered.instance(iid).status == "completed"
+
+    def test_parallel_bodies_can_await(self):
+        server, env = make_inline_server({
+            "t.body": lambda i, c: ProgramResult({"v": i["e"]}, 0.1),
+        })
+        server.define_template_ocr("""
+        PROCESS P
+          INPUT items
+          OUTPUT results = Fan.results
+          PARALLEL Fan
+            FOREACH wb.items AS e
+            ACTIVITY Body
+              PROGRAM t.body
+              AWAIT go
+            END
+          END
+        END
+        """)
+        iid = server.launch("P", {"items": [1, 2]})
+        env.run_until_idle()
+        assert server.instance(iid).status == "running"
+        server.raise_signal(iid, "go")
+        env.run_instance(iid)
+        assert [r["v"] for r in
+                server.instance(iid).outputs["results"]] == [1, 2]
+
+    def test_raise_emitted_once(self):
+        server, _env, iid = run_process(
+            """
+            PROCESS P
+              ACTIVITY A
+                PROGRAM t.ok
+                RAISE done
+              END
+            END
+            """,
+            {"t.ok": constant_program({})},
+        )
+        events = [e for e in server.store.instances.events(iid)
+                  if e["type"] == "signal_raised"]
+        assert len(events) == 1
+        assert events[0]["source"] == "A"

@@ -1,0 +1,40 @@
+"""The shipped examples must keep running (they are executable docs)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..",
+                            "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "all_vs_all_real.py",
+    "dependable_cluster_run.py",
+    "tower_of_information.py",
+    "coordination_and_failover.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} printed nothing"
+
+
+def test_examples_list_is_complete():
+    on_disk = sorted(
+        name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+    )
+    assert on_disk == sorted(EXAMPLES), (
+        "examples/ changed; update EXAMPLES and the README list"
+    )

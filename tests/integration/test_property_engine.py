@@ -1,0 +1,152 @@
+"""Property-based engine tests: random processes, random crash points."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import (
+    BioOperaServer,
+    InlineEnvironment,
+    ProgramRegistry,
+    ProgramResult,
+    replay_instance,
+)
+from repro.core.model import (
+    Activity,
+    Binding,
+    ProcessTemplate,
+    TaskGraph,
+)
+from repro.core.model.data import ProcessParameter
+
+
+@st.composite
+def random_dag_template(draw):
+    """A random acyclic process whose activities each produce a token."""
+    task_count = draw(st.integers(min_value=1, max_value=7))
+    graph = TaskGraph()
+    names = [f"T{i}" for i in range(task_count)]
+    for name in names:
+        graph.add_task(Activity(name, program="prop.token"))
+    edges = []
+    for i in range(task_count):
+        for j in range(i + 1, task_count):
+            if draw(st.booleans()):
+                graph.connect(names[i], names[j])
+                edges.append((names[i], names[j]))
+    return ProcessTemplate(
+        "RandomDag", graph=graph,
+        parameters=[ProcessParameter("seed", optional=True, default=0)],
+    ), edges
+
+
+class TestRandomDags:
+    @settings(max_examples=40, deadline=None)
+    @given(random_dag_template())
+    def test_every_dag_completes_and_respects_order(self, built):
+        template, edges = built
+        order = []
+
+        def token(inputs, ctx):
+            order.append(ctx.task_path)
+            return ProgramResult({"token": ctx.task_path}, 0.1)
+
+        registry = ProgramRegistry()
+        registry.register("prop.token", token)
+        server = BioOperaServer(registry=registry)
+        environment = InlineEnvironment()
+        server.attach_environment(environment)
+        server.define_template(template)
+        instance_id = server.launch("RandomDag")
+        environment.run_instance(instance_id)
+        instance = server.instance(instance_id)
+        assert instance.status == "completed"
+        # every task ran exactly once
+        assert sorted(order) == sorted(template.graph.tasks)
+        # control-flow edges respected
+        positions = {name: index for index, name in enumerate(order)}
+        for source, target in edges:
+            assert positions[source] < positions[target]
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_dag_template())
+    def test_replay_equals_live(self, built):
+        template, _edges = built
+        registry = ProgramRegistry()
+        registry.register(
+            "prop.token",
+            lambda i, c: ProgramResult({"token": c.task_path}, 0.1),
+        )
+        server = BioOperaServer(registry=registry)
+        environment = InlineEnvironment()
+        server.attach_environment(environment)
+        server.define_template(template)
+        instance_id = server.launch("RandomDag")
+        environment.run_instance(instance_id)
+        live = server.instance(instance_id)
+        twin = replay_instance(server.store, instance_id, server._resolver)
+        assert twin.status == live.status
+        assert twin.progress() == live.progress()
+        for state in live.iter_states():
+            assert twin.find_state(state.path).outputs == state.outputs
+
+
+class TestRandomCrashPoints:
+    CHAIN_LENGTH = 6
+
+    def build(self):
+        graph = TaskGraph()
+        previous = None
+        for index in range(self.CHAIN_LENGTH):
+            name = f"S{index}"
+            graph.add_task(Activity(name, program="prop.step"))
+            if previous is not None:
+                graph.connect(previous, name)
+            previous = name
+        template = ProcessTemplate("Chain6", graph=graph)
+        registry = ProgramRegistry()
+        calls = []
+        registry.register(
+            "prop.step",
+            lambda i, c: (calls.append(c.task_path),
+                          ProgramResult({"done": c.task_path}, 1.0))[1],
+        )
+        server = BioOperaServer(registry=registry)
+        environment = InlineEnvironment()
+        server.attach_environment(environment)
+        server.define_template(template)
+        return server, environment, calls
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=CHAIN_LENGTH),
+           st.integers(min_value=0, max_value=CHAIN_LENGTH))
+    def test_crash_twice_anywhere_no_rework_of_completed_steps(
+            self, first_crash, second_crash):
+        server, environment, calls = self.build()
+        instance_id = server.launch("Chain6")
+        for _ in range(first_crash):
+            environment.step()
+        server.crash()
+        environment2 = InlineEnvironment()
+        server2 = BioOperaServer.recover(server.store, server.registry,
+                                         environment=environment2)
+        for _ in range(second_crash):
+            environment2.step()
+        server2.crash()
+        environment3 = InlineEnvironment()
+        server3 = BioOperaServer.recover(server2.store, server2.registry,
+                                         environment=environment3)
+        environment3.run_instance(instance_id)
+        instance = server3.instance(instance_id)
+        assert instance.status == "completed"
+        # each step completed exactly once in the durable log...
+        completed = [
+            event["path"]
+            for event in server3.store.instances.events(instance_id)
+            if event["type"] == "task_completed"
+        ]
+        assert sorted(completed) == sorted(
+            f"S{i}" for i in range(self.CHAIN_LENGTH))
+        # ...and each step EXECUTED at most twice (once wasted per crash
+        # at most: the in-flight victim)
+        for index in range(self.CHAIN_LENGTH):
+            assert calls.count(f"S{index}") <= 3

@@ -1,0 +1,103 @@
+"""Real vs. modeled Darwin execution through the identical process.
+
+The benchmarks run cost-modeled Darwin for scale; these tests pin down
+what the substitution preserves: the same process, run once with genuine
+Smith-Waterman alignment and once with the modeled engine over the same
+database, agrees on the biologically meaningful structure (the planted
+homologous families) and exercises identical engine paths.
+"""
+
+import pytest
+
+from repro.bio import DarwinEngine, DatabaseProfile, SequenceDatabase
+from repro.core.engine import BioOperaServer, InlineEnvironment
+from repro.processes import install_all_vs_all
+
+
+@pytest.fixture(scope="module")
+def database():
+    return SequenceDatabase.synthetic(
+        "rvm_db", 30, seed=77, mean_length=80.0, min_length=40,
+        max_length=200, family_fraction=0.4, family_size=3,
+        mutation_rate=0.15,
+    )
+
+
+@pytest.fixture(scope="module")
+def profile(database):
+    return DatabaseProfile.from_database(database)
+
+
+def run(darwin, granularity=4):
+    server = BioOperaServer(seed=1)
+    environment = InlineEnvironment()
+    server.attach_environment(environment)
+    install_all_vs_all(server, darwin)
+    instance_id = server.launch("all_vs_all", {
+        "db_name": darwin.profile.name,
+        "granularity": granularity,
+    })
+    status = environment.run_instance(instance_id)
+    assert status == "completed"
+    instance = server.instance(instance_id)
+    merged = instance.find_state("MergeByEntry").outputs["matches"]
+    return server, instance, merged
+
+
+class TestAgreement:
+    @pytest.fixture(scope="class")
+    def runs(self, database, profile):
+        real = DarwinEngine(profile, database=database, mode="real",
+                            match_threshold=60.0, seed=3)
+        modeled = DarwinEngine(profile, mode="modeled",
+                               match_threshold=60.0,
+                               random_match_rate=0.0, seed=3)
+        return run(real), run(modeled)
+
+    def test_both_find_every_planted_family_pair(self, runs, profile):
+        (_s1, _i1, real_matches), (_s2, _i2, modeled_matches) = runs
+        planted = set(profile.homologous_pairs())
+        assert planted
+        real_pairs = {(m["i"], m["j"]) for m in real_matches["matches"]}
+        modeled_pairs = {(m["i"], m["j"]) for m in modeled_matches["matches"]}
+        assert planted <= modeled_pairs           # modeled: by construction
+        assert len(planted & real_pairs) >= 0.8 * len(planted)
+
+    def test_match_counts_same_magnitude(self, runs):
+        (_s1, _i1, real_matches), (_s2, _i2, modeled_matches) = runs
+        assert real_matches["count"] > 0
+        # with background matches disabled, the modeled count is the family
+        # count; real mode may add a few chance similarities
+        assert modeled_matches["count"] <= real_matches["count"] * 1.5 + 5
+        assert real_matches["count"] <= modeled_matches["count"] * 3 + 10
+
+    def test_refined_pams_in_plausible_range_both_modes(self, runs):
+        for _server, _instance, merged in runs:
+            for match in merged["matches"]:
+                assert 0 < match["pam"] <= 400
+
+    def test_same_engine_event_shapes(self, runs):
+        """Both modes drive identical orchestration: same activity count,
+        same event-type sequence per chunk."""
+        (server_real, i_real, _m1), (server_mod, i_mod, _m2) = runs
+        assert i_real.activity_count() == i_mod.activity_count()
+
+        def chunk_event_types(server, instance):
+            return [
+                event["type"]
+                for event in server.store.instances.events(instance.id)
+                if "Chunk[0]/" in event.get("path", "")
+            ]
+
+        assert chunk_event_types(server_real, i_real) == \
+            chunk_event_types(server_mod, i_mod)
+
+    def test_costs_comparable_scale(self, runs):
+        """The cost model charges modeled runs an amount of the same order
+        the real computation reports."""
+        (_s1, i_real, _m1), (_s2, i_mod, _m2) = runs
+        real_cpu = i_real.total_cpu_seconds()
+        modeled_cpu = i_mod.total_cpu_seconds()
+        assert real_cpu > 0 and modeled_cpu > 0
+        ratio = modeled_cpu / real_cpu
+        assert 0.3 <= ratio <= 3.0

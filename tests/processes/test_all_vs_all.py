@@ -1,0 +1,178 @@
+"""The Figure 3 all-vs-all process: structure and end-to-end execution."""
+
+import pytest
+
+from repro.bio import DarwinEngine, merge_match_sets
+from repro.core.engine import BioOperaServer, InlineEnvironment
+from repro.core.model import Activity, ParallelTask, SubprocessTask
+from repro.processes import (
+    build_align_chunk_template,
+    build_all_vs_all_template,
+    install_all_vs_all,
+)
+from repro.processes.partitioning import list_queue
+
+
+class TestTemplates:
+    def test_all_vs_all_validates(self):
+        template = build_all_vs_all_template()
+        assert template.validate() == []
+
+    def test_align_chunk_validates(self):
+        assert build_align_chunk_template().validate() == []
+
+    def test_figure3_task_inventory(self):
+        template = build_all_vs_all_template()
+        tasks = template.graph.tasks
+        assert set(tasks) == {
+            "UserInput", "QueueGeneration", "Preprocessing", "Alignment",
+            "MergeByEntry", "MergeByPAM",
+        }
+        assert isinstance(tasks["Alignment"], ParallelTask)
+        assert isinstance(tasks["Alignment"].body, SubprocessTask)
+        assert tasks["Alignment"].body.template_name == "align_chunk"
+
+    def test_queue_generation_is_conditional(self):
+        template = build_all_vs_all_template()
+        conditions = {
+            (c.source, c.target): c.condition.to_text()
+            for c in template.graph.connectors
+        }
+        assert conditions[("UserInput", "QueueGeneration")] == (
+            "NOT DEFINED(wb.queue_file)")
+        assert conditions[("UserInput", "Preprocessing")] == (
+            "DEFINED(wb.queue_file)")
+
+    def test_chunk_has_fixed_then_refine(self):
+        template = build_align_chunk_template()
+        assert list(template.graph.topological_order()) == [
+            "FixedPAM", "Refine"]
+
+    def test_sphere_present(self):
+        template = build_all_vs_all_template()
+        assert template.spheres[0].tasks == ("Preprocessing", "Alignment")
+
+
+@pytest.fixture()
+def installed(darwin_modeled):
+    server = BioOperaServer(seed=2)
+    env = InlineEnvironment(nodes={"n1": 4, "n2": 4})
+    server.attach_environment(env)
+    install_all_vs_all(server, darwin_modeled)
+    return server, env, darwin_modeled
+
+
+class TestExecution:
+    def test_full_run_without_queue_file(self, installed, small_profile):
+        server, env, darwin = installed
+        iid = server.launch("all_vs_all", {
+            "db_name": small_profile.name, "granularity": 4,
+        })
+        assert env.run_instance(iid) == "completed"
+        instance = server.instance(iid)
+        # queue generation ran (no queue provided)
+        assert instance.find_state("QueueGeneration").status == "completed"
+        assert instance.outputs["match_count"] > 0
+        assert instance.outputs["master_file"] == "allvsall.out"
+
+    def test_run_with_user_queue_skips_generation(self, installed,
+                                                  small_profile):
+        server, env, darwin = installed
+        queue = list_queue(list(range(1, len(small_profile) + 1)))
+        iid = server.launch("all_vs_all", {
+            "db_name": small_profile.name,
+            "queue_file": queue,
+            "granularity": 3,
+        })
+        assert env.run_instance(iid) == "completed"
+        instance = server.instance(iid)
+        assert instance.find_state("QueueGeneration").status == "skipped"
+
+    def test_queue_subset_discards_entries(self, installed, small_profile):
+        """The paper: the queue file lets BioOpera discard ill-behaving
+        sequences — absent entries take no part in the comparison."""
+        server, env, darwin = installed
+        keep = [i for i in range(1, len(small_profile) + 1) if i not in (1, 2)]
+        iid = server.launch("all_vs_all", {
+            "db_name": small_profile.name,
+            "queue_file": list_queue(keep),
+            "granularity": 3,
+        })
+        env.run_instance(iid)
+        merged = server.instance(iid).find_state("MergeByEntry").outputs
+        for match in merged["matches"]["matches"]:
+            assert match["i"] not in (1, 2)
+            assert match["j"] not in (1, 2)
+
+    def test_result_independent_of_granularity(self, small_profile,
+                                               darwin_modeled):
+        """Match counts must not depend on how the work was partitioned."""
+        counts = []
+        for granularity in (1, 3, 7):
+            server = BioOperaServer(seed=2)
+            env = InlineEnvironment()
+            server.attach_environment(env)
+            install_all_vs_all(server, darwin_modeled)
+            iid = server.launch("all_vs_all", {
+                "db_name": small_profile.name, "granularity": granularity,
+            })
+            env.run_instance(iid)
+            counts.append(server.instance(iid).outputs["match_count"])
+        assert counts[0] == counts[1] == counts[2]
+
+    def test_real_mode_end_to_end(self, darwin_real, small_profile):
+        server = BioOperaServer(seed=2)
+        env = InlineEnvironment()
+        server.attach_environment(env)
+        install_all_vs_all(server, darwin_real)
+        iid = server.launch("all_vs_all", {
+            "db_name": small_profile.name, "granularity": 3,
+        })
+        assert env.run_instance(iid) == "completed"
+        outputs = server.instance(iid).outputs
+        assert outputs["match_count"] > 0
+        # refined matches carry PAM estimates
+        merged = server.instance(iid).find_state("MergeByEntry").outputs
+        assert all("pam" in m for m in merged["matches"]["matches"])
+
+    def test_real_matches_equal_direct_darwin_run(self, darwin_real,
+                                                  small_profile):
+        """The process orchestration adds nothing and loses nothing vs
+        calling the application directly."""
+        n = len(small_profile)
+        queue = list(range(1, n + 1))
+        direct_fixed = darwin_real.align_partition(queue, queue)["match_set"]
+        direct = darwin_real.refine_match_set(direct_fixed)["match_set"]
+
+        server = BioOperaServer(seed=2)
+        env = InlineEnvironment()
+        server.attach_environment(env)
+        install_all_vs_all(server, darwin_real)
+        iid = server.launch("all_vs_all", {
+            "db_name": small_profile.name, "granularity": 1,
+        })
+        env.run_instance(iid)
+        via_process = server.instance(iid).find_state(
+            "MergeByEntry").outputs["matches"]
+        assert via_process["count"] == direct["count"]
+        assert [(m["i"], m["j"]) for m in via_process["matches"]] == \
+               [(m["i"], m["j"]) for m in direct["matches"]]
+
+    def test_pam_histogram_produced(self, installed, small_profile):
+        server, env, darwin = installed
+        iid = server.launch("all_vs_all", {
+            "db_name": small_profile.name, "granularity": 2,
+        })
+        env.run_instance(iid)
+        histogram = server.instance(iid).outputs["pam_histogram"]
+        assert isinstance(histogram, dict)
+        assert sum(histogram.values()) > 0
+
+    def test_empty_queue_aborts_cleanly(self, installed, small_profile):
+        server, env, darwin = installed
+        iid = server.launch("all_vs_all", {
+            "db_name": small_profile.name,
+            "queue_file": {"kind": "list", "entries": []},
+        })
+        env.run_instance(iid)
+        assert server.instance(iid).status == "aborted"

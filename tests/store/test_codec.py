@@ -1,0 +1,98 @@
+"""Serialization: determinism, round trips, rejection of bad values."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CodecError
+from repro.store import codec
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 53), max_value=2 ** 53),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=40),
+)
+
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=10), children, max_size=5),
+    ),
+    max_leaves=25,
+)
+
+
+class TestEncode:
+    def test_sorted_keys_are_canonical(self):
+        assert codec.encode({"b": 1, "a": 2}) == codec.encode({"a": 2, "b": 1})
+
+    def test_compact_output(self):
+        assert codec.encode({"a": [1, 2]}) == b'{"a":[1,2]}'
+
+    def test_tuple_encodes_as_list(self):
+        assert codec.encode((1, 2)) == codec.encode([1, 2])
+
+    def test_unicode(self):
+        assert codec.decode(codec.encode("Zürich")) == "Zürich"
+
+    def test_rejects_nan(self):
+        with pytest.raises(CodecError):
+            codec.encode(float("nan"))
+
+    def test_rejects_infinity(self):
+        with pytest.raises(CodecError):
+            codec.encode(float("inf"))
+
+    def test_rejects_non_string_keys(self):
+        with pytest.raises(CodecError) as excinfo:
+            codec.encode({1: "x"})
+        assert "non-string" in str(excinfo.value)
+
+    def test_rejects_objects(self):
+        with pytest.raises(CodecError) as excinfo:
+            codec.encode({"a": object()})
+        assert "$.a" in str(excinfo.value)
+
+    def test_rejects_nested_objects_with_path(self):
+        with pytest.raises(CodecError) as excinfo:
+            codec.encode({"a": [1, {"b": set()}]})
+        assert "$.a[1].b" in str(excinfo.value)
+
+
+class TestDecode:
+    def test_round_trip_simple(self):
+        value = {"x": [1, 2.5, None, True, "s"]}
+        assert codec.decode(codec.encode(value)) == value
+
+    def test_garbage_raises(self):
+        with pytest.raises(CodecError):
+            codec.decode(b"\xff\xfe not json")
+
+    def test_truncated_raises(self):
+        payload = codec.encode({"a": 1})
+        with pytest.raises(CodecError):
+            codec.decode(payload[:-2])
+
+
+class TestProperties:
+    @given(json_values)
+    def test_round_trip(self, value):
+        decoded = codec.decode(codec.encode(value))
+        # tuples become lists; normalize before comparing
+        def normalize(v):
+            if isinstance(v, tuple):
+                v = list(v)
+            if isinstance(v, list):
+                return [normalize(i) for i in v]
+            if isinstance(v, dict):
+                return {k: normalize(i) for k, i in v.items()}
+            return v
+        assert decoded == normalize(value)
+
+    @given(json_values)
+    def test_deterministic(self, value):
+        assert codec.encode(value) == codec.encode(value)

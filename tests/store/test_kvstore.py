@@ -1,0 +1,181 @@
+"""KV store: durability, transactions, snapshots, recovery."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import StoreError
+from repro.store import KVStore, MEMORY
+
+
+class TestBasicOps:
+    def test_put_get(self):
+        store = KVStore()
+        store.put("k", {"v": 1})
+        assert store.get("k") == {"v": 1}
+
+    def test_get_default(self):
+        assert KVStore().get("missing", 42) == 42
+
+    def test_delete(self):
+        store = KVStore()
+        store.put("k", 1)
+        store.delete("k")
+        assert "k" not in store
+
+    def test_delete_missing_is_noop(self):
+        KVStore().delete("never-there")
+
+    def test_overwrite(self):
+        store = KVStore()
+        store.put("k", 1)
+        store.put("k", 2)
+        assert store.get("k") == 2
+
+    def test_len(self):
+        store = KVStore()
+        store.put("a", 1)
+        store.put("b", 2)
+        assert len(store) == 2
+
+    def test_keys_sorted_with_prefix(self):
+        store = KVStore()
+        for key in ("b/2", "a/1", "b/1"):
+            store.put(key, key)
+        assert store.keys("b/") == ["b/1", "b/2"]
+        assert store.keys() == ["a/1", "b/1", "b/2"]
+
+    def test_items_prefix_scan(self):
+        store = KVStore()
+        store.put("x/1", 10)
+        store.put("y/1", 20)
+        assert dict(store.items("x/")) == {"x/1": 10}
+
+
+class TestTransactions:
+    def test_commit_applies_all(self):
+        store = KVStore()
+        with store.transaction() as txn:
+            txn.put("a", 1)
+            txn.put("b", 2)
+        assert store.get("a") == 1 and store.get("b") == 2
+
+    def test_abort_applies_nothing(self):
+        store = KVStore()
+        txn = store.transaction()
+        txn.put("a", 1)
+        txn.abort()
+        assert "a" not in store
+
+    def test_exception_rolls_back(self):
+        store = KVStore()
+        with pytest.raises(RuntimeError):
+            with store.transaction() as txn:
+                txn.put("a", 1)
+                raise RuntimeError("boom")
+        assert "a" not in store
+
+    def test_double_commit_rejected(self):
+        store = KVStore()
+        txn = store.transaction()
+        txn.put("a", 1)
+        txn.commit()
+        with pytest.raises(StoreError):
+            txn.commit()
+
+    def test_transaction_is_single_wal_record(self):
+        store = KVStore()
+        with store.transaction() as txn:
+            txn.put("a", 1)
+            txn.put("b", 2)
+            txn.delete("a")
+        assert store.wal_records == 1
+        assert "a" not in store and store.get("b") == 2
+
+    def test_empty_transaction_writes_nothing(self):
+        store = KVStore()
+        with store.transaction():
+            pass
+        assert store.wal_records == 0
+
+
+class TestDurability:
+    def test_disk_recovery(self, tmp_path):
+        path = str(tmp_path / "db")
+        store = KVStore(path)
+        store.put("k", [1, 2, 3])
+        store.delete("gone")
+        store.close()
+        recovered = KVStore(path)
+        assert recovered.get("k") == [1, 2, 3]
+
+    def test_recover_method(self, tmp_path):
+        path = str(tmp_path / "db")
+        store = KVStore(path)
+        store.put("k", "v")
+        recovered = store.recover()
+        assert recovered.get("k") == "v"
+
+    def test_recover_on_memory_store_rejected(self):
+        with pytest.raises(StoreError):
+            KVStore(MEMORY).recover()
+
+    def test_simulate_crash_on_disk_store_rejected(self, tmp_path):
+        with pytest.raises(StoreError):
+            KVStore(str(tmp_path / "db")).simulate_crash()
+
+    def test_checkpoint_compacts_wal(self, tmp_path):
+        path = str(tmp_path / "db")
+        store = KVStore(path)
+        for i in range(20):
+            store.put(f"k{i}", i)
+        assert store.wal_records == 20
+        store.checkpoint()
+        assert store.wal_records == 0
+        store.put("after", 1)
+        store.close()
+        recovered = KVStore(path)
+        assert recovered.get("k7") == 7
+        assert recovered.get("after") == 1
+
+    def test_memory_crash_preserves_synced_state(self):
+        store = KVStore()
+        store.put("durable", 1)  # put() syncs
+        survivor = store.simulate_crash()
+        assert survivor.get("durable") == 1
+
+    def test_crash_after_checkpoint(self):
+        store = KVStore()
+        store.put("a", 1)
+        store.checkpoint()
+        store.put("b", 2)
+        survivor = store.simulate_crash()
+        assert survivor.get("a") == 1
+        assert survivor.get("b") == 2
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=st.lists(
+        st.tuples(
+            st.sampled_from(["put", "delete"]),
+            st.text(alphabet="abcde", min_size=1, max_size=3),
+            st.integers(min_value=0, max_value=99),
+        ),
+        max_size=30,
+    ))
+    def test_disk_recovery_equals_dict_semantics(self, tmp_path_factory, ops):
+        """The store recovered from disk matches a plain dict replay."""
+        path = str(tmp_path_factory.mktemp("kv") / "db")
+        store = KVStore(path)
+        model = {}
+        for op, key, value in ops:
+            if op == "put":
+                store.put(key, value)
+                model[key] = value
+            else:
+                store.delete(key)
+                model.pop(key, None)
+        store.close()
+        recovered = KVStore(path)
+        assert dict(recovered.items()) == model
+        recovered.close()

@@ -1,0 +1,99 @@
+"""Lineage tracking: derivation queries and recomputation planning."""
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store import LineageGraph, LineageRecord
+
+
+def record(outputs, inputs, program="prog", **kwargs):
+    return LineageRecord(
+        outputs=tuple(outputs), inputs=tuple(inputs), program=program,
+        **kwargs,
+    )
+
+
+@pytest.fixture()
+def tower():
+    """A miniature tower of information: dna -> genes -> proteins -> {msa, tree}."""
+    graph = LineageGraph()
+    graph.add(record(["genes"], ["dna"], program="genefinder"))
+    graph.add(record(["proteins"], ["genes"], program="translate"))
+    graph.add(record(["alignments"], ["proteins"], program="allvsall"))
+    graph.add(record(["msa"], ["alignments", "proteins"], program="msa"))
+    graph.add(record(["tree"], ["alignments"], program="phylo"))
+    return graph
+
+
+class TestRecord:
+    def test_dict_round_trip(self):
+        rec = record(["out"], ["in1", "in2"], parameters=(("pam", 100),),
+                     instance_id="pi-1", task="Align", timestamp=5.0)
+        assert LineageRecord.from_dict(rec.to_dict()) == rec
+
+
+class TestQueries:
+    def test_producer(self, tower):
+        assert tower.producer("genes").program == "genefinder"
+
+    def test_producer_unknown_raises(self, tower):
+        with pytest.raises(StoreError):
+            tower.producer("nothing")
+
+    def test_is_derived(self, tower):
+        assert tower.is_derived("msa")
+        assert not tower.is_derived("dna")
+
+    def test_ancestors(self, tower):
+        assert tower.ancestors("msa") == {
+            "alignments", "proteins", "genes", "dna"
+        }
+
+    def test_ancestors_of_raw_input_empty(self, tower):
+        assert tower.ancestors("dna") == set()
+
+    def test_descendants(self, tower):
+        assert tower.descendants("proteins") == {"alignments", "msa", "tree"}
+
+    def test_invalidated_by_input_change(self, tower):
+        assert tower.invalidated_by(["dna"]) == {
+            "genes", "proteins", "alignments", "msa", "tree"
+        }
+
+    def test_invalidated_by_algorithm_change(self, tower):
+        # the paper: "recompute processes as ... algorithms change"
+        assert tower.invalidated_by_program("allvsall") == {
+            "alignments", "msa", "tree"
+        }
+
+    def test_recompute_order_is_topological(self, tower):
+        stale = tower.invalidated_by(["genes"])
+        order = tower.recompute_order(stale)
+        assert set(order) == stale
+        assert order.index("proteins") < order.index("alignments")
+        assert order.index("alignments") < order.index("msa")
+        assert order.index("alignments") < order.index("tree")
+
+    def test_recompute_order_ignores_fresh_data(self, tower):
+        order = tower.recompute_order({"tree"})
+        assert order == ["tree"]
+
+
+class TestRederivation:
+    def test_rederivation_replaces_producer(self, tower):
+        # recompute alignments with different parameters: new record wins
+        tower.add(record(["alignments"], ["proteins"], program="allvsall",
+                         parameters=(("threshold", 90),)))
+        assert tower.producer("alignments").parameters == (("threshold", 90),)
+        # consumers still see it
+        assert "msa" in tower.descendants("alignments")
+
+    def test_cycle_detected(self):
+        graph = LineageGraph()
+        graph.add(record(["b"], ["a"]))
+        graph.add(record(["a"], ["b"]))
+        with pytest.raises(StoreError):
+            graph.recompute_order({"a", "b"})
+
+    def test_len_counts_records(self, tower):
+        assert len(tower) == 5

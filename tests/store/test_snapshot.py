@@ -1,0 +1,110 @@
+"""Snapshot atomicity and the replay-any-prefix robustness property."""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.store.snapshot import FileSnapshot, MemorySnapshot
+
+
+class TestFileSnapshot:
+    def test_round_trip(self, tmp_path):
+        snapshot = FileSnapshot(str(tmp_path / "snap"))
+        snapshot.save({"a": 1, "b": [2, 3]})
+        assert snapshot.load() == {"a": 1, "b": [2, 3]}
+
+    def test_missing_file_loads_none(self, tmp_path):
+        assert FileSnapshot(str(tmp_path / "nope")).load() is None
+
+    def test_overwrite_is_atomic_rename(self, tmp_path):
+        path = str(tmp_path / "snap")
+        snapshot = FileSnapshot(path)
+        snapshot.save({"v": 1})
+        snapshot.save({"v": 2})
+        assert snapshot.load() == {"v": 2}
+        # no stray temp file left behind
+        assert os.listdir(tmp_path) == ["snap"]
+
+    def test_interrupted_write_leaves_old_snapshot(self, tmp_path):
+        """A crash mid-write (temp file exists, rename never happened)
+        must not corrupt the last good snapshot."""
+        path = str(tmp_path / "snap")
+        snapshot = FileSnapshot(path)
+        snapshot.save({"good": True})
+        with open(path + ".tmp", "wb") as fh:
+            fh.write(b'{"half-writ')   # simulated torn temp file
+        assert snapshot.load() == {"good": True}
+
+
+class TestMemorySnapshot:
+    def test_round_trip(self):
+        snapshot = MemorySnapshot()
+        assert snapshot.load() is None
+        snapshot.save({"x": [1]})
+        assert snapshot.load() == {"x": [1]}
+
+    def test_load_returns_fresh_copy(self):
+        snapshot = MemorySnapshot()
+        snapshot.save({"x": [1]})
+        first = snapshot.load()
+        first["x"].append(99)
+        assert snapshot.load() == {"x": [1]}
+
+
+class TestReplayPrefixProperty:
+    """Replaying ANY prefix of a valid event log must never crash and must
+    yield a consistent instance — this is exactly the state a recovery
+    sees if the server died mid-run."""
+
+    @pytest.fixture(scope="class")
+    def full_log(self, darwin_real, small_profile):
+        from repro.core.engine import BioOperaServer, InlineEnvironment
+        from repro.processes import install_all_vs_all
+
+        server = BioOperaServer(seed=6)
+        environment = InlineEnvironment()
+        server.attach_environment(environment)
+        install_all_vs_all(server, darwin_real)
+        instance_id = server.launch("all_vs_all", {
+            "db_name": small_profile.name, "granularity": 3,
+        })
+        environment.run_instance(instance_id)
+        events = list(server.store.instances.events(instance_id))
+        return server, instance_id, events
+
+    def test_every_prefix_replays(self, full_log):
+        from repro.core.engine import ProcessInstance
+
+        server, instance_id, events = full_log
+        assert len(events) > 20
+        statuses = []
+        for cut in range(1, len(events) + 1):
+            twin = ProcessInstance(instance_id, server._resolver)
+            twin.replay(iter(events[:cut]))
+            statuses.append(twin.status)
+            # invariants that must hold at every point in history:
+            for state in twin.iter_states():
+                assert state.attempts >= state.program_failures
+                if state.status == "completed":
+                    assert state.outputs is not None
+        assert statuses[0] == "created"
+        assert statuses[-1] == "completed"
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_random_prefix_progress_monotone(self, full_log, data):
+        """Longer prefixes never have FEWER completed tasks."""
+        from repro.core.engine import ProcessInstance
+
+        server, instance_id, events = full_log
+        short = data.draw(st.integers(min_value=1, max_value=len(events)))
+        long = data.draw(st.integers(min_value=short, max_value=len(events)))
+
+        def completed_count(cut):
+            twin = ProcessInstance(instance_id, server._resolver)
+            twin.replay(iter(events[:cut]))
+            return sum(1 for s in twin.iter_states()
+                       if s.status == "completed")
+
+        assert completed_count(long) >= completed_count(short)

@@ -1,0 +1,165 @@
+"""WAL durability: framing, torn tails, corruption, crash simulation."""
+
+import os
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CorruptLogError
+from repro.store.wal import FileWAL, MemoryWAL
+
+
+@pytest.fixture()
+def wal_path(tmp_path):
+    return str(tmp_path / "test.wal")
+
+
+class TestFileWAL:
+    def test_empty_log(self, wal_path):
+        wal = FileWAL(wal_path)
+        assert list(wal.records()) == []
+        assert len(wal) == 0
+
+    def test_append_and_read(self, wal_path):
+        wal = FileWAL(wal_path)
+        wal.append(b"one")
+        wal.append(b"two")
+        wal.sync()
+        assert list(wal.records()) == [b"one", b"two"]
+
+    def test_survives_reopen(self, wal_path):
+        wal = FileWAL(wal_path)
+        wal.append(b"alpha")
+        wal.sync()
+        wal.close()
+        reopened = FileWAL(wal_path)
+        assert list(reopened.records()) == [b"alpha"]
+
+    def test_empty_payload_record(self, wal_path):
+        wal = FileWAL(wal_path)
+        wal.append(b"")
+        wal.append(b"x")
+        assert list(wal.records()) == [b"", b"x"]
+
+    def test_torn_header_repaired(self, wal_path):
+        wal = FileWAL(wal_path)
+        wal.append(b"good")
+        wal.sync()
+        wal.close()
+        with open(wal_path, "ab") as fh:
+            fh.write(b"\x05\x00")  # half a header
+        reopened = FileWAL(wal_path)
+        assert list(reopened.records()) == [b"good"]
+        # the torn tail was truncated away
+        assert os.path.getsize(wal_path) == 8 + 4
+
+    def test_torn_payload_repaired(self, wal_path):
+        wal = FileWAL(wal_path)
+        wal.append(b"good")
+        wal.sync()
+        wal.close()
+        with open(wal_path, "ab") as fh:
+            fh.write(struct.pack("<II", 100, 0))
+            fh.write(b"short")
+        reopened = FileWAL(wal_path)
+        assert list(reopened.records()) == [b"good"]
+
+    def test_corrupt_final_record_treated_as_torn(self, wal_path):
+        wal = FileWAL(wal_path)
+        wal.append(b"good")
+        wal.append(b"bad-crc")
+        wal.sync()
+        wal.close()
+        # flip a byte in the final record's payload
+        size = os.path.getsize(wal_path)
+        with open(wal_path, "r+b") as fh:
+            fh.seek(size - 1)
+            fh.write(b"\x00")
+        reopened = FileWAL(wal_path)
+        assert list(reopened.records()) == [b"good"]
+
+    def test_corruption_before_tail_raises(self, wal_path):
+        wal = FileWAL(wal_path)
+        wal.append(b"first")
+        wal.append(b"second")
+        wal.sync()
+        wal.close()
+        # corrupt the FIRST record's payload (not the tail)
+        with open(wal_path, "r+b") as fh:
+            fh.seek(8)  # into record 1's payload
+            fh.write(b"X")
+        with pytest.raises(CorruptLogError):
+            FileWAL(wal_path)
+
+    def test_reset_discards_records(self, wal_path):
+        wal = FileWAL(wal_path)
+        wal.append(b"x")
+        wal.reset()
+        assert list(wal.records()) == []
+        wal.append(b"y")
+        assert list(wal.records()) == [b"y"]
+
+    def test_append_after_reopen_continues(self, wal_path):
+        wal = FileWAL(wal_path)
+        wal.append(b"a")
+        wal.sync()
+        wal.close()
+        wal2 = FileWAL(wal_path)
+        wal2.append(b"b")
+        assert list(wal2.records()) == [b"a", b"b"]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        records=st.lists(st.binary(max_size=64), min_size=1, max_size=10),
+        cut=st.integers(min_value=1, max_value=50),
+    )
+    def test_random_truncation_keeps_valid_prefix(self, tmp_path_factory,
+                                                  records, cut):
+        """Chopping N bytes off the end never corrupts the valid prefix."""
+        path = str(tmp_path_factory.mktemp("wal") / "t.wal")
+        wal = FileWAL(path)
+        for record in records:
+            wal.append(record)
+        wal.sync()
+        wal.close()
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(max(0, size - cut))
+        recovered = list(FileWAL(path).records())
+        assert recovered == records[: len(recovered)]
+
+
+class TestMemoryWAL:
+    def test_append_and_read(self):
+        wal = MemoryWAL()
+        wal.append(b"a")
+        wal.append(b"b")
+        assert list(wal.records()) == [b"a", b"b"]
+
+    def test_crash_loses_unsynced_tail(self):
+        wal = MemoryWAL()
+        wal.append(b"durable")
+        wal.sync()
+        wal.append(b"lost")
+        survivor = wal.simulate_crash()
+        assert list(survivor.records()) == [b"durable"]
+        assert wal.unsynced == 1
+
+    def test_crash_with_everything_synced(self):
+        wal = MemoryWAL()
+        wal.append(b"a")
+        wal.sync()
+        survivor = wal.simulate_crash()
+        assert list(survivor.records()) == [b"a"]
+
+    def test_crash_of_empty_log(self):
+        assert list(MemoryWAL().simulate_crash().records()) == []
+
+    def test_reset(self):
+        wal = MemoryWAL()
+        wal.append(b"x")
+        wal.sync()
+        wal.reset()
+        assert len(wal) == 0
+        assert wal.unsynced == 0

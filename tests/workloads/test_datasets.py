@@ -1,0 +1,72 @@
+"""Dataset builders and their paper-fixed parameters."""
+
+import pytest
+
+from repro.workloads import datasets
+
+
+class TestProfiles:
+    def test_sp38_size(self):
+        profile = datasets.sp38_profile()
+        assert len(profile) == 80_000
+        assert profile.name == "SP38"
+
+    def test_sp38_mean_length_near_360(self):
+        profile = datasets.sp38_profile()
+        assert 330 <= profile.lengths.mean() <= 390
+
+    def test_study_size_is_522(self):
+        profile = datasets.study_profile()
+        assert len(profile) == 522
+        assert profile.homologous_pairs()
+
+    def test_profiles_deterministic(self):
+        a = datasets.study_profile()
+        b = datasets.study_profile()
+        assert (a.lengths == b.lengths).all()
+
+    def test_scaled_profile(self):
+        profile = datasets.scaled_profile(123, name="x")
+        assert len(profile) == 123
+        assert profile.name == "x"
+
+
+class TestDarwinBuilders:
+    def test_sp38_darwin_is_modeled_and_capped(self):
+        darwin = datasets.sp38_darwin()
+        assert darwin.mode == "modeled"
+        assert darwin.sample_cap == 50
+        assert darwin.random_match_rate == pytest.approx(5e-4)
+
+    def test_study_darwin(self):
+        darwin = datasets.study_darwin()
+        assert len(darwin.profile) == 522
+
+    def test_small_database_real_sequences(self):
+        db = datasets.small_database(size=10)
+        assert len(db) == 10
+        assert all(len(entry) >= 30 for entry in db)
+
+
+class TestExpectedWorkload:
+    def test_sp38_total_work_in_paper_range(self):
+        """The calibrated cost model puts the full SP38 all-vs-all in the
+        hundreds of CPU-days (the paper's magnitude)."""
+        darwin = datasets.sp38_darwin()
+        model = darwin.cost_model
+        lengths = darwin.profile.lengths.astype(float)
+        total = lengths.sum()
+        pair_cells = (total * total - (lengths ** 2).sum()) / 2.0
+        fixed_days = (pair_cells * model.fixed_pam_factor
+                      / model.cell_rate / 86400.0)
+        assert 300 <= fixed_days <= 900
+
+    def test_study_set_single_teu_near_paper_cpu(self):
+        """CPU(1 TEU) of the 522-entry study lands near the paper's
+        ~2850 s figure (within 25%)."""
+        darwin = datasets.study_darwin()
+        queue = list(range(1, 523))
+        fixed = darwin.align_partition(queue, queue)
+        refine = darwin.refine_match_set(fixed["match_set"])
+        total = fixed["cost"] + refine["cost"]
+        assert 2100 <= total <= 3600

@@ -1,0 +1,168 @@
+"""Scenario scripts at reduced scale: granularity sweep, lifecycle runs."""
+
+import pytest
+
+from repro.bio import DarwinEngine
+from repro.cluster import DAY
+from repro.workloads import datasets, reporting, scenarios
+
+
+@pytest.fixture(scope="module")
+def study_darwin_small():
+    profile = datasets.scaled_profile(80, seed=3, name="study80")
+    return DarwinEngine(profile, mode="modeled", random_match_rate=2e-3,
+                        sample_cap=100, seed=1)
+
+
+@pytest.fixture(scope="module")
+def sp_darwin_small():
+    # Big enough that a day=DAY/50 scaled run spans the whole 38-day event
+    # schedule (the events are what these tests exercise).
+    profile = datasets.scaled_profile(12_000, seed=3, name="SP38")
+    return DarwinEngine(profile, mode="modeled", random_match_rate=5e-4,
+                        sample_cap=50, seed=1)
+
+
+class TestGranularityStudy:
+    @pytest.fixture(scope="class")
+    def points(self, study_darwin_small):
+        return scenarios.granularity_study(
+            teu_counts=(1, 5, 15, 30, 80),
+            darwin=study_darwin_small,
+        )
+
+    def test_all_runs_complete(self, points):
+        assert [p.teus for p in points] == [1, 5, 15, 30, 80]
+        assert all(p.matches > 0 for p in points)
+
+    def test_cpu_grows_from_per_teu_overhead(self, points):
+        # Per-run noise makes small-scale CPU only loosely monotone; the
+        # paper-scale benchmark checks strict monotonicity.
+        cpus = {p.teus: p.cpu_seconds for p in points}
+        assert cpus[80] > cpus[1]
+        assert cpus[80] > cpus[5]
+
+    def test_one_teu_has_no_parallel_speedup(self, points):
+        single = points[0]
+        assert single.wall_seconds >= single.cpu_seconds * 0.8
+
+    def test_moderate_granularity_beats_extremes(self, points):
+        walls = {p.teus: p.wall_seconds for p in points}
+        assert walls[30] < walls[1]
+        assert walls[30] < walls[80] * 1.2  # fine grain pays overhead
+
+    def test_activities_scale_with_teus(self, points):
+        # 2 activities per TEU + user input + queue gen + preprocess + merges
+        for point in points:
+            assert point.activities == 2 * point.teus + 5
+
+
+class TestSharedRun:
+    @pytest.fixture(scope="class")
+    def report(self, sp_darwin_small):
+        return scenarios.shared_run(
+            darwin=sp_darwin_small, granularity=48, day=DAY / 50, seed=1,
+        )
+
+    def test_completes_despite_all_events(self, report):
+        assert report.status == "completed"
+
+    def test_uses_the_33_cpu_linneus_cluster(self, report):
+        assert report.max_cpus == 33.0
+
+    def test_matches_found(self, report):
+        assert report.match_count > 0
+
+    def test_infrastructure_failures_observed_and_survived(self, report):
+        assert report.failure_reasons, "scenario must exercise failures"
+        infrastructure = {"node-crash", "server-recovery", "disk-full",
+                          "io-error", "network-outage"}
+        assert set(report.failure_reasons) & infrastructure
+
+    def test_manual_interventions_bounded(self, report):
+        # suspends/resumes of events 1, 5/6 only: dependability means
+        # the operator rarely steps in
+        assert report.manual_interventions <= 6
+
+    def test_annotations_cover_scripted_events(self, report):
+        labels = " ".join(label for _t, label in report.annotations)
+        assert "other user needs cluster" in labels
+        assert "server crash" in labels
+        assert "disk space shortage" in labels
+
+    def test_utilization_below_availability(self, report):
+        assert 0.0 < report.utilization_fraction < 1.0
+
+    def test_rework_happened_but_bounded(self, report):
+        assert report.jobs_dispatched >= report.jobs_completed
+        assert report.jobs_dispatched <= report.jobs_completed * 2.5
+
+
+class TestNonSharedRun:
+    @pytest.fixture(scope="class")
+    def report(self, sp_darwin_small):
+        return scenarios.nonshared_run(
+            darwin=sp_darwin_small, granularity=48, day=DAY / 50, seed=1,
+            upgrade_day=3.0,
+        )
+
+    def test_completes(self, report):
+        assert report.status == "completed"
+
+    def test_cpu_doubling_visible_in_trace(self, report):
+        assert report.max_cpus == 16.0
+        early = [a for t, a, _b in report.trace_daily[:2]]
+        assert max(early) <= 8.0
+
+    def test_high_utilization_on_dedicated_cluster(self, report):
+        assert report.utilization_fraction > 0.7
+
+    def test_four_planned_interventions(self, report):
+        # suspend+resume around each of the two planned outages
+        assert report.manual_interventions == 4
+
+    def test_deterministic(self, sp_darwin_small):
+        r1 = scenarios.nonshared_run(darwin=sp_darwin_small, granularity=8,
+                                     day=DAY / 200, seed=9, upgrade_day=1.0)
+        r2 = scenarios.nonshared_run(darwin=sp_darwin_small, granularity=8,
+                                     day=DAY / 200, seed=9, upgrade_day=1.0)
+        assert r1.wall_seconds == r2.wall_seconds
+        assert r1.cpu_seconds == r2.cpu_seconds
+
+
+class TestReporting:
+    def test_granularity_table_renders(self, study_darwin_small):
+        points = scenarios.granularity_study(
+            teu_counts=(1, 5), darwin=study_darwin_small)
+        table = reporting.granularity_table(points)
+        assert "# TEUs" in table
+        assert "WALL (s)" in table
+
+    def test_table1_renders(self, sp_darwin_small):
+        report = scenarios.nonshared_run(
+            darwin=sp_darwin_small, granularity=8, day=DAY / 200,
+            upgrade_day=1.0)
+        table = reporting.table1(report, report)
+        assert "Max # of CPUs" in table
+        assert "CPU(pi)" in table
+
+    def test_lifecycle_chart_renders(self, sp_darwin_small):
+        report = scenarios.nonshared_run(
+            darwin=sp_darwin_small, granularity=8, day=DAY / 200,
+            upgrade_day=1.0)
+        chart = reporting.lifecycle_chart(report)
+        assert "availability" in chart
+        assert "|" in chart
+
+    def test_segments_analysis(self, study_darwin_small):
+        points = scenarios.granularity_study(
+            teu_counts=(1, 15, 30, 80), darwin=study_darwin_small)
+        anchors = reporting.granularity_segments(points)
+        assert anchors["best_cpu_at_1_teu"] is True
+        assert anchors["wall_optimum_teus"] in (15, 30, 80)
+
+    def test_format_table_alignment(self):
+        table = reporting.format_table(("a", "bb"), [(1, 22), (333, 4)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
