@@ -36,18 +36,22 @@ class _HeapEntry:
 class Event:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("time", "fn", "args", "cancelled", "label")
+    __slots__ = ("time", "fn", "args", "cancelled", "label", "_kernel")
 
-    def __init__(self, time, fn, args, label=""):
+    def __init__(self, time, fn, args, label="", kernel=None):
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
         self.label = label
+        self._kernel = kernel  # set while the event sits in a kernel heap
 
     def cancel(self):
         """Prevent the callback from firing. Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._kernel is not None:
+                self._kernel._note_cancelled()
 
     def __repr__(self):
         state = "cancelled" if self.cancelled else "pending"
@@ -72,6 +76,10 @@ class SimKernel:
         self._rngs: dict[str, random.Random] = {}
         self._running = False
         self._events_processed = 0
+        #: cancelled events still occupying heap slots; compacted away once
+        #: they dominate the heap, so long runs with heavy cancellation
+        #: (kill-and-restart migration, outage timers) stay O(log live).
+        self._stale = 0
 
     # -- time ---------------------------------------------------------------
 
@@ -111,11 +119,30 @@ class SimKernel:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        event = Event(time, fn, args, label=label)
+        event = Event(time, fn, args, label=label, kernel=self)
         heapq.heappush(
             self._heap, _HeapEntry(time, priority, next(self._seq), event)
         )
         return event
+
+    # -- cancelled-event bookkeeping ------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        self._stale += 1
+        if self._stale > 64 and self._stale * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries in bulk and restore the heap invariant."""
+        self._heap = [e for e in self._heap if not e.event.cancelled]
+        heapq.heapify(self._heap)
+        self._stale = 0
+
+    def _release(self, event: Event) -> None:
+        """An entry left the heap: stop accounting for its cancellation."""
+        event._kernel = None
+        if event.cancelled:
+            self._stale -= 1
 
     # -- execution -----------------------------------------------------------
 
@@ -123,6 +150,7 @@ class SimKernel:
         """Run the next pending event. Returns False if none remain."""
         while self._heap:
             entry = heapq.heappop(self._heap)
+            self._release(entry.event)
             if entry.event.cancelled:
                 continue
             self._now = entry.time
@@ -147,12 +175,14 @@ class SimKernel:
                 entry = self._heap[0]
                 if entry.event.cancelled:
                     heapq.heappop(self._heap)
+                    self._release(entry.event)
                     continue
                 if until is not None and entry.time > until:
                     break
                 if max_events is not None and processed >= max_events:
                     break
                 heapq.heappop(self._heap)
+                self._release(entry.event)
                 self._now = entry.time
                 self._events_processed += 1
                 processed += 1
@@ -186,7 +216,7 @@ class SimKernel:
     @property
     def pending(self) -> int:
         """Number of non-cancelled events still queued."""
-        return sum(1 for entry in self._heap if not entry.event.cancelled)
+        return len(self._heap) - self._stale
 
 
 def format_duration(seconds: float) -> str:

@@ -5,17 +5,44 @@ is passed to the dispatcher which, in turn, schedules the task and
 associates it with a processing node in the cluster and a particular
 application" (paper, Section 3.2).
 
-Jobs wait in a FIFO queue until a node with a free slot (and a matching
+Jobs wait in FIFO order until a node with a free slot (and a matching
 placement tag) exists; :meth:`Dispatcher.pump` drains the queue whenever
 capacity appears (job completion, node recovery, upgrades). Placement emits
 the durable ``task_dispatched`` event through the server *before* the job
 is handed to the execution environment.
+
+Hot-path data structures
+------------------------
+
+The dispatcher is built to stay fast at thousands of nodes and tens of
+thousands of queued jobs:
+
+* the queue is a family of per-placement-tag deques ordered by a global
+  FIFO sequence number; queued and in-flight jobs are indexed by queue
+  key, by instance, and by node, so ``enqueue``/``is_pending`` are O(1)
+  and ``jobs_on_node``/``inflight_for_instance`` touch only their answer;
+* ``pump`` is incremental: once a placement tag runs out of capacity its
+  queue segment is parked in ``_blocked_tags`` and skipped until the
+  awareness model reports a capacity gain for that tag (a release, node
+  recovery, upgrade, or registration) — a pump with nothing placeable is
+  O(#tags), not O(#queued jobs);
+* policies that declare a ``heap_metric`` (the capacity-aware default and
+  least-loaded) select through the awareness model's lazy free-capacity
+  heap in O(log n); other policies fall back to the list-based
+  ``candidates``/``select`` contract. Both paths make identical choices.
+
+Queued jobs removed out of FIFO order (``drop_instance``) are tombstoned —
+their key no longer maps to their sequence number — and physically
+discarded when ``pump`` next reaches them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Set
 
 from ...errors import DispatchError
 from ..monitor.awareness import AwarenessModel
@@ -34,6 +61,7 @@ class JobRequest:
     placement: str = ""          # required node tag, "" = anywhere
     cost_hint: float = 0.0       # estimated CPU seconds (for policies/UI)
     enqueued_at: float = 0.0
+    seq: int = 0                 # global FIFO position, stamped by enqueue
 
     @property
     def job_id(self) -> str:
@@ -52,10 +80,20 @@ class Dispatcher:
                  policy: Optional[SchedulingPolicy] = None):
         self.awareness = awareness
         self.policy = policy or CapacityAwarePolicy()
-        self._queue: List[JobRequest] = []
-        self._queued_keys: set = set()
+        #: placement tag -> FIFO deque (may hold tombstoned entries).
+        self._queues: Dict[str, Deque[JobRequest]] = {}
+        #: live queued jobs: key -> seq of the one live request per key.
+        self._queued: Dict[str, int] = {}
+        #: instance -> keys of its live queued jobs (abort path).
+        self._queued_by_instance: Dict[str, Set[str]] = {}
+        #: tags whose whole queue segment is waiting for capacity.
+        self._blocked_tags: Set[str] = set()
+        self._seq = itertools.count(1)
         #: job_id -> (JobRequest, node) for everything submitted and live.
         self.in_flight: Dict[str, tuple] = {}
+        self._inflight_keys: Dict[str, str] = {}        # key -> job_id
+        self._inflight_by_instance: Dict[str, Set[str]] = {}
+        self._inflight_by_node: Dict[str, Set[str]] = {}
         # wired by the server:
         self._submit = None          # fn(job, node)
         self._record_dispatch = None  # fn(job, node) -> bool (may veto)
@@ -71,30 +109,46 @@ class Dispatcher:
     def enqueue(self, job: JobRequest) -> bool:
         """Queue a job unless an identical task occurrence is already queued
         or in flight. Returns True if the job was accepted."""
-        if job.key in self._queued_keys:
+        if job.key in self._queued or job.key in self._inflight_keys:
             return False
-        for pending, _node in self.in_flight.values():
-            if pending.key == job.key:
-                return False
-        self._queue.append(job)
-        self._queued_keys.add(job.key)
+        job.seq = next(self._seq)
+        self._queues.setdefault(job.placement, deque()).append(job)
+        self._queued[job.key] = job.seq
+        self._queued_by_instance.setdefault(
+            job.instance_id, set()
+        ).add(job.key)
         return True
 
     def is_pending(self, instance_id: str, task_path: str) -> bool:
         key = f"{instance_id}:{task_path}"
-        if key in self._queued_keys:
-            return True
-        return any(j.key == key for j, _ in self.in_flight.values())
+        return key in self._queued or key in self._inflight_keys
+
+    def _forget_queued(self, job: JobRequest) -> None:
+        """Remove a queued job from the live indexes (placed/vetoed)."""
+        self._queued.pop(job.key, None)
+        keys = self._queued_by_instance.get(job.instance_id)
+        if keys is not None:
+            keys.discard(job.key)
+            if not keys:
+                del self._queued_by_instance[job.instance_id]
 
     def drop_instance(self, instance_id: str) -> int:
-        """Remove all queued jobs of an instance (abort path)."""
-        before = len(self._queue)
-        self._queue = [j for j in self._queue if j.instance_id != instance_id]
-        self._queued_keys = {j.key for j in self._queue}
-        return before - len(self._queue)
+        """Remove every job of an instance (abort path): queued jobs are
+        tombstoned, and in-flight jobs are routed through
+        :meth:`job_finished` so their node slots are released immediately
+        instead of lingering until a completion that may never arrive.
+        Returns the total number of jobs removed."""
+        removed = 0
+        for key in self._queued_by_instance.pop(instance_id, ()):
+            if self._queued.pop(key, None) is not None:
+                removed += 1
+        for job_id in sorted(self._inflight_by_instance.get(instance_id, ())):
+            if self.job_finished(job_id) is not None:
+                removed += 1
+        return removed
 
     def queue_length(self) -> int:
-        return len(self._queue)
+        return len(self._queued)
 
     # -- placement ---------------------------------------------------------------
 
@@ -102,27 +156,70 @@ class Dispatcher:
         """Place as many queued jobs as capacity allows; returns the count."""
         if self._submit is None:
             raise DispatchError("dispatcher not wired to an environment")
+        # Capacity appeared somewhere since the last pump: those tags'
+        # parked queue segments must be re-examined.
+        self._blocked_tags -= self.awareness.drain_capacity_events()
+        active = [tag for tag, q in self._queues.items()
+                  if q and tag not in self._blocked_tags]
+        if not active:
+            return 0
         placed = 0
-        remaining: List[JobRequest] = []
-        for job in self._queue:
-            if not self._is_dispatchable(job.instance_id):
-                remaining.append(job)
-                continue
-            candidates = self.awareness.candidates(job.placement)
-            node = self.policy.select(candidates)
-            if node is None:
-                remaining.append(job)
-                continue
-            if not self._record_dispatch(job, node):
-                # The server vetoed (instance gone / task no longer current).
-                self._queued_keys.discard(job.key)
-                continue
-            self.awareness.assign(node, job.job_id)
-            self.in_flight[job.job_id] = (job, node)
-            self._queued_keys.discard(job.key)
-            self._submit(job, node)
-            placed += 1
-        self._queue = remaining
+        fast_metric = self.policy.heap_metric
+        survivors: Dict[str, List[JobRequest]] = {tag: [] for tag in active}
+        # Merge the active tags' deques by sequence number so jobs are
+        # considered in global FIFO order, exactly like a single queue.
+        heads = [(self._queues[tag][0].seq, tag) for tag in active]
+        heapq.heapify(heads)
+        while heads:
+            _seq, tag = heapq.heappop(heads)
+            queue = self._queues[tag]
+            job = queue.popleft()
+            if self._queued.get(job.key) != job.seq:
+                pass  # tombstoned by drop_instance: discard silently
+            elif not self._is_dispatchable(job.instance_id):
+                survivors[tag].append(job)
+            else:
+                if fast_metric is not None:
+                    node = self.awareness.best_node(tag, fast_metric)
+                else:
+                    node = self.policy.select(self.awareness.candidates(tag))
+                if node is None:
+                    # The tag is out of capacity, and nothing later in this
+                    # pump can add any: park the whole segment until the
+                    # awareness model reports a gain for the tag.
+                    survivors[tag].append(job)
+                    while queue:
+                        waiter = queue.popleft()
+                        if self._queued.get(waiter.key) == waiter.seq:
+                            survivors[tag].append(waiter)
+                    self._blocked_tags.add(tag)
+                    continue
+                if not self._record_dispatch(job, node):
+                    # The server vetoed (instance gone / task not current).
+                    self._forget_queued(job)
+                else:
+                    self._forget_queued(job)
+                    self.awareness.assign(node, job.job_id)
+                    self.in_flight[job.job_id] = (job, node)
+                    self._inflight_keys[job.key] = job.job_id
+                    self._inflight_by_instance.setdefault(
+                        job.instance_id, set()
+                    ).add(job.job_id)
+                    self._inflight_by_node.setdefault(
+                        node, set()
+                    ).add(job.job_id)
+                    self._submit(job, node)
+                    placed += 1
+            if queue:
+                heapq.heappush(heads, (queue[0].seq, tag))
+        for tag in active:
+            queue = self._queues[tag]
+            kept = survivors[tag]
+            if kept:
+                queue.extendleft(reversed(kept))
+            if not queue:
+                del self._queues[tag]
+                self._blocked_tags.discard(tag)
         return placed
 
     # -- completion bookkeeping ------------------------------------------------------
@@ -131,17 +228,24 @@ class Dispatcher:
         """Forget a finished job; returns its (request, node) if known."""
         entry = self.in_flight.pop(job_id, None)
         if entry is not None:
-            _job, node = entry
+            job, node = entry
+            if self._inflight_keys.get(job.key) == job_id:
+                del self._inflight_keys[job.key]
+            jobs = self._inflight_by_instance.get(job.instance_id)
+            if jobs is not None:
+                jobs.discard(job_id)
+                if not jobs:
+                    del self._inflight_by_instance[job.instance_id]
+            jobs = self._inflight_by_node.get(node)
+            if jobs is not None:
+                jobs.discard(job_id)
+                if not jobs:
+                    del self._inflight_by_node[node]
             self.awareness.release(node, job_id)
         return entry
 
     def jobs_on_node(self, node: str) -> List[str]:
-        return sorted(
-            job_id for job_id, (_j, n) in self.in_flight.items() if n == node
-        )
+        return sorted(self._inflight_by_node.get(node, ()))
 
     def inflight_for_instance(self, instance_id: str) -> List[str]:
-        return sorted(
-            job_id for job_id, (job, _n) in self.in_flight.items()
-            if job.instance_id == instance_id
-        )
+        return sorted(self._inflight_by_instance.get(instance_id, ()))

@@ -607,10 +607,10 @@ class BioOperaServer:
         self.finalize_abort(instance, reason)
 
     def finalize_abort(self, instance: ProcessInstance, reason: str) -> None:
-        for job_id in self.dispatcher.inflight_for_instance(instance.id):
-            self.dispatcher.job_finished(job_id)
-            if self.environment is not None:
+        if self.environment is not None:
+            for job_id in self.dispatcher.inflight_for_instance(instance.id):
                 self.environment.cancel(job_id)
+        # Releases both queued jobs and the in-flight jobs' node slots.
         self.dispatcher.drop_instance(instance.id)
         self.emit(instance, ev.instance_aborted(reason, self.clock()))
         self.dispatcher.pump()

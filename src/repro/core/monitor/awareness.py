@@ -10,10 +10,31 @@ The :class:`AwarenessModel` is deliberately an *estimate*: external load is
 whatever the adaptive monitors last reported, which may be stale — exactly
 the situation behind the paper's scheduling-limitation discussion (Section
 5.4) and our migration ablation.
+
+Placement at scale
+------------------
+
+Beyond the per-node registry, the model maintains three indexes that keep
+the dispatch hot path sublinear in cluster size:
+
+* **per-placement-tag member sets** — ``candidates(tag)`` touches only the
+  nodes carrying the tag instead of scanning the whole cluster;
+* **lazy free-capacity heaps** — one max-heap per ``(tag, metric)`` pair,
+  so the built-in scheduling policies can pick the best node in O(log n)
+  via :meth:`best_node` without rebuilding candidate lists. Heap entries
+  are invalidated lazily through per-node version counters: every mutation
+  bumps the node's version and pushes a fresh entry, and stale entries are
+  discarded when they surface at the top;
+* **capacity-event (dirty-tag) tracking** — every event that can *create*
+  placement capacity (job release, node recovery, upgrade, registration)
+  records the affected placement tags. The dispatcher drains this set to
+  skip queue segments whose tags had no capacity change since the last
+  pump.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -57,20 +78,90 @@ class NodeView:
         }
 
 
+def effective_free_score(view: NodeView) -> float:
+    """Scorer behind the least-loaded policy (and its heap metric)."""
+    return view.effective_free()
+
+
+def capacity_rate_score(view: NodeView) -> float:
+    """Scorer behind the capacity-aware policy (and its heap metric):
+    estimated free CPUs times per-CPU speed, floored so a saturated fast
+    node still beats an idle crawler."""
+    return max(0.25, view.effective_free()) * view.speed
+
+
+#: heap metrics available to :meth:`AwarenessModel.best_node`. Policies
+#: reference these by name so the heap fast path and the list-based
+#: fallback share one scoring function (exact float equality matters for
+#: the placement-equivalence guarantee).
+HEAP_METRICS = {
+    "effective-free": effective_free_score,
+    "capacity-rate": capacity_rate_score,
+}
+
+
+class _RevName(str):
+    """A node name whose ordering is reversed. A min-heap keyed on
+    ``(-score, _RevName(name))`` therefore pops the maximum of
+    ``(score, name)`` first — the same node that
+    ``max(candidates, key=lambda v: (score(v), v.name))`` selects."""
+
+    __slots__ = ()
+
+    def __lt__(self, other):
+        return str.__gt__(self, other)
+
+    def __gt__(self, other):
+        return str.__lt__(self, other)
+
+    def __le__(self, other):
+        return str.__ge__(self, other)
+
+    def __ge__(self, other):
+        return str.__le__(self, other)
+
+
 class AwarenessModel:
     """Mutable registry of node views, fed by PEC reports."""
 
     def __init__(self):
         self._nodes: Dict[str, NodeView] = {}
+        #: placement tag -> node names carrying it ("" = every node).
+        self._members: Dict[str, Set[str]] = {"": set()}
+        #: per-node version counters; a heap entry is valid only while its
+        #: recorded version matches (lazy invalidation).
+        self._versions: Dict[str, int] = {}
+        #: (tag, metric) -> lazy max-heap of (-score, _RevName, version).
+        self._heaps: Dict[Tuple[str, str], List[tuple]] = {}
+        #: tags whose capacity may have grown since the last drain.
+        self._dirty_tags: Set[str] = set()
 
     def register(self, name: str, cpus: int, speed: float = 1.0,
                  tags: Tuple[str, ...] = ()) -> NodeView:
+        if name in self._nodes:
+            self._drop_membership(self._nodes[name])
         view = NodeView(name=name, cpus=cpus, speed=speed, tags=tuple(tags))
         self._nodes[name] = view
+        self._versions[name] = self._versions.get(name, 0)
+        self._members[""].add(name)
+        for tag in view.tags:
+            self._members.setdefault(tag, set()).add(name)
+        self._touch(view, capacity_gain=True)
         return view
 
     def forget(self, name: str) -> None:
-        self._nodes.pop(name, None)
+        view = self._nodes.pop(name, None)
+        if view is None:
+            return
+        self._drop_membership(view)
+        self._versions.pop(name, None)
+
+    def _drop_membership(self, view: NodeView) -> None:
+        self._members[""].discard(view.name)
+        for tag in view.tags:
+            members = self._members.get(tag)
+            if members is not None:
+                members.discard(view.name)
 
     def node(self, name: str) -> NodeView:
         view = self._nodes.get(name)
@@ -84,12 +175,42 @@ class AwarenessModel:
     def nodes(self) -> List[NodeView]:
         return [self._nodes[name] for name in sorted(self._nodes)]
 
+    # -- index maintenance ------------------------------------------------------
+
+    def _touch(self, view: NodeView, capacity_gain: bool = False) -> None:
+        """Record a state change on ``view``: bump its version, refresh its
+        heap entries, and (for events that can create capacity) mark its
+        placement tags dirty for the dispatcher."""
+        version = self._versions[view.name] + 1
+        self._versions[view.name] = version
+        if self._heaps:
+            name = _RevName(view.name)
+            scores = {
+                metric: -scorer(view)
+                for metric, scorer in HEAP_METRICS.items()
+            }
+            for tag in ("",) + view.tags:
+                for metric, neg_score in scores.items():
+                    heap = self._heaps.get((tag, metric))
+                    if heap is not None:
+                        heapq.heappush(heap, (neg_score, name, version))
+        if capacity_gain:
+            self._dirty_tags.add("")
+            self._dirty_tags.update(view.tags)
+
+    def drain_capacity_events(self) -> Set[str]:
+        """Return (and clear) the placement tags that gained capacity since
+        the previous drain. Consumed by ``Dispatcher.pump``."""
+        dirty, self._dirty_tags = self._dirty_tags, set()
+        return dirty
+
     # -- report ingestion -------------------------------------------------------
 
     def node_up(self, name: str, time: float = 0.0) -> None:
         view = self.node(name)
         view.up = True
         view.last_report = time
+        self._touch(view, capacity_gain=True)
 
     def node_down(self, name: str, time: float = 0.0) -> List[str]:
         """Mark a node down; returns the job ids that were assigned to it."""
@@ -98,6 +219,7 @@ class AwarenessModel:
         view.last_report = time
         orphans = sorted(view.assigned)
         view.assigned.clear()
+        self._touch(view)
         return orphans
 
     def load_report(self, name: str, external_load: float,
@@ -105,6 +227,7 @@ class AwarenessModel:
         view = self.node(name)
         view.external_load = max(0.0, float(external_load))
         view.last_report = time
+        self._touch(view)
 
     def reconfigure(self, name: str, cpus: Optional[int] = None,
                     speed: Optional[float] = None) -> None:
@@ -114,28 +237,60 @@ class AwarenessModel:
             view.cpus = cpus
         if speed is not None:
             view.speed = speed
+        self._touch(view, capacity_gain=True)
 
     # -- placement bookkeeping -----------------------------------------------------
 
     def assign(self, name: str, job_id: str) -> None:
-        self.node(name).assigned.add(job_id)
+        view = self.node(name)
+        view.assigned.add(job_id)
+        self._touch(view)
 
     def release(self, name: str, job_id: str) -> None:
-        if name in self._nodes:
-            self._nodes[name].assigned.discard(job_id)
+        view = self._nodes.get(name)
+        if view is not None:
+            view.assigned.discard(job_id)
+            self._touch(view, capacity_gain=True)
 
     # -- queries -------------------------------------------------------------------
 
     def candidates(self, placement: str = "") -> List[NodeView]:
         """Up nodes with a free slot, optionally filtered by placement tag."""
         result = []
-        for view in self.nodes():
-            if not view.up or view.free_slots() < 1:
-                continue
-            if placement and placement not in view.tags:
-                continue
-            result.append(view)
+        for name in sorted(self._members.get(placement, ())):
+            view = self._nodes[name]
+            if view.up and view.free_slots() >= 1:
+                result.append(view)
         return result
+
+    def best_node(self, placement: str = "",
+                  metric: str = "capacity-rate") -> Optional[str]:
+        """O(log n) equivalent of ``max(candidates(placement), key=metric)``
+        (ties broken by the larger name, matching the list-based policies).
+        Returns None when no up node with a free slot carries the tag."""
+        scorer = HEAP_METRICS.get(metric)
+        if scorer is None:
+            raise EngineError(f"unknown placement metric {metric!r}")
+        key = (placement, metric)
+        heap = self._heaps.get(key)
+        members = self._members.get(placement, ())
+        if heap is None or len(heap) > max(64, 4 * len(members)):
+            heap = [
+                (-scorer(self._nodes[name]), _RevName(name),
+                 self._versions[name])
+                for name in members
+            ]
+            heapq.heapify(heap)
+            self._heaps[key] = heap
+        while heap:
+            _neg_score, name, version = heap[0]
+            view = self._nodes.get(name)
+            if (view is None or version != self._versions.get(name)
+                    or not view.up or view.free_slots() < 1):
+                heapq.heappop(heap)
+                continue
+            return str(name)
+        return None
 
     def total_cpus(self, only_up: bool = True) -> int:
         return sum(

@@ -76,8 +76,12 @@ class FileWAL:
     # -- interface ------------------------------------------------------------
 
     def append(self, payload: bytes) -> None:
-        self._file.write(_HEADER.pack(len(payload), zlib.crc32(payload)))
-        self._file.write(payload)
+        # One combined write: issuing header and payload separately widens
+        # the torn-write window to everything the OS may split between the
+        # two calls; a single buffer can only tear inside one record.
+        self._file.write(
+            _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        )
 
     def sync(self) -> None:
         self._file.flush()
@@ -103,10 +107,16 @@ class FileWAL:
             offset = end
 
     def reset(self) -> None:
-        """Discard all records (used after a snapshot subsumes the log)."""
+        """Discard all records (used after a snapshot subsumes the log).
+
+        The truncation is fsynced: without it, a crash shortly after reset
+        could leave the old file contents on disk and resurrect records the
+        snapshot already subsumed.
+        """
         self._file.close()
-        with open(self.path, "wb"):
-            pass
+        with open(self.path, "wb") as fh:
+            fh.flush()
+            os.fsync(fh.fileno())
         self._file = open(self.path, "ab")
 
     def close(self) -> None:

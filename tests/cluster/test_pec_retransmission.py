@@ -1,0 +1,74 @@
+"""PEC report retransmission: short glitches recover, long outages lose.
+
+The PEC retries an unsendable report ``REPORT_RETRIES`` times, spaced
+``RETRY_INTERVAL`` apart (paper: "TEUs failed to report" during network
+trouble). These tests pin the bookkeeping on both sides of that schedule:
+
+* a report that fails during a short outage, retries, and succeeds must
+  clear ``pending_reports`` and must NOT count as lost;
+* a report dropped after the retry budget must increment ``reports_lost``
+  and clear ``pending_reports``.
+"""
+
+from repro.cluster import SimKernel, SimulatedCluster, uniform
+from repro.core.engine import BioOperaServer, ProgramRegistry, ProgramResult
+
+
+def _launch_single_activity(seed):
+    kernel = SimKernel(seed=seed)
+    cluster = SimulatedCluster(kernel, uniform(1, cpus=1))
+    registry = ProgramRegistry()
+    registry.register("w.u", lambda inputs, ctx: ProgramResult({}, 10.0))
+    server = BioOperaServer(registry=registry)
+    server.attach_environment(cluster)
+    server.define_template_ocr(
+        "PROCESS P\n  ACTIVITY A\n    PROGRAM w.u\n  END\nEND")
+    instance_id = server.launch("P")
+    return kernel, cluster, server, instance_id
+
+
+class TestReportRetransmission:
+    def test_retry_success_clears_pending_without_loss(self):
+        kernel, cluster, server, instance_id = _launch_single_activity(11)
+        pec = cluster.pecs["node001"]
+        # outage starts before the job completes (~t=12-14), so the first
+        # completion report fails and a retry is scheduled
+        kernel.run(until=2.0)
+        cluster.start_network_outage()
+        kernel.run(until=60.0)
+        assert pec.pending_reports, "completion report should be pending"
+        assert pec.reports_lost == 0
+        # outage ends well before the first retry at ~+300s
+        cluster.end_network_outage()
+        status = cluster.run_until_instance_done(instance_id)
+        assert status == "completed"
+        assert pec.pending_reports == set()
+        assert pec.reports_lost == 0
+        assert server.metrics["jobs_completed"] >= 1
+
+    def test_exhausted_retries_count_as_lost(self):
+        kernel, cluster, server, instance_id = _launch_single_activity(12)
+        pec = cluster.pecs["node001"]
+        kernel.run(until=2.0)
+        cluster.start_network_outage()
+        # retries fire at roughly +300, +600, +900 after the completion;
+        # keep the outage up past all of them
+        horizon = 2.0 + pec.RETRY_INTERVAL * (pec.REPORT_RETRIES + 1) + 100.0
+        kernel.run(until=horizon)
+        assert pec.reports_lost == 1
+        assert pec.pending_reports == set()
+
+    def test_lost_report_recovered_by_failure_path(self):
+        """After the report is lost, the node-down/up machinery re-runs the
+        task; the instance must still complete once the outage ends."""
+        kernel, cluster, server, instance_id = _launch_single_activity(13)
+        pec = cluster.pecs["node001"]
+        kernel.run(until=2.0)
+        cluster.start_network_outage()
+        horizon = 2.0 + pec.RETRY_INTERVAL * (pec.REPORT_RETRIES + 1) + 100.0
+        kernel.run(until=horizon)
+        assert pec.reports_lost == 1
+        cluster.end_network_outage()
+        status = cluster.run_until_instance_done(
+            cluster.server.instances and instance_id)
+        assert status == "completed"

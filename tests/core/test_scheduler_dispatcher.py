@@ -101,6 +101,22 @@ class TestPolicies:
         picks = [policy.select(model.candidates()) for _ in range(6)]
         assert picks == ["a", "b", "c", "a", "b", "c"]
 
+    def test_round_robin_independent_of_candidate_order(self):
+        """Regression: the rotation must not depend on list order — with an
+        unsorted candidate list the old implementation picked the first
+        name > last in *list* order and could starve nodes."""
+        import random
+
+        model = make_awareness(("a", 9, 1.0), ("b", 9, 1.0), ("c", 9, 1.0))
+        rng = random.Random(7)
+        policy = RoundRobinPolicy()
+        picks = []
+        for _ in range(9):
+            candidates = model.candidates()
+            rng.shuffle(candidates)
+            picks.append(policy.select(candidates))
+        assert picks == ["a", "b", "c"] * 3
+
     def test_random_policy_deterministic_per_seed(self):
         model = make_awareness(("a", 9, 1.0), ("b", 9, 1.0))
         picks1 = [RandomPolicy(1).select(model.candidates())
@@ -220,14 +236,44 @@ class TestDispatcher:
         assert harness.dispatcher.pump() == 0
         assert harness.dispatcher.queue_length() == 0  # dropped, not waiting
 
-    def test_drop_instance_clears_queue(self):
-        harness = _DispatchHarness(make_awareness(("a", 1, 1.0)))
+    def test_drop_instance_clears_queue_and_in_flight(self):
+        model = make_awareness(("a", 1, 1.0))
+        harness = _DispatchHarness(model)
         harness.dispatcher.enqueue(job("T1", instance="pi-1"))
         harness.dispatcher.enqueue(job("T2", instance="pi-1"))
         harness.dispatcher.enqueue(job("T3", instance="pi-2"))
         harness.dispatcher.pump()  # places T1
-        assert harness.dispatcher.drop_instance("pi-1") == 1
+        # drops queued T2 AND in-flight T1 (which releases its node slot)
+        assert harness.dispatcher.drop_instance("pi-1") == 2
         assert harness.dispatcher.queue_length() == 1
+        assert harness.dispatcher.in_flight == {}
+        assert model.node("a").assigned_count == 0
+
+    def test_drop_instance_frees_slots_for_other_instances(self):
+        """Regression: aborting an instance under load must release its
+        in-flight node slots — previously they stayed assigned until a
+        completion that may never be delivered, starving other work."""
+        model = make_awareness(("a", 1, 1.0))
+        harness = _DispatchHarness(model)
+        harness.dispatcher.enqueue(job("T1", instance="pi-1"))
+        harness.dispatcher.enqueue(job("T2", instance="pi-2"))
+        assert harness.dispatcher.pump() == 1  # pi-1 takes the only slot
+        harness.dispatcher.drop_instance("pi-1")
+        # the freed slot must be usable immediately, without any completion
+        assert harness.dispatcher.pump() == 1
+        assert harness.submitted[1][0].instance_id == "pi-2"
+
+    def test_drop_instance_tombstones_survive_requeue(self):
+        """A key dropped while queued may be re-enqueued (new attempt);
+        the stale deque entry must not shadow the live one."""
+        model = make_awareness(("a", 1, 1.0))
+        harness = _DispatchHarness(model)
+        harness.dispatcher.enqueue(job("T1", instance="pi-1", attempt=1))
+        harness.dispatcher.drop_instance("pi-1")
+        assert harness.dispatcher.queue_length() == 0
+        harness.dispatcher.enqueue(job("T1", instance="pi-1", attempt=2))
+        assert harness.dispatcher.pump() == 1
+        assert harness.submitted[0][0].attempt == 2
 
     def test_jobs_on_node(self):
         model = make_awareness(("a", 2, 1.0))
@@ -240,3 +286,128 @@ class TestDispatcher:
     def test_job_finished_unknown_returns_none(self):
         harness = _DispatchHarness(make_awareness(("a", 2, 1.0)))
         assert harness.dispatcher.job_finished("ghost") is None
+
+
+class TestIncrementalPump:
+    """The parked-tag fast path must wake on every capacity-gain event."""
+
+    def test_blocked_tag_wakes_on_job_release(self):
+        model = make_awareness(("a", 1, 1.0))
+        harness = _DispatchHarness(model)
+        harness.dispatcher.enqueue(job("T1"))
+        harness.dispatcher.enqueue(job("T2"))
+        assert harness.dispatcher.pump() == 1
+        assert harness.dispatcher.pump() == 0  # parked: no capacity change
+        first = harness.submitted[0][0]
+        harness.dispatcher.job_finished(first.job_id)
+        assert harness.dispatcher.pump() == 1
+
+    def test_blocked_tag_wakes_on_node_up(self):
+        model = make_awareness(("a", 1, 1.0))
+        model.node_down("a")
+        harness = _DispatchHarness(model)
+        harness.dispatcher.enqueue(job("T1"))
+        assert harness.dispatcher.pump() == 0
+        assert harness.dispatcher.pump() == 0
+        model.node_up("a")
+        assert harness.dispatcher.pump() == 1
+
+    def test_blocked_tag_wakes_on_upgrade(self):
+        model = make_awareness(("a", 1, 1.0))
+        harness = _DispatchHarness(model)
+        harness.dispatcher.enqueue(job("T1"))
+        harness.dispatcher.enqueue(job("T2"))
+        assert harness.dispatcher.pump() == 1
+        model.reconfigure("a", cpus=2)
+        assert harness.dispatcher.pump() == 1
+
+    def test_blocked_tag_wakes_on_register(self):
+        model = make_awareness(("a", 4, 1.0))
+        harness = _DispatchHarness(model)
+        harness.dispatcher.enqueue(job("T1", placement="gpu"))
+        assert harness.dispatcher.pump() == 0
+        model.register("g1", 2, 1.0, ("gpu",))
+        assert harness.dispatcher.pump() == 1
+        assert harness.submitted[0][1] == "g1"
+
+    def test_untagged_jobs_not_starved_by_blocked_tag(self):
+        model = make_awareness(("a", 2, 1.0))
+        harness = _DispatchHarness(model)
+        harness.dispatcher.enqueue(job("T1", placement="gpu"))
+        harness.dispatcher.enqueue(job("T2"))
+        assert harness.dispatcher.pump() == 1  # T2 places, gpu parks
+        assert harness.submitted[0][0].task_path == "T2"
+
+    def test_tagged_job_keeps_fifo_priority_over_untagged(self):
+        """A gpu job enqueued first must win the gpu node's last slot over
+        a later untagged job that could also run there."""
+        model = make_awareness(("g", 1, 1.0, ("gpu",)))
+        harness = _DispatchHarness(model)
+        harness.dispatcher.enqueue(job("T1", placement="gpu"))
+        harness.dispatcher.enqueue(job("T2"))
+        assert harness.dispatcher.pump() == 1
+        assert harness.submitted[0][0].task_path == "T1"
+
+    def test_undispatchable_jobs_retried_every_pump(self):
+        model = make_awareness(("a", 2, 1.0))
+        harness = _DispatchHarness(model)
+        harness.dispatchable = False
+        harness.dispatcher.enqueue(job("T1"))
+        assert harness.dispatcher.pump() == 0
+        assert harness.dispatcher.pump() == 0
+        harness.dispatchable = True
+        # no capacity event happened, but dispatchability is re-tested
+        assert harness.dispatcher.pump() == 1
+
+
+class TestBestNodeHeap:
+    """The lazy-heap fast path must agree with the list-based policies."""
+
+    def test_matches_capacity_aware_select(self):
+        model = make_awareness(("slow", 4, 0.5), ("fast", 2, 2.0))
+        assert model.best_node("", "capacity-rate") == \
+            CapacityAwarePolicy().select(model.candidates())
+
+    def test_matches_least_loaded_select(self):
+        model = make_awareness(("a", 4, 1.0), ("b", 4, 1.0))
+        model.load_report("a", 3.0)
+        assert model.best_node("", "effective-free") == \
+            LeastLoadedPolicy().select(model.candidates())
+
+    def test_tie_broken_by_larger_name(self):
+        model = make_awareness(("a", 2, 1.0), ("b", 2, 1.0))
+        assert model.best_node("", "capacity-rate") == "b"
+        assert model.best_node("", "effective-free") == "b"
+
+    def test_tracks_mutations(self):
+        model = make_awareness(("a", 3, 1.0), ("b", 3, 1.0))
+        model.assign("b", "j1")
+        assert model.best_node("", "effective-free") == "a"
+        model.release("b", "j1")
+        model.assign("a", "j1")
+        model.assign("a", "j2")
+        assert model.best_node("", "effective-free") == "b"
+        model.node_down("b")
+        assert model.best_node("", "effective-free") == "a"
+
+    def test_returns_none_when_no_capacity(self):
+        model = make_awareness(("a", 1, 1.0))
+        model.assign("a", "j1")
+        assert model.best_node("", "capacity-rate") is None
+        model.release("a", "j1")
+        assert model.best_node("", "capacity-rate") == "a"
+
+    def test_respects_placement_tag(self):
+        model = make_awareness(("a", 8, 9.0), ("g", 1, 0.1, ("gpu",)))
+        assert model.best_node("gpu", "capacity-rate") == "g"
+        assert model.best_node("nosuch", "capacity-rate") is None
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(EngineError):
+            make_awareness(("a", 1, 1.0)).best_node("", "oracle")
+
+    def test_forgotten_node_never_selected(self):
+        model = make_awareness(("a", 2, 1.0), ("b", 2, 2.0))
+        assert model.best_node("", "capacity-rate") == "b"
+        model.forget("b")
+        assert model.best_node("", "capacity-rate") == "a"

@@ -109,6 +109,47 @@ class TestFileWAL:
         wal2.append(b"b")
         assert list(wal2.records()) == [b"a", b"b"]
 
+    def test_crash_between_header_and_payload_recovers(self, wal_path):
+        """Regression: a record whose payload never hit the disk (the old
+        two-write append could crash between the writes) must be repaired
+        away on reopen, and appending must continue cleanly."""
+        wal = FileWAL(wal_path)
+        wal.append(b"durable")
+        wal.sync()
+        wal.close()
+        with open(wal_path, "ab") as fh:
+            # header promising a 7-byte payload, then the "crash"
+            fh.write(struct.pack("<II", 7, 0xDEADBEEF))
+        reopened = FileWAL(wal_path)
+        assert list(reopened.records()) == [b"durable"]
+        reopened.append(b"after-crash")
+        reopened.sync()
+        assert list(reopened.records()) == [b"durable", b"after-crash"]
+
+    def test_append_issues_single_write(self, wal_path):
+        """The header+payload must leave as one buffer, so the OS cannot
+        interleave a crash between them."""
+        wal = FileWAL(wal_path)
+        writes = []
+        original = wal._file.write
+        wal._file.write = lambda data: writes.append(bytes(data)) or \
+            original(data)
+        wal.append(b"payload")
+        assert len(writes) == 1
+        assert writes[0].endswith(b"payload")
+
+    def test_reset_fsyncs_truncation(self, wal_path, monkeypatch):
+        """Regression: a crash after reset() must not resurrect records —
+        the truncation has to reach the disk before reset returns."""
+        wal = FileWAL(wal_path)
+        wal.append(b"old")
+        wal.sync()
+        synced = []
+        monkeypatch.setattr(os, "fsync", lambda fd: synced.append(fd))
+        wal.reset()
+        assert synced, "reset() must fsync the truncated file"
+        assert list(wal.records()) == []
+
     @settings(max_examples=30, deadline=None)
     @given(
         records=st.lists(st.binary(max_size=64), min_size=1, max_size=10),
