@@ -9,7 +9,6 @@ optimal granularity.
 
 import pytest
 
-from repro.bio import DarwinEngine
 from repro.cluster import SimKernel, SimulatedCluster, ik_sun
 from repro.core.engine import BioOperaServer
 from repro.processes import install_all_vs_all

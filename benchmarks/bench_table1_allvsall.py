@@ -9,7 +9,6 @@ efforts took months and computed less.
 
 import pytest
 
-from repro.cluster import DAY
 from repro.workloads import reporting, scenarios
 
 from .conftest import cached

@@ -17,8 +17,8 @@ both cost computation and synthetic match generation, without materializing
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence as Seq
+from dataclasses import dataclass
+from typing import Dict, List, Sequence as Seq
 
 import numpy as np
 

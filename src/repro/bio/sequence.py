@@ -13,7 +13,7 @@ way an all-vs-all over real data would.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence as Seq
 
 from ..errors import BioError

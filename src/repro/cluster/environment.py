@@ -19,7 +19,7 @@ ExecutionEnvironment` interface on top of the simulation kernel:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..core.engine.dispatcher import JobRequest
 from ..core.engine.environment import ExecutionEnvironment
@@ -46,6 +46,10 @@ class SimulatedCluster(ExecutionEnvironment):
         detection_delay: float = 120.0,
         execution_noise: float = 0.15,
         monitor_config: Optional[MonitorConfig] = None,
+        report_retries: Optional[int] = None,
+        report_retry_base: Optional[float] = None,
+        report_retry_cap: Optional[float] = None,
+        report_retry_jitter: Optional[float] = None,
     ):
         self.kernel = kernel
         self.network = Network(kernel, base_latency, jitter)
@@ -67,8 +71,13 @@ class SimulatedCluster(ExecutionEnvironment):
         for spec in specs:
             node = SimNode(kernel, spec, self._node_job_done)
             self.nodes[spec.name] = node
-            self.pecs[spec.name] = PEC(node, self.network, self,
-                                       monitor_config)
+            self.pecs[spec.name] = PEC(
+                node, self.network, self, monitor_config,
+                report_retries=report_retries,
+                retry_base=report_retry_base,
+                retry_cap=report_retry_cap,
+                retry_jitter=report_retry_jitter,
+            )
         self.trace = ClusterTrace(self)
         self._outage_detection = None
         #: cancelled job ids whose dispatch message may still be in flight.
@@ -145,6 +154,24 @@ class SimulatedCluster(ExecutionEnvironment):
 
     def step(self) -> bool:
         return self.kernel.step()
+
+    def schedule_probe(self, node_name: str, delay: float) -> None:
+        """Probe a quarantined node after ``delay`` seconds. The probe
+        succeeds only if it can actually reach a healthy node; while the
+        network is out or the node is down it keeps rescheduling itself,
+        so a quarantined node is only re-admitted once genuinely
+        reachable."""
+        def probe():
+            server = self.server
+            if server is None or not server.up:
+                return  # quarantine state died with the server
+            if self.network.outage or not self.nodes[node_name].up:
+                self.kernel.schedule(delay, probe,
+                                     label=f"probe:{node_name}")
+                return
+            server.on_probe_result(node_name, ok=True)
+
+        self.kernel.schedule(delay, probe, label=f"probe:{node_name}")
 
     # ------------------------------------------------------------------
     # Upstream delivery (called via the network)
@@ -255,19 +282,27 @@ class SimulatedCluster(ExecutionEnvironment):
         self.server.crash()
         self.trace.record()
 
-    def recover_server(self) -> BioOperaServer:
-        """Rebuild the server from its durable store and re-attach it."""
+    def recover_server(self, store=None) -> BioOperaServer:
+        """Rebuild the server from its durable store and re-attach it.
+
+        ``store`` overrides the store to recover from — the chaos harness
+        passes ``old.store.simulate_crash()`` so records appended but never
+        synced are lost, exactly as a real crash would lose them.
+        """
         if self.server is None:
             raise ClusterError("no server attached")
         old = self.server
         self.server = BioOperaServer.recover(
-            old.store, old.registry, environment=self,
+            store if store is not None else old.store,
+            old.registry, environment=self,
             policy=old.dispatcher.policy, seed=old.seed,
         )
         # Cumulative counters survive the crash (they describe the run,
-        # not the server process).
+        # not the server process), and so does the quarantine policy.
         for key, value in old.metrics.items():
             self.server.metrics[key] = self.server.metrics.get(key, 0) + value
+        if old.quarantine is not None:
+            self.server.enable_quarantine(*old.quarantine)
         self.trace.record()
         return self.server
 

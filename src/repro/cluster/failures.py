@@ -9,8 +9,7 @@ Figures 5 and 6.
 
 from __future__ import annotations
 
-import random
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Optional, Sequence
 
 from .environment import SimulatedCluster
 

@@ -10,7 +10,7 @@ results to the BioOpera server" in the paper's run.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable
 
 from .simulation import SimKernel
 

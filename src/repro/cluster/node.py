@@ -15,7 +15,7 @@ discrete-event simulation exact with O(changes) events, no ticking.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import NodeDownError

@@ -22,9 +22,10 @@ import traceback
 from typing import Any, Dict, Optional
 
 from ..core.engine.dispatcher import JobRequest
-from ..core.engine.library import ProgramContext, ProgramResult
+from ..core.engine.library import ProgramContext
 from ..core.monitor.adaptive import AdaptiveMonitor, MonitorConfig
 from ..errors import ActivityFailure
+from ..faults.points import fire
 from .network import Network
 from .node import SimNode
 
@@ -33,18 +34,32 @@ class PEC:
     """One Program Execution Client, co-located with its node."""
 
     #: report retransmission schedule: a report that cannot be sent (network
-    #: outage) is retried this many times, this far apart, then dropped —
-    #: short glitches recover, long outages lose results (the paper's
-    #: "TEUs failed to report" case).
+    #: outage) is retried with capped exponential backoff plus seeded
+    #: jitter, then dropped — short glitches recover quickly, long outages
+    #: lose results (the paper's "TEUs failed to report" case) without the
+    #: whole cluster retrying in lock-step. Retry ``k`` (0-based) waits
+    #: ``min(RETRY_CAP, RETRY_BASE * 2**k) * (1 + U(0, RETRY_JITTER))``.
     REPORT_RETRIES = 3
-    RETRY_INTERVAL = 300.0
+    RETRY_BASE = 60.0
+    RETRY_CAP = 960.0
+    RETRY_JITTER = 0.25
 
     def __init__(self, node: SimNode, network: Network, cluster,
-                 monitor_config: Optional[MonitorConfig] = None):
+                 monitor_config: Optional[MonitorConfig] = None,
+                 report_retries: Optional[int] = None,
+                 retry_base: Optional[float] = None,
+                 retry_cap: Optional[float] = None,
+                 retry_jitter: Optional[float] = None):
         self.node = node
         self.network = network
         self.cluster = cluster  # SimulatedCluster (owner)
         self.monitor = AdaptiveMonitor(monitor_config)
+        self.report_retries = (self.REPORT_RETRIES if report_retries is None
+                               else report_retries)
+        self.retry_base = self.RETRY_BASE if retry_base is None else retry_base
+        self.retry_cap = self.RETRY_CAP if retry_cap is None else retry_cap
+        self.retry_jitter = (self.RETRY_JITTER if retry_jitter is None
+                             else retry_jitter)
         self.jobs_run = 0
         self.jobs_failed = 0
         self.reports_lost = 0
@@ -52,12 +67,51 @@ class PEC:
         #: server must not treat these as lost when the node reconnects.
         self.pending_reports: set = set()
 
+    def retry_delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based), jitter included."""
+        base = min(self.retry_cap, self.retry_base * (2.0 ** attempt))
+        jitter = self.cluster.kernel.rng("pec-retry").random()
+        return base * (1.0 + self.retry_jitter * jitter)
+
+    def max_retry_span(self) -> float:
+        """Worst-case seconds between first send attempt and giving up."""
+        return sum(
+            min(self.retry_cap, self.retry_base * (2.0 ** k))
+            * (1.0 + self.retry_jitter)
+            for k in range(self.report_retries)
+        )
+
     def _send_report(self, fn, *args, label: str = "",
                      retries_left: Optional[int] = None,
                      job_id: str = "") -> None:
         if retries_left is None:
-            retries_left = self.REPORT_RETRIES
-        if self.network.send(fn, *args, label=label):
+            retries_left = self.report_retries
+        directive = fire("pec.report", label=label)
+        dropped = False
+        if directive is not None:
+            if directive.kind == "delay":
+                # The report dawdles in a queue somewhere; same retry
+                # budget once it actually moves.
+                if job_id:
+                    self.pending_reports.add(job_id)
+
+                def later():
+                    self._send_report(fn, *args, label=label,
+                                      retries_left=retries_left,
+                                      job_id=job_id)
+
+                self.cluster.kernel.schedule(
+                    directive.delay, later, label=f"delayed:{label}"
+                )
+                return
+            if directive.kind == "duplicate":
+                # An extra copy arrives too; the server's staleness checks
+                # must shrug the duplicate off.
+                self.network.send(fn, *args, label=f"{label}#dup")
+            elif directive.kind == "drop":
+                dropped = True
+        sent = (not dropped) and self.network.send(fn, *args, label=label)
+        if sent:
             self.pending_reports.discard(job_id)
             return
         if retries_left <= 0 or not self.node.up:
@@ -71,8 +125,9 @@ class PEC:
             self._send_report(fn, *args, label=label,
                               retries_left=retries_left - 1, job_id=job_id)
 
+        attempt = self.report_retries - retries_left
         self.cluster.kernel.schedule(
-            self.RETRY_INTERVAL, retry, label=f"retry:{label}"
+            self.retry_delay(attempt), retry, label=f"retry:{label}"
         )
 
     # ------------------------------------------------------------------
@@ -94,6 +149,7 @@ class PEC:
             seed=server.seed,
         )
         try:
+            fire("pec.program", job=job.job_id, node=self.node.name)
             result = server.registry.run(job.program, job.inputs, ctx)
         except ActivityFailure as failure:
             self._report_failure(job, failure.reason, failure.detail)

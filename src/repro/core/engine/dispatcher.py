@@ -45,6 +45,7 @@ from dataclasses import dataclass
 from typing import Any, Deque, Dict, List, Optional, Set
 
 from ...errors import DispatchError
+from ...faults.points import fire
 from ..monitor.awareness import AwarenessModel
 from .scheduler import CapacityAwarePolicy, SchedulingPolicy
 
@@ -199,6 +200,10 @@ class Dispatcher:
                     self._forget_queued(job)
                 else:
                     self._forget_queued(job)
+                    # Crash between the durable task_dispatched record and
+                    # the hand-off to the environment: recovery finds a
+                    # DISPATCHED task with no job anywhere and re-runs it.
+                    fire("dispatcher.submit", job=job.job_id, node=node)
                     self.awareness.assign(node, job.job_id)
                     self.in_flight[job.job_id] = (job, node)
                     self._inflight_keys[job.key] = job.job_id

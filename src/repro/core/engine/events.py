@@ -9,7 +9,7 @@ type names and constructors so producers and the replay path cannot drift.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 # Instance lifecycle
 INSTANCE_CREATED = "instance_created"
@@ -51,6 +51,17 @@ INFRASTRUCTURE_REASONS = frozenset({
     "disk-full",
     "io-error",
     "migrated",
+})
+
+#: Failure reasons attributable to the reporting node itself (as opposed
+#: to shared causes like a full storage volume or a network outage, which
+#: every node reports at once). These are the strikes the quarantine
+#: mechanism counts — quarantining the whole cluster for a shared-cause
+#: failure would help nobody.
+NODE_ATTRIBUTED_REASONS = frozenset({
+    "io-error",
+    "program-error",
+    "injected-fault",
 })
 
 

@@ -18,20 +18,12 @@ frame; a subprocess task owns a frame with its own whiteboard.
 
 from __future__ import annotations
 
-import copy
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
-from ...errors import EngineError, InvalidStateError, UnknownTemplateError
-from ..model.conditions import Expr
+from ...errors import EngineError, InvalidStateError
 from ..model.data import Binding, UNDEFINED, Whiteboard
 from ..model.process import ProcessTemplate, TaskGraph
-from ..model.tasks import (
-    Activity,
-    Block,
-    ParallelTask,
-    SubprocessTask,
-    Task,
-)
+from ..model.tasks import Activity, Block, ParallelTask, Task
 from . import events as ev
 
 # Task statuses

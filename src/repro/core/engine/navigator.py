@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from ...errors import ConditionError, EngineError
+from ...faults.points import fire
 from ..model.data import UNDEFINED
 from ..model.failure import (
     ABORT,
@@ -35,17 +36,8 @@ from ..model.failure import (
 from ..model.tasks import Activity, Block, ParallelTask, SubprocessTask
 from . import events as ev
 from .instance import (
-    COMPLETED,
-    DISPATCHED,
-    EXPANDED,
-    FAILED,
-    Frame,
-    INACTIVE,
-    ProcessInstance,
-    RUNNING,
-    SKIPPED,
-    SUSPENDED,
-    TaskState,
+    COMPLETED, EXPANDED, FAILED, Frame, INACTIVE, ProcessInstance, RUNNING,
+    SUSPENDED, TaskState,
 )
 
 _WAIT = "wait"
@@ -65,6 +57,9 @@ class Navigator:
     def navigate(self, instance: ProcessInstance) -> None:
         if instance.terminal or instance.status not in (RUNNING, SUSPENDED):
             return
+        # Crash while interpreting: navigation decisions not yet persisted
+        # as events must be re-derived identically after recovery.
+        fire("navigator.navigate", instance=instance.id)
         changed = True
         while changed and not instance.terminal:
             changed = False

@@ -12,8 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
-from ...errors import UnknownInstanceError
-from .instance import COMPLETED, DISPATCHED, FAILED, ProcessInstance
+from .instance import COMPLETED, FAILED
 from .server import BioOperaServer
 
 

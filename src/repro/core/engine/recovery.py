@@ -11,11 +11,10 @@ result in less work lost when failures occur", paper Section 3.3).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List
 
 from ...errors import StoreError
 from ...store.spaces import OperaStore
-from ..model.process import ProcessTemplate
 from . import events as ev
 from .instance import ProcessInstance
 

@@ -29,6 +29,7 @@ from ...errors import (
     UnknownInstanceError,
     UnknownTemplateError,
 )
+from ...faults.points import fire
 from ...store.spaces import OperaStore
 from ..model.process import ProcessTemplate
 from ..monitor.awareness import AwarenessModel
@@ -77,6 +78,8 @@ class BioOperaServer:
         self.up = True
         self.environment = None
         self.migration = None  # (min_rate, improvement) when enabled
+        self.quarantine = None  # (threshold, window, probe_after) when on
+        self._node_failures: Dict[str, List[float]] = {}
         self.instances: Dict[str, ProcessInstance] = {}
         self._template_cache: Dict[Tuple[str, int], ProcessTemplate] = {}
         self.metrics: Dict[str, int] = {
@@ -205,7 +208,15 @@ class BioOperaServer:
     # ------------------------------------------------------------------
 
     def emit(self, instance: ProcessInstance, event: Dict[str, Any]) -> None:
+        # Crash before the append: the transition is lost entirely (the
+        # engine never acted on it, so nothing to repair). Crash after: the
+        # event is durable but the in-memory state never saw it — recovery
+        # must pick it up from the log.
+        fire("server.emit.pre-persist",
+             instance=instance.id, type=event["type"])
         self.store.instances.append_event(instance.id, event)
+        fire("server.emit.post-persist",
+             instance=instance.id, type=event["type"])
         instance.apply(event)
         if event["type"] in (
             ev.INSTANCE_COMPLETED, ev.INSTANCE_ABORTED, ev.INSTANCE_STARTED,
@@ -336,6 +347,9 @@ class BioOperaServer:
                 return False
             if state.attempts + 1 != job.attempt:
                 return False
+        # Crash between the placement decision and its durable record: no
+        # task_dispatched event exists, so recovery simply re-queues.
+        fire("server.dispatch.record", job=job.job_id, node=node)
         self.emit(instance, ev.task_dispatched(
             job.task_path, node, job.program, job.attempt, self.clock()
         ))
@@ -402,10 +416,14 @@ class BioOperaServer:
                 self.dispatcher.pump()
                 return
         self.metrics["jobs_failed"] += 1
+        now = self.clock()
         self.emit(instance, ev.task_failed(
-            job.task_path, reason, node, job.attempt, self.clock(),
+            job.task_path, reason, node, job.attempt, now,
             detail=detail,
         ))
+        if (self.quarantine is not None
+                and reason in ev.NODE_ATTRIBUTED_REASONS):
+            self._note_node_failure(node, now)
         self.navigator.navigate(instance)
         self.dispatcher.pump()
 
@@ -444,6 +462,7 @@ class BioOperaServer:
         this covers a crash+restore that beat the failure detector."""
         if not self.up or not self.awareness.has_node(node):
             return
+        self._node_failures.pop(node, None)  # a fresh join resets strikes
         self.awareness.node_up(node, self.clock())
         if running is not None:
             for job_id in self.dispatcher.jobs_on_node(node):
@@ -497,6 +516,68 @@ class BioOperaServer:
         for view in self.awareness.nodes():
             if view.assigned and self._consider_migration(view.name):
                 return
+
+    # ------------------------------------------------------------------
+    # Node quarantine (graceful degradation / failure masking)
+    # ------------------------------------------------------------------
+
+    def enable_quarantine(self, threshold: int = 3, window: float = 900.0,
+                          probe_after: float = 600.0) -> None:
+        """Blacklist misbehaving nodes instead of feeding them work.
+
+        A node that accumulates ``threshold`` node-attributed job failures
+        (see :data:`~repro.core.engine.events.NODE_ATTRIBUTED_REASONS`)
+        within ``window`` seconds is excluded from placement until a probe
+        — scheduled ``probe_after`` seconds later through the environment's
+        ``schedule_probe`` — reports it healthy. Environments without probe
+        support never quarantine: excluding a node with no way back would
+        shrink the cluster permanently.
+        """
+        self.quarantine = (threshold, window, probe_after)
+
+    def disable_quarantine(self) -> None:
+        self.quarantine = None
+        self._node_failures.clear()
+        for view in self.awareness.nodes():
+            if view.quarantined:
+                self.awareness.release_quarantine(view.name)
+        self.dispatcher.pump()
+
+    def _note_node_failure(self, node: str, now: float) -> None:
+        if not self.awareness.has_node(node):
+            return
+        view = self.awareness.node(node)
+        if not view.up or view.quarantined:
+            return
+        probe = getattr(self.environment, "schedule_probe", None)
+        if probe is None:
+            return
+        threshold, window, probe_after = self.quarantine
+        history = self._node_failures.setdefault(node, [])
+        history.append(now)
+        while history and history[0] <= now - window:
+            history.pop(0)
+        if len(history) < threshold:
+            return
+        history.clear()
+        self.awareness.quarantine(node)
+        self.metrics["nodes_quarantined"] = (
+            self.metrics.get("nodes_quarantined", 0) + 1
+        )
+        probe(node, probe_after)
+
+    def on_probe_result(self, node: str, ok: bool = True) -> None:
+        """A quarantine probe reported back; success re-admits the node."""
+        if not self.up or not self.awareness.has_node(node):
+            return
+        if not ok:
+            probe = getattr(self.environment, "schedule_probe", None)
+            if probe is not None and self.quarantine is not None:
+                probe(node, self.quarantine[2])
+            return
+        self._node_failures.pop(node, None)
+        self.awareness.release_quarantine(node)
+        self.dispatcher.pump()
 
     # ------------------------------------------------------------------
     # Kill-and-restart load balancing (Section 5.4 discussion / ablation)
@@ -674,6 +755,9 @@ class BioOperaServer:
                     tuple(config.get("tags", ())),
                 )
         for instance_id in store.instances.instance_ids():
+            # Crash during recovery replay itself: the next recovery must
+            # start over from the same durable log and still succeed.
+            fire("recovery.replay", instance=instance_id)
             instance = ProcessInstance(instance_id, server._resolver)
             instance.replay(store.instances.events(instance_id))
             server.instances[instance_id] = instance

@@ -26,8 +26,6 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ...errors import EngineError
-from ...store.spaces import OperaStore
-from .library import ProgramRegistry
 from .server import BioOperaServer
 
 

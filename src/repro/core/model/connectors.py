@@ -15,7 +15,7 @@ connector to fire).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict
 
 from ...errors import ModelError

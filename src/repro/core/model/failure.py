@@ -17,7 +17,7 @@ actions, alternative executions, and various forms of exception handling)"
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from ...errors import ModelError

@@ -19,7 +19,6 @@ design and reuse" (paper, Section 3.1):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ...errors import ModelError

@@ -50,6 +50,9 @@ class NodeView:
     speed: float = 1.0
     tags: Tuple[str, ...] = ()
     up: bool = True
+    #: excluded from placement after repeated job failures; cleared by a
+    #: successful probe or the node rejoining.
+    quarantined: bool = False
     external_load: float = 0.0     # CPUs' worth of non-BioOpera demand
     assigned: Set[str] = field(default_factory=set)  # job ids placed here
     last_report: float = 0.0
@@ -209,6 +212,7 @@ class AwarenessModel:
     def node_up(self, name: str, time: float = 0.0) -> None:
         view = self.node(name)
         view.up = True
+        view.quarantined = False  # a rejoining node gets a clean slate
         view.last_report = time
         self._touch(view, capacity_gain=True)
 
@@ -239,6 +243,21 @@ class AwarenessModel:
             view.speed = speed
         self._touch(view, capacity_gain=True)
 
+    # -- quarantine -------------------------------------------------------------
+
+    def quarantine(self, name: str) -> None:
+        """Exclude a node from placement (it stays up and keeps running
+        whatever it already holds)."""
+        view = self.node(name)
+        view.quarantined = True
+        self._touch(view)
+
+    def release_quarantine(self, name: str) -> None:
+        view = self._nodes.get(name)
+        if view is not None and view.quarantined:
+            view.quarantined = False
+            self._touch(view, capacity_gain=True)
+
     # -- placement bookkeeping -----------------------------------------------------
 
     def assign(self, name: str, job_id: str) -> None:
@@ -259,7 +278,7 @@ class AwarenessModel:
         result = []
         for name in sorted(self._members.get(placement, ())):
             view = self._nodes[name]
-            if view.up and view.free_slots() >= 1:
+            if view.up and not view.quarantined and view.free_slots() >= 1:
                 result.append(view)
         return result
 
@@ -286,7 +305,8 @@ class AwarenessModel:
             _neg_score, name, version = heap[0]
             view = self._nodes.get(name)
             if (view is None or version != self._versions.get(name)
-                    or not view.up or view.free_slots() < 1):
+                    or not view.up or view.quarantined
+                    or view.free_slots() < 1):
                 heapq.heappop(heap)
                 continue
             return str(name)

@@ -10,7 +10,7 @@ nodes did the work*, *where did the time go*, and *what kept failing*.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ...store.spaces import OperaStore

@@ -14,13 +14,7 @@ from typing import Any, List
 from ...errors import OCRError
 from ..model.conditions import TRUE
 from ..model.data import Binding
-from ..model.failure import (
-    ABORT,
-    ALTERNATIVE,
-    FailureHandler,
-    IGNORE,
-    RETRY,
-)
+from ..model.failure import ABORT, ALTERNATIVE, FailureHandler, IGNORE
 from ..model.process import ProcessTemplate, TaskGraph
 from ..model.tasks import Activity, Block, ParallelTask, SubprocessTask, Task
 

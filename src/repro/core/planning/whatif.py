@@ -15,11 +15,10 @@ checklist for taking the nodes down with minimal disruption.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Set, Tuple
 
 from ...errors import PlanningError
-from ..engine.instance import DISPATCHED
 from ..engine.server import BioOperaServer
 
 

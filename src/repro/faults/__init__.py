@@ -1,0 +1,35 @@
+"""Chaos harness: crash-point fault injection + recovery invariants.
+
+Import structure matters here: :mod:`repro.faults.points` is imported by
+the store and engine modules hosting the fault points, so this package
+``__init__`` re-exports only the import-light halves (``points``,
+``plan``). The chaos driver (:mod:`repro.faults.chaos`) and the invariant
+checker (:mod:`repro.faults.invariants`) import the cluster and engine
+layers and must be imported explicitly.
+"""
+
+from .plan import FaultAction, FaultPlan, ScheduledFault
+from .points import (
+    CATALOG,
+    FaultInjector,
+    InjectedCrash,
+    active,
+    fire,
+    install,
+    installed,
+    uninstall,
+)
+
+__all__ = [
+    "CATALOG",
+    "FaultAction",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedCrash",
+    "ScheduledFault",
+    "active",
+    "fire",
+    "install",
+    "installed",
+    "uninstall",
+]

@@ -1,0 +1,306 @@
+"""Chaos campaigns: run a real workload under a seeded FaultPlan.
+
+One campaign = one all-vs-all process instance on a simulated cluster,
+disturbed by a :class:`~repro.faults.plan.FaultPlan` (cluster-level
+disturbances scheduled through :class:`ScenarioScript` plus one-shot
+crash-point actions armed in the registry), driven to completion through
+however many injected crashes and recoveries it takes.
+
+Crash protocol: an :class:`InjectedCrash` unwinding out of a kernel step
+means "the server process died in that window". The driver marks the
+server down, waits a seeded delay, and recovers from
+``store.simulate_crash()`` — so records appended but never synced are
+genuinely lost, exactly like a real crash. Recovery itself runs under the
+same injector, so a ``recovery.replay`` action can kill the recovering
+server and force a second recovery from the same durable log.
+
+After every successful recovery, and once more at the end, the full
+invariant catalog (:mod:`repro.faults.invariants`) runs; the campaign
+additionally requires the final outputs to be byte-identical to a
+fault-free run. Every randomized choice derives from the campaign seed,
+so a failing campaign replays bit-for-bit from its recorded plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..bio import DarwinEngine, DatabaseProfile
+from ..cluster import SimKernel, SimulatedCluster, uniform
+from ..cluster.failures import ScenarioScript
+from ..core.engine import BioOperaServer
+from ..processes import install_all_vs_all
+from ..store.kvstore import MEMORY
+from . import invariants
+from .plan import FaultPlan
+from .points import FaultInjector, InjectedCrash, installed
+
+#: quarantine policy active during campaigns (threshold, window, probe).
+QUARANTINE = (3, 900.0, 300.0)
+
+#: wedge guards: a campaign that exceeds either has lost an invariant in a
+#: way that stalls progress (the violation we report for it).
+WALL_HORIZON = 2_000_000.0
+MAX_EVENTS = 2_000_000
+
+
+def default_darwin(size: int = 120) -> DarwinEngine:
+    """The workload generator campaigns run (small modeled all-vs-all)."""
+    profile = DatabaseProfile.synthetic("chaos", size, seed=5)
+    return DarwinEngine(profile, mode="modeled", random_match_rate=2e-3,
+                        sample_cap=200, seed=2)
+
+
+@dataclass
+class CampaignResult:
+    seed: int
+    status: str = "unknown"
+    violations: List[str] = field(default_factory=list)
+    plan: Dict = field(default_factory=dict)
+    fired: List[Dict] = field(default_factory=list)
+    executed: List[str] = field(default_factory=list)
+    crashes: int = 0
+    recoveries: int = 0
+    wall: float = 0.0
+    events: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "completed" and not self.violations
+
+    def categories(self) -> List[str]:
+        """Fault categories that actually engaged during the run."""
+        names = set(self.executed)
+        names.update(f"point:{entry['point']}" for entry in self.fired)
+        return sorted(names)
+
+
+def _build(darwin: DarwinEngine, kernel_seed: int, nodes: int, cpus: int,
+           granularity: int):
+    kernel = SimKernel(seed=kernel_seed)
+    cluster = SimulatedCluster(kernel, uniform(nodes, cpus=cpus),
+                               execution_noise=0.0)
+    server = BioOperaServer(seed=kernel_seed)
+    server.attach_environment(cluster)
+    server.enable_quarantine(*QUARANTINE)
+    install_all_vs_all(server, darwin)
+    instance_id = server.launch("all_vs_all", {
+        "db_name": darwin.profile.name,
+        "granularity": granularity,
+    })
+    return kernel, cluster, server, instance_id
+
+
+def fault_free_baseline(darwin: DarwinEngine, nodes: int = 4, cpus: int = 2,
+                        granularity: int = 8) -> Dict:
+    """Run the workload undisturbed; campaigns must match its outputs."""
+    kernel, cluster, server, instance_id = _build(
+        darwin, kernel_seed=101, nodes=nodes, cpus=cpus,
+        granularity=granularity,
+    )
+    status = cluster.run_until_instance_done(instance_id)
+    return {
+        "status": status,
+        "outputs": {instance_id: server.instance(instance_id).outputs},
+        "wall": kernel.now,
+    }
+
+
+def _schedule_plan(plan: FaultPlan, cluster: SimulatedCluster,
+                   executed: set, result: CampaignResult,
+                   ensure_recovered) -> None:
+    """Translate the plan's scheduled disturbances into kernel events."""
+    script = ScenarioScript(cluster)
+
+    def noted(category, fn):
+        def run():
+            executed.add(category)
+            fn()
+        return run
+
+    for fault in plan.scheduled:
+        category, time, params = fault.category, fault.time, fault.params
+        if category == "node-crash":
+            node = params["node"]
+            script.at(time, f"chaos: crash {node}", noted(
+                category,
+                lambda n=node: cluster.nodes[n].up and cluster.crash_node(n),
+            ))
+            script.at(time + params["duration"], f"chaos: restore {node}",
+                      lambda n=node: (not cluster.nodes[n].up
+                                      and cluster.restore_node(n)))
+        elif category == "mass-failure":
+            names = params["nodes"]
+
+            def crash_all(names=names):
+                for name in names:
+                    if cluster.nodes[name].up:
+                        cluster.crash_node(name)
+
+            def restore_all(names=names):
+                for name in names:
+                    if not cluster.nodes[name].up:
+                        cluster.restore_node(name)
+
+            script.at(time, "chaos: mass failure", noted(category, crash_all))
+            script.at(time + params["duration"], "chaos: mass restore",
+                      restore_all)
+        elif category == "network-outage":
+            script.at(time, "chaos: network outage", noted(
+                category,
+                lambda: (not cluster.network.outage
+                         and cluster.start_network_outage()),
+            ))
+            script.at(time + params["duration"], "chaos: outage over",
+                      lambda: cluster.network.outage
+                      and cluster.end_network_outage())
+        elif category == "storage-full":
+            script.at(time, "chaos: storage full", noted(
+                category, lambda: cluster.set_storage_full(True)
+            ))
+            script.at(time + params["duration"], "chaos: storage freed",
+                      lambda: cluster.set_storage_full(False))
+        elif category == "io-error-burst":
+            rate = params["rate"]
+            script.at(time, "chaos: io errors", noted(
+                category, lambda r=rate: cluster.set_job_failure_rate(r)
+            ))
+            script.at(time + params["duration"], "chaos: io errors over",
+                      lambda: cluster.set_job_failure_rate(0.0))
+        elif category == "load-burst":
+            names, fraction = params["nodes"], params["load_fraction"]
+
+            def start_load(names=names, fraction=fraction):
+                for name in names:
+                    cpus = cluster.nodes[name].cpus
+                    cluster.set_external_load(name, cpus * fraction)
+
+            def stop_load(names=names):
+                for name in names:
+                    cluster.set_external_load(name, 0.0)
+
+            script.at(time, "chaos: load burst", noted(category, start_load))
+            script.at(time + params["duration"], "chaos: load burst over",
+                      stop_load)
+        elif category == "server-crash":
+            def crash_server():
+                if cluster.server.up:
+                    cluster.crash_server()
+                    result.crashes += 1
+
+            script.at(time, "chaos: server crash",
+                      noted(category, crash_server))
+            script.at(time + params["recovery_after"],
+                      "chaos: server recovery", ensure_recovered)
+        else:
+            result.violations.append(
+                f"plan contains unknown category {category!r}"
+            )
+
+
+def run_campaign(seed: int, darwin: DarwinEngine,
+                 baseline: Optional[Dict] = None,
+                 plan: Optional[FaultPlan] = None,
+                 nodes: int = 4, cpus: int = 2,
+                 granularity: int = 8) -> CampaignResult:
+    """Run one seeded chaos campaign; returns its full accounting."""
+    if baseline is None:
+        baseline = fault_free_baseline(darwin, nodes=nodes, cpus=cpus,
+                                       granularity=granularity)
+    kernel, cluster, _server, instance_id = _build(
+        darwin, kernel_seed=900 + seed * 13, nodes=nodes, cpus=cpus,
+        granularity=granularity,
+    )
+    if plan is None:
+        plan = FaultPlan.generate(
+            seed, sorted(cluster.nodes),
+            horizon=max(120.0, baseline["wall"] * 1.5),
+        )
+    result = CampaignResult(seed=seed, plan=plan.to_dict())
+    executed: set = set()
+    recovery_rng = kernel.rng("chaos-recovery")
+
+    def ensure_recovered():
+        current = cluster.server
+        if current.up:
+            return
+        store = current.store
+        if store.kv.path == MEMORY:
+            # Records appended but never synced die with the process.
+            store = store.simulate_crash()
+        try:
+            recovered = BioOperaServer.recover(
+                store, current.registry, environment=cluster,
+                policy=current.dispatcher.policy, seed=current.seed,
+            )
+        except InjectedCrash:
+            # Recovery itself was killed; whatever half-recovered server
+            # attach() left behind is down too. Try again from its store
+            # (which holds everything the failed replay persisted).
+            result.crashes += 1
+            cluster.server.up = False
+            kernel.schedule(recovery_rng.uniform(30.0, 300.0),
+                            ensure_recovered, label="chaos: re-recover")
+            return
+        for key, value in current.metrics.items():
+            recovered.metrics[key] = recovered.metrics.get(key, 0) + value
+        recovered.enable_quarantine(*QUARANTINE)
+        result.recoveries += 1
+        result.violations.extend(
+            f"after recovery {result.recoveries}: {problem}"
+            for problem in invariants.check_server(recovered)
+        )
+
+    _schedule_plan(plan, cluster, executed, result, ensure_recovered)
+    injector = FaultInjector(plan.actions)
+    with installed(injector):
+        while True:
+            live = cluster.server.instances.get(instance_id)
+            if (cluster.server.up and live is not None and live.terminal):
+                break
+            if kernel.now > WALL_HORIZON or kernel.events_processed > MAX_EVENTS:
+                result.violations.append(
+                    f"wedged: no completion by t={kernel.now:.0f} after "
+                    f"{kernel.events_processed} events"
+                )
+                break
+            try:
+                progressed = kernel.step()
+            except InjectedCrash:
+                result.crashes += 1
+                cluster.server.up = False
+                kernel.schedule(recovery_rng.uniform(30.0, 300.0),
+                                ensure_recovered, label="chaos: recover")
+                continue
+            if not progressed:
+                if not cluster.server.up:
+                    ensure_recovered()
+                    continue
+                result.violations.append(
+                    "wedged: event queue drained before completion"
+                )
+                break
+        final_live = cluster.server.instances.get(instance_id)
+        result.status = final_live.status if final_live is not None else "lost"
+        result.violations.extend(invariants.check_server(
+            cluster.server, baseline_outputs=baseline["outputs"], final=True,
+        ))
+    result.fired = list(injector.fired)
+    result.executed = sorted(executed)
+    result.wall = kernel.now
+    result.events = kernel.events_processed
+    return result
+
+
+def run_campaigns(seeds, darwin: Optional[DarwinEngine] = None,
+                  baseline: Optional[Dict] = None,
+                  **build_kw) -> List[CampaignResult]:
+    """Run many seeded campaigns against one shared baseline."""
+    darwin = darwin or default_darwin()
+    if baseline is None:
+        baseline = fault_free_baseline(darwin, **build_kw)
+    return [
+        run_campaign(seed, darwin, baseline=baseline, **build_kw)
+        for seed in seeds
+    ]

@@ -1,0 +1,206 @@
+"""Recovery invariants: what must hold after every crash + recovery.
+
+The paper's dependability story is a set of implicit invariants — "no
+results were lost", "processes resumed where the log said", "every TEU is
+accounted for exactly once". This module makes them explicit and checkable
+against a live :class:`~repro.core.engine.server.BioOperaServer`:
+
+* **log-replayable** — every instance's event log replays without error
+  and without time anomalies (:func:`recovery.verify_log`);
+* **replay-equivalence** — a fresh replay of the durable log produces the
+  same instance state (status, outputs, per-task status/attempts) as the
+  live in-memory instance;
+* **exactly-once accounting** — per task occurrence, each attempt is
+  dispatched at most once and completes on a node at most once;
+* **monotonic, contiguous log** — the persisted ``next_seq`` matches the
+  number of events (no holes, no phantoms);
+* **no leaked slots** — the awareness model's per-node assignments and the
+  dispatcher's in-flight table are the same set, seen from both sides;
+* **WAL integrity** — the KV store's snapshot + WAL replays to exactly the
+  live state (:meth:`~repro.store.kvstore.KVStore.audit`).
+
+``final=True`` adds end-of-campaign obligations: all instances completed,
+queue and in-flight tables empty, and (when ``baseline_outputs`` is given)
+outputs byte-identical to the fault-free run under the canonical codec.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.engine import events as ev
+from ..core.engine.recovery import replay_instance, verify_log
+from ..store import codec
+
+
+def check_server(server, baseline_outputs: Optional[Dict] = None,
+                 final: bool = False) -> List[str]:
+    """Run the full invariant catalog; returns violations (ideally [])."""
+    problems: List[str] = []
+    for instance_id in server.store.instances.instance_ids():
+        problems += [
+            f"{instance_id}: {anomaly}"
+            for anomaly in verify_log(
+                server.store, instance_id, server._resolver
+            )
+        ]
+        problems += _check_replay_equivalence(server, instance_id)
+        problems += _check_exactly_once(server, instance_id)
+        problems += _check_log_contiguity(server, instance_id)
+    problems += _check_slot_consistency(server)
+    problems += [f"store: {p}" for p in server.store.kv.audit()]
+    if final:
+        problems += _check_final(server, baseline_outputs)
+    return problems
+
+
+def _check_replay_equivalence(server, instance_id: str) -> List[str]:
+    live = server.instances.get(instance_id)
+    if live is None:
+        return [f"{instance_id}: persisted instance missing from memory"]
+    try:
+        twin = replay_instance(server.store, instance_id, server._resolver)
+    except Exception as exc:  # noqa: BLE001 - report, not crash
+        return [
+            f"{instance_id}: replay failed: {type(exc).__name__}: {exc}"
+        ]
+    problems = []
+    if twin.status != live.status:
+        problems.append(
+            f"{instance_id}: replay status {twin.status!r} != live "
+            f"{live.status!r}"
+        )
+    if twin.event_count != live.event_count:
+        problems.append(
+            f"{instance_id}: replay saw {twin.event_count} events, live "
+            f"applied {live.event_count}"
+        )
+    if codec.encode(twin.outputs) != codec.encode(live.outputs):
+        problems.append(f"{instance_id}: replay outputs differ from live")
+    live_states = sorted(
+        (s.path, s.status, s.attempts) for s in live.iter_states()
+    )
+    twin_states = sorted(
+        (s.path, s.status, s.attempts) for s in twin.iter_states()
+    )
+    if live_states != twin_states:
+        diff = [
+            pair for pair in zip(live_states, twin_states) if pair[0] != pair[1]
+        ][:3]
+        problems.append(
+            f"{instance_id}: replayed task states diverge from live: {diff}"
+        )
+    return problems
+
+
+def _check_exactly_once(server, instance_id: str) -> List[str]:
+    """Per task occurrence: an attempt is dispatched at most once, and at
+    most one node-reported completion lands per attempt."""
+    problems = []
+    status: Dict[str, str] = {}
+    attempt: Dict[str, int] = {}
+    dispatched_attempts = set()
+    completed_attempts = set()
+    for event in server.store.instances.events(instance_id):
+        kind = event["type"]
+        path = event.get("path", "")
+        if kind == ev.TASK_DISPATCHED:
+            key = (path, event["attempt"])
+            # Compensation tasks are re-queued verbatim after a crash, so
+            # their attempt numbers legitimately repeat.
+            if key in dispatched_attempts and not path.endswith("#comp"):
+                problems.append(
+                    f"{instance_id}: {path} attempt {event['attempt']} "
+                    f"dispatched twice"
+                )
+            dispatched_attempts.add(key)
+            status[path] = "dispatched"
+            attempt[path] = event["attempt"]
+        elif kind == ev.TASK_COMPLETED:
+            if event.get("node"):
+                # A node-reported completion must land on a live dispatch
+                # ("failed" is also legal: an IGNORE handler completes a
+                # failed task with its last node attached).
+                if status.get(path) not in ("dispatched", "failed"):
+                    problems.append(
+                        f"{instance_id}: {path} completed from state "
+                        f"{status.get(path)!r} (no live dispatch)"
+                    )
+                key = (path, attempt.get(path))
+                if key in completed_attempts:
+                    problems.append(
+                        f"{instance_id}: {path} attempt {attempt.get(path)} "
+                        f"completed twice"
+                    )
+                completed_attempts.add(key)
+            status[path] = "completed"
+        elif kind == ev.TASK_FAILED:
+            status[path] = "failed"
+        elif kind == ev.TASK_RESET:
+            status.pop(path, None)
+            attempt.pop(path, None)
+    return problems
+
+
+def _check_log_contiguity(server, instance_id: str) -> List[str]:
+    recorded = server.store.instances.event_count(instance_id)
+    actual = sum(1 for _ in server.store.instances.events(instance_id))
+    if recorded != actual:
+        return [
+            f"{instance_id}: next_seq says {recorded} events, log holds "
+            f"{actual} (hole or phantom)"
+        ]
+    return []
+
+
+def _check_slot_consistency(server) -> List[str]:
+    """The awareness model's node assignments and the dispatcher's
+    in-flight table must describe the same set of jobs."""
+    problems = []
+    assigned: Dict[str, str] = {}
+    for view in server.awareness.nodes():
+        for job_id in view.assigned:
+            if job_id in assigned:
+                problems.append(
+                    f"job {job_id} assigned to both {assigned[job_id]} "
+                    f"and {view.name}"
+                )
+            assigned[job_id] = view.name
+    for job_id, (_job, node) in server.dispatcher.in_flight.items():
+        if assigned.pop(job_id, None) != node:
+            problems.append(
+                f"in-flight job {job_id} not assigned on node {node}"
+            )
+    for job_id, node in sorted(assigned.items()):
+        problems.append(
+            f"leaked slot: job {job_id} assigned on {node} but not in flight"
+        )
+    return problems
+
+
+def _check_final(server, baseline_outputs: Optional[Dict]) -> List[str]:
+    problems = []
+    for instance_id in sorted(server.instances):
+        instance = server.instances[instance_id]
+        if instance.status != "completed":
+            problems.append(
+                f"{instance_id}: final status {instance.status!r}, "
+                f"expected 'completed'"
+            )
+        elif baseline_outputs is not None:
+            expected = baseline_outputs.get(instance_id)
+            if expected is not None and (
+                    codec.encode(instance.outputs) != codec.encode(expected)):
+                problems.append(
+                    f"{instance_id}: final outputs differ from the "
+                    f"fault-free baseline"
+                )
+    queued = server.dispatcher.queue_length()
+    if queued:
+        problems.append(f"{queued} jobs still queued after completion")
+    if server.dispatcher.in_flight:
+        problems.append(
+            f"{len(server.dispatcher.in_flight)} jobs still in flight "
+            f"after completion"
+        )
+    return problems

@@ -1,0 +1,207 @@
+"""FaultPlan: a seeded, serializable failure schedule for one campaign.
+
+A plan has two halves:
+
+* ``scheduled`` — cluster-level disturbances at absolute simulated times
+  (node crashes, mass failures, network outages, storage-full windows,
+  I/O-error bursts, load bursts, server crashes), executed through a
+  :class:`~repro.cluster.failures.ScenarioScript`;
+* ``actions`` — one-shot :class:`FaultAction` entries armed against the
+  crash-point registry (:mod:`repro.faults.points`), firing on the n-th
+  hit of a named point.
+
+Plans are value objects: :meth:`FaultPlan.generate` derives one
+deterministically from a seed, and ``to_dict``/``from_dict`` round-trip
+through JSON so a failing campaign can be dumped and replayed bit-for-bit.
+This module is pure (no engine/cluster imports) so the registry call sites
+can be imported from anywhere without cycles.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+#: cluster-level disturbance categories a generated plan can schedule.
+SCHEDULED_CATEGORIES = (
+    "node-crash",
+    "mass-failure",
+    "network-outage",
+    "storage-full",
+    "io-error-burst",
+    "load-burst",
+    "server-crash",
+)
+
+
+@dataclass
+class FaultAction:
+    """One-shot directive against a fault point (see points.CATALOG)."""
+
+    point: str
+    kind: str
+    at_hit: int = 1
+    delay: float = 0.0           # for kind="delay": extra latency (seconds)
+    torn_fraction: float = 0.5   # for kind="torn": record prefix written
+
+    def to_dict(self) -> Dict:
+        return {
+            "point": self.point,
+            "kind": self.kind,
+            "at_hit": self.at_hit,
+            "delay": self.delay,
+            "torn_fraction": self.torn_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultAction":
+        return cls(
+            point=data["point"],
+            kind=data["kind"],
+            at_hit=int(data.get("at_hit", 1)),
+            delay=float(data.get("delay", 0.0)),
+            torn_fraction=float(data.get("torn_fraction", 0.5)),
+        )
+
+
+@dataclass
+class ScheduledFault:
+    """One cluster-level disturbance at an absolute simulated time."""
+
+    category: str
+    time: float
+    params: Dict = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return {
+            "category": self.category,
+            "time": self.time,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ScheduledFault":
+        return cls(
+            category=data["category"],
+            time=float(data["time"]),
+            params=dict(data.get("params", {})),
+        )
+
+
+@dataclass
+class FaultPlan:
+    """Everything needed to reproduce one chaos campaign's failures."""
+
+    seed: int
+    scheduled: List[ScheduledFault] = field(default_factory=list)
+    actions: List[FaultAction] = field(default_factory=list)
+
+    def categories(self) -> List[str]:
+        """Sorted distinct categories this plan covers (scheduled
+        disturbances by name, point actions as ``point:<point>``)."""
+        names = {fault.category for fault in self.scheduled}
+        names.update(f"point:{action.point}" for action in self.actions)
+        return sorted(names)
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "scheduled": [fault.to_dict() for fault in self.scheduled],
+            "actions": [action.to_dict() for action in self.actions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultPlan":
+        return cls(
+            seed=int(data["seed"]),
+            scheduled=[
+                ScheduledFault.from_dict(f) for f in data.get("scheduled", ())
+            ],
+            actions=[
+                FaultAction.from_dict(a) for a in data.get("actions", ())
+            ],
+        )
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def generate(cls, seed: int, node_names: Sequence[str],
+                 horizon: float = 600.0) -> "FaultPlan":
+        """Draw a randomized failure schedule from the seed.
+
+        ``horizon`` should roughly match the fault-free wall time of the
+        workload so disturbances land while work is actually in flight;
+        schedules landing after completion simply never run.
+        """
+        rng = random.Random(f"fault-plan/{seed}")
+        nodes = list(node_names)
+        scheduled: List[ScheduledFault] = []
+
+        def when(lo: float = 0.05, hi: float = 0.75) -> float:
+            return round(rng.uniform(lo * horizon, hi * horizon), 3)
+
+        if rng.random() < 0.7:
+            scheduled.append(ScheduledFault("node-crash", when(), {
+                "node": rng.choice(nodes),
+                "duration": round(rng.uniform(0.2, 2.0) * horizon, 3),
+            }))
+        if rng.random() < 0.35:
+            count = rng.randint(max(1, len(nodes) // 2), len(nodes))
+            scheduled.append(ScheduledFault("mass-failure", when(), {
+                "nodes": sorted(rng.sample(nodes, count)),
+                "duration": round(rng.uniform(0.3, 1.5) * horizon, 3),
+            }))
+        if rng.random() < 0.5:
+            scheduled.append(ScheduledFault("network-outage", when(), {
+                "duration": round(rng.uniform(0.1, 1.2) * horizon, 3),
+            }))
+        if rng.random() < 0.35:
+            scheduled.append(ScheduledFault("storage-full", when(), {
+                "duration": round(rng.uniform(0.2, 1.0) * horizon, 3),
+            }))
+        if rng.random() < 0.4:
+            scheduled.append(ScheduledFault("io-error-burst", when(), {
+                "rate": round(rng.uniform(0.05, 0.35), 3),
+                "duration": round(rng.uniform(0.3, 1.5) * horizon, 3),
+            }))
+        if rng.random() < 0.5:
+            count = rng.randint(1, len(nodes))
+            scheduled.append(ScheduledFault("load-burst", when(), {
+                "nodes": sorted(rng.sample(nodes, count)),
+                "load_fraction": round(rng.uniform(0.3, 0.9), 3),
+                "duration": round(rng.uniform(0.3, 1.5) * horizon, 3),
+            }))
+        if rng.random() < 0.55:
+            scheduled.append(ScheduledFault("server-crash", when(), {
+                "recovery_after": round(rng.uniform(0.1, 0.6) * horizon, 3),
+            }))
+
+        actions: List[FaultAction] = []
+
+        def maybe(prob, point, kind, hits, **extra):
+            if rng.random() < prob:
+                actions.append(FaultAction(
+                    point, kind, at_hit=rng.randint(*hits), **extra
+                ))
+
+        maybe(0.3, "wal.append", "crash", (1, 40))
+        maybe(0.25, "wal.append", "torn", (1, 40),
+              torn_fraction=round(rng.uniform(0.1, 0.9), 3))
+        maybe(0.25, "kvstore.commit.pre-sync", "crash", (1, 50))
+        maybe(0.25, "kvstore.commit.post-sync", "crash", (1, 50))
+        maybe(0.25, "server.emit.pre-persist", "crash", (1, 40))
+        maybe(0.25, "server.emit.post-persist", "crash", (1, 40))
+        maybe(0.3, "server.dispatch.record", "crash", (1, 12))
+        maybe(0.3, "dispatcher.submit", "crash", (1, 12))
+        maybe(0.25, "navigator.navigate", "crash", (1, 30))
+        maybe(0.3, "recovery.replay", "crash", (1, 2))
+        maybe(0.4, "pec.report", "duplicate", (1, 15))
+        maybe(0.4, "pec.report", "delay", (1, 15),
+              delay=round(rng.uniform(10.0, 400.0), 3))
+        maybe(0.3, "pec.report", "drop", (1, 15))
+        for _ in range(rng.randint(0, 2)):
+            actions.append(FaultAction(
+                "pec.program", "error", at_hit=rng.randint(1, 10)
+            ))
+        return cls(seed=seed, scheduled=scheduled, actions=actions)

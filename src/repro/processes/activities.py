@@ -22,9 +22,8 @@ Program inventory (all return JSON-able outputs + a CPU cost):
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
-from ..bio.costmodel import CostModel
 from ..bio.darwin import DarwinEngine, merge_match_sets
 from ..core.engine.library import (
     ProgramContext,

@@ -17,10 +17,8 @@ cleanup compensation, exercising OCR's exception-handling constructs.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..bio.darwin import DarwinEngine
-from ..core.engine.library import ProgramRegistry
 from ..core.engine.server import BioOperaServer
 from ..core.model.process import ProcessTemplate
 from ..core.ocr.parser import parse_ocr

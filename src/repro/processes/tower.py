@@ -18,7 +18,6 @@ late binding, and cross-step data flow end to end.
 
 from __future__ import annotations
 
-from typing import Any, Dict
 
 from ..bio.darwin import DarwinEngine
 from ..core.engine.library import (

@@ -17,9 +17,10 @@ mechanism the data spaces are built on.
 from __future__ import annotations
 
 import os
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Tuple
 
-from ..errors import StoreError
+from ..errors import ReproError, StoreError
+from ..faults.points import fire
 from . import codec
 from .snapshot import FileSnapshot, MemorySnapshot
 from .wal import FileWAL, MemoryWAL
@@ -133,7 +134,13 @@ class KVStore:
             return
         record = [[op, key, value] for op, key, value in ops]
         self._wal.append(codec.encode(record))
+        # Crash here: the record is appended but unsynced — a real crash
+        # loses it (MemoryWAL.simulate_crash drops the unsynced suffix).
+        fire("kvstore.commit.pre-sync", ops=len(record))
         self._wal.sync()
+        # Crash here: the record is durable but was never applied to the
+        # in-memory state — recovery must replay it.
+        fire("kvstore.commit.post-sync", ops=len(record))
         self._apply_batch(record)
 
     def put(self, key: str, value: Any) -> None:
@@ -152,6 +159,38 @@ class KVStore:
         """Write a snapshot of current state and reset the WAL."""
         self._snapshot.save(self._state)
         self._wal.reset()
+
+    def audit(self) -> List[str]:
+        """WAL-integrity check: rebuild state from snapshot + WAL and diff
+        it against the live in-memory state. Returns problem descriptions
+        (ideally []). Only meaningful while the store is quiescent — a
+        batch appended but not yet applied would show as a false diff."""
+        problems: List[str] = []
+        try:
+            snapshot = self._snapshot.load()
+            replayed: Dict[str, Any] = dict(snapshot) if snapshot else {}
+            for record in self._wal.records():
+                for op, key, value in codec.decode(record):
+                    if op == "put":
+                        replayed[key] = value
+                    elif op == "del":
+                        replayed.pop(key, None)
+                    else:
+                        problems.append(f"unknown WAL op {op!r}")
+        except ReproError as exc:
+            return [f"WAL replay failed: {type(exc).__name__}: {exc}"]
+        if replayed != self._state:
+            missing = sorted(set(self._state) - set(replayed))[:5]
+            extra = sorted(set(replayed) - set(self._state))[:5]
+            changed = sorted(
+                k for k in set(replayed) & set(self._state)
+                if replayed[k] != self._state[k]
+            )[:5]
+            problems.append(
+                "replayed state diverges from live state "
+                f"(missing={missing} extra={extra} changed={changed})"
+            )
+        return problems
 
     # -- reads ----------------------------------------------------------------
 

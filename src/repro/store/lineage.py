@@ -15,7 +15,7 @@ datasets must be recomputed, in dependency order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Set, Tuple
 
 from ..errors import StoreError

@@ -16,7 +16,7 @@ and cross-space updates can share a transaction.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional
 
 from ..errors import StoreError, UnknownTemplateError
 from .kvstore import KVStore, MEMORY

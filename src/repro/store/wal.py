@@ -25,6 +25,7 @@ import zlib
 from typing import Iterator, List
 
 from ..errors import CorruptLogError
+from ..faults.points import InjectedCrash, fire
 
 _HEADER = struct.Struct("<II")  # (payload length, crc32)
 
@@ -79,9 +80,18 @@ class FileWAL:
         # One combined write: issuing header and payload separately widens
         # the torn-write window to everything the OS may split between the
         # two calls; a single buffer can only tear inside one record.
-        self._file.write(
-            _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
-        )
+        record = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        try:
+            fire("wal.append", nbytes=len(payload))
+        except InjectedCrash as crash:
+            if crash.torn_fraction is not None:
+                # A torn write: the "process" died mid-write, leaving a
+                # prefix of the record on disk for repair to truncate.
+                cut = max(1, int(len(record) * crash.torn_fraction))
+                self._file.write(record[:cut])
+                self._file.flush()
+            raise
+        self._file.write(record)
 
     def sync(self) -> None:
         self._file.flush()
@@ -136,6 +146,9 @@ class MemoryWAL:
         self._synced = len(self._records)
 
     def append(self, payload: bytes) -> None:
+        # A crash here (torn or whole) loses the record: an in-memory torn
+        # record is exactly what the file WAL's repair would truncate away.
+        fire("wal.append", nbytes=len(payload))
         self._records.append(bytes(payload))
 
     def sync(self) -> None:

@@ -21,7 +21,7 @@ from .core.model.dot import template_to_dot
 from .core.model.process import ProcessTemplate
 from .core.ocr.parser import parse_ocr_unchecked
 from .core.ocr.printer import print_ocr
-from .errors import OCRError, ReproError, ValidationError
+from .errors import OCRError, ReproError
 
 
 def _load(path: str) -> ProcessTemplate:

@@ -17,19 +17,12 @@ trace.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..bio.costmodel import DatabaseProfile
 from ..bio.darwin import DarwinEngine
 from ..cluster import (
-    DAY,
-    HOUR,
-    ScenarioScript,
-    SimKernel,
-    SimulatedCluster,
-    ik_linux,
-    ik_sun,
+    DAY, ScenarioScript, SimKernel, SimulatedCluster, ik_linux, ik_sun,
     linneus,
 )
 from ..core.engine import BioOperaServer

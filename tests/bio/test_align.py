@@ -1,6 +1,5 @@
 """Smith-Waterman alignment: exactness, invariants, traceback."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.bio import CostModel, DatabaseProfile, SequenceDatabase
+from repro.bio import CostModel, DatabaseProfile
 from repro.errors import BioError
 
 

@@ -2,13 +2,7 @@
 
 import pytest
 
-from repro.cluster import (
-    NodeSpec,
-    ScenarioScript,
-    SimKernel,
-    SimulatedCluster,
-    uniform,
-)
+from repro.cluster import ScenarioScript, SimKernel, SimulatedCluster, uniform
 from repro.core.engine import BioOperaServer, ProgramRegistry, ProgramResult
 
 FAN = """

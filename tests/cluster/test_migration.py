@@ -1,6 +1,5 @@
 """Kill-and-restart load balancing (the paper's Section 5.4 discussion)."""
 
-import pytest
 
 from repro.cluster import NodeSpec, SimKernel, SimulatedCluster
 from repro.core.engine import BioOperaServer, ProgramRegistry, ProgramResult

@@ -3,15 +3,8 @@
 import pytest
 
 from repro.cluster import (
-    ClusterTrace,
-    Network,
-    NodeSpec,
-    SimKernel,
-    SimulatedCluster,
-    ik_linux,
-    ik_sun,
-    linneus,
-    uniform,
+    Network, NodeSpec, SimKernel, SimulatedCluster, ik_linux, ik_sun,
+    linneus, uniform,
 )
 
 

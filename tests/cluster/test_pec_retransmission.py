@@ -1,22 +1,25 @@
 """PEC report retransmission: short glitches recover, long outages lose.
 
-The PEC retries an unsendable report ``REPORT_RETRIES`` times, spaced
-``RETRY_INTERVAL`` apart (paper: "TEUs failed to report" during network
-trouble). These tests pin the bookkeeping on both sides of that schedule:
+The PEC retries an unsendable report ``report_retries`` times with capped
+exponential backoff plus seeded jitter (paper: "TEUs failed to report"
+during network trouble). These tests pin the bookkeeping on both sides of
+that schedule:
 
 * a report that fails during a short outage, retries, and succeeds must
   clear ``pending_reports`` and must NOT count as lost;
 * a report dropped after the retry budget must increment ``reports_lost``
-  and clear ``pending_reports``.
+  and clear ``pending_reports``;
+* the backoff schedule itself must grow, cap, jitter deterministically
+  per seed, and be configurable through the cluster environment.
 """
 
 from repro.cluster import SimKernel, SimulatedCluster, uniform
 from repro.core.engine import BioOperaServer, ProgramRegistry, ProgramResult
 
 
-def _launch_single_activity(seed):
+def _launch_single_activity(seed, **cluster_kw):
     kernel = SimKernel(seed=seed)
-    cluster = SimulatedCluster(kernel, uniform(1, cpus=1))
+    cluster = SimulatedCluster(kernel, uniform(1, cpus=1), **cluster_kw)
     registry = ProgramRegistry()
     registry.register("w.u", lambda inputs, ctx: ProgramResult({}, 10.0))
     server = BioOperaServer(registry=registry)
@@ -38,7 +41,8 @@ class TestReportRetransmission:
         kernel.run(until=60.0)
         assert pec.pending_reports, "completion report should be pending"
         assert pec.reports_lost == 0
-        # outage ends well before the first retry at ~+300s
+        # outage ends before the retry budget is spent (worst case the
+        # first retry fires at ~+75s, well within the remaining budget)
         cluster.end_network_outage()
         status = cluster.run_until_instance_done(instance_id)
         assert status == "completed"
@@ -51,9 +55,8 @@ class TestReportRetransmission:
         pec = cluster.pecs["node001"]
         kernel.run(until=2.0)
         cluster.start_network_outage()
-        # retries fire at roughly +300, +600, +900 after the completion;
-        # keep the outage up past all of them
-        horizon = 2.0 + pec.RETRY_INTERVAL * (pec.REPORT_RETRIES + 1) + 100.0
+        # keep the outage up past the whole worst-case backoff schedule
+        horizon = 2.0 + 20.0 + pec.max_retry_span() + 100.0
         kernel.run(until=horizon)
         assert pec.reports_lost == 1
         assert pec.pending_reports == set()
@@ -65,10 +68,53 @@ class TestReportRetransmission:
         pec = cluster.pecs["node001"]
         kernel.run(until=2.0)
         cluster.start_network_outage()
-        horizon = 2.0 + pec.RETRY_INTERVAL * (pec.REPORT_RETRIES + 1) + 100.0
+        horizon = 2.0 + 20.0 + pec.max_retry_span() + 100.0
         kernel.run(until=horizon)
         assert pec.reports_lost == 1
         cluster.end_network_outage()
         status = cluster.run_until_instance_done(
             cluster.server.instances and instance_id)
         assert status == "completed"
+
+
+class TestBackoffSchedule:
+    def test_delays_grow_exponentially_and_cap(self):
+        kernel = SimKernel(seed=7)
+        cluster = SimulatedCluster(kernel, uniform(1, cpus=1),
+                                   report_retries=8)
+        pec = cluster.pecs["node001"]
+        delays = [pec.retry_delay(k) for k in range(8)]
+        for k, delay in enumerate(delays):
+            base = min(pec.retry_cap, pec.retry_base * 2.0 ** k)
+            assert base <= delay <= base * (1.0 + pec.retry_jitter)
+        # the cap bounds every delay, jitter included
+        assert max(delays) <= pec.retry_cap * (1.0 + pec.retry_jitter)
+        # ignoring jitter, the schedule is non-decreasing up to the cap
+        bases = [min(pec.retry_cap, pec.retry_base * 2.0 ** k)
+                 for k in range(8)]
+        assert bases == sorted(bases)
+        assert bases[-1] == pec.retry_cap
+
+    def test_jitter_is_seeded_and_deterministic(self):
+        def delays(seed):
+            kernel = SimKernel(seed=seed)
+            cluster = SimulatedCluster(kernel, uniform(1, cpus=1))
+            return [cluster.pecs["node001"].retry_delay(k) for k in range(5)]
+
+        assert delays(3) == delays(3)
+        assert delays(3) != delays(4)
+
+    def test_cluster_environment_configures_backoff(self):
+        kernel = SimKernel(seed=5)
+        cluster = SimulatedCluster(
+            kernel, uniform(2, cpus=1),
+            report_retries=5, report_retry_base=10.0,
+            report_retry_cap=40.0, report_retry_jitter=0.0,
+        )
+        for pec in cluster.pecs.values():
+            assert pec.report_retries == 5
+            assert pec.retry_delay(0) == 10.0
+            assert pec.retry_delay(1) == 20.0
+            assert pec.retry_delay(2) == 40.0
+            assert pec.retry_delay(3) == 40.0  # capped
+        assert cluster.pecs["node001"].max_retry_span() == 150.0

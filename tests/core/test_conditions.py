@@ -1,18 +1,9 @@
 """Activation-condition language: parsing, evaluation, round trips."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
-from repro.core.model.conditions import (
-    BoolOp,
-    Compare,
-    Defined,
-    Literal,
-    Not,
-    Ref,
-    TRUE,
-    parse_condition,
-)
+from repro.core.model.conditions import TRUE, parse_condition
 from repro.core.model.data import Binding, UNDEFINED
 from repro.errors import ConditionError
 

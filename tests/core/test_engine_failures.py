@@ -1,11 +1,10 @@
 """Failure handlers, spheres of atomicity, compensation."""
 
-import pytest
 
 from repro.core.engine import ProgramResult
 from repro.errors import ActivityFailure
 
-from ..conftest import constant_program, make_inline_server, run_process
+from ..conftest import constant_program, run_process
 
 
 def flaky_program(fail_times, reason="program-error"):

@@ -13,7 +13,7 @@ from repro.core.engine import (
 )
 from repro.errors import InvalidStateError
 
-from ..conftest import constant_program, make_inline_server
+from ..conftest import make_inline_server
 
 CHAIN = """
 PROCESS Chain

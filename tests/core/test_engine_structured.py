@@ -1,9 +1,7 @@
 """Structured tasks: blocks, parallel fan-out, subprocesses, late binding."""
 
-import pytest
 
 from repro.core.engine import ProgramResult
-from repro.core.ocr import parse_ocr
 
 from ..conftest import constant_program, echo_program, make_inline_server, run_process
 

@@ -12,7 +12,6 @@ from repro.core.engine.instance import (
     ProcessInstance,
     SKIPPED,
 )
-from repro.core.model import Binding, ProcessTemplate
 from repro.core.model.data import UNDEFINED
 from repro.core.ocr import parse_ocr
 from repro.errors import EngineError, InvalidStateError

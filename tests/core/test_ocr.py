@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.model import Activity, Binding, ParallelTask, ProcessTemplate
 from repro.core.model.data import ProcessParameter
-from repro.core.model.failure import FailureHandler, Sphere
+from repro.core.model.failure import FailureHandler
 from repro.core.model.process import TaskGraph
 from repro.core.model.tasks import Block, SubprocessTask
 from repro.core.ocr import parse_ocr, parse_ocr_unchecked, print_ocr, tokenize

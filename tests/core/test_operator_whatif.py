@@ -7,7 +7,7 @@ from repro.core.engine.operator_console import OperatorConsole
 from repro.core.planning import drain_plan, outage_impact
 from repro.errors import PlanningError
 
-from ..conftest import constant_program, make_inline_server
+from ..conftest import make_inline_server
 
 SOURCE = """
 PROCESS P

@@ -1,0 +1,110 @@
+"""Recovery accounting: work lost to failures and the failure timeline.
+
+``work_lost_to_failures`` backs the checkpoint-granularity ablation ("the
+work lost was limited to those activities that were executing"): only the
+duration of the attempt that actually failed counts, per failure reason —
+a re-dispatched task that then completes adds nothing. ``failure_timeline``
+feeds lifecycle reporting (the numbered markers of Figures 5 and 6).
+"""
+
+from repro.core.engine import events as ev
+from repro.core.engine.recovery import failure_timeline, work_lost_to_failures
+from repro.store import OperaStore
+
+
+def _store_with_events(events, instance_id="pi-1"):
+    store = OperaStore()
+    store.instances.create(instance_id, {"template": "P", "version": 1})
+    for event in events:
+        store.instances.append_event(instance_id, event)
+    return store, instance_id
+
+
+class TestWorkLostToFailures:
+    def test_counts_only_the_failed_attempts_duration(self):
+        store, instance_id = _store_with_events([
+            ev.instance_created("P", 1, {}, 0.0),
+            ev.task_dispatched("P/A", "node001", "w.u", 1, 10.0),
+            ev.task_failed("P/A", "node-down", "node001", 1, 25.0),
+        ])
+        assert work_lost_to_failures(store, instance_id) == {
+            "node-down": 15.0,
+        }
+
+    def test_redispatched_then_completed_adds_nothing(self):
+        """The re-dispatched attempt completes: only the failed attempt's
+        15 seconds are lost, not the successful retry's 20."""
+        store, instance_id = _store_with_events([
+            ev.instance_created("P", 1, {}, 0.0),
+            ev.task_dispatched("P/A", "node001", "w.u", 1, 10.0),
+            ev.task_failed("P/A", "node-down", "node001", 1, 25.0),
+            ev.task_dispatched("P/A", "node002", "w.u", 2, 30.0),
+            ev.task_completed("P/A", {}, 20.0, "node002", 50.0),
+        ])
+        assert work_lost_to_failures(store, instance_id) == {
+            "node-down": 15.0,
+        }
+
+    def test_aggregates_by_reason_across_tasks(self):
+        store, instance_id = _store_with_events([
+            ev.instance_created("P", 1, {}, 0.0),
+            ev.task_dispatched("P/A", "node001", "w.u", 1, 10.0),
+            ev.task_failed("P/A", "io-error", "node001", 1, 16.0),
+            ev.task_dispatched("P/B", "node002", "w.u", 1, 5.0),
+            ev.task_failed("P/B", "io-error", "node002", 1, 13.0),
+            ev.task_dispatched("P/A", "node002", "w.u", 2, 20.0),
+            ev.task_failed("P/A", "node-down", "node002", 2, 24.0),
+        ])
+        assert work_lost_to_failures(store, instance_id) == {
+            "io-error": 6.0 + 8.0,
+            "node-down": 4.0,
+        }
+
+    def test_failure_without_matching_dispatch_costs_nothing(self):
+        store, instance_id = _store_with_events([
+            ev.instance_created("P", 1, {}, 0.0),
+            ev.task_failed("P/A", "io-error", "node001", 1, 16.0),
+        ])
+        assert work_lost_to_failures(store, instance_id) == {}
+
+    def test_clean_run_loses_nothing(self):
+        store, instance_id = _store_with_events([
+            ev.instance_created("P", 1, {}, 0.0),
+            ev.task_dispatched("P/A", "node001", "w.u", 1, 10.0),
+            ev.task_completed("P/A", {}, 5.0, "node001", 15.0),
+        ])
+        assert work_lost_to_failures(store, instance_id) == {}
+
+
+class TestFailureTimeline:
+    def test_orders_failures_with_node_and_reason(self):
+        store, instance_id = _store_with_events([
+            ev.instance_created("P", 1, {}, 0.0),
+            ev.task_dispatched("P/A", "node001", "w.u", 1, 10.0),
+            ev.task_failed("P/A", "node-down", "node001", 1, 25.0),
+            ev.task_dispatched("P/A", "node002", "w.u", 2, 30.0),
+            ev.task_failed("P/A", "io-error", "node002", 2, 40.0,
+                           detail="scratch disk"),
+        ])
+        assert failure_timeline(store, instance_id) == [
+            {"time": 25.0, "path": "P/A", "reason": "node-down",
+             "node": "node001"},
+            {"time": 40.0, "path": "P/A", "reason": "io-error",
+             "node": "node002"},
+        ]
+
+    def test_includes_lifecycle_interventions(self):
+        store, instance_id = _store_with_events([
+            ev.instance_created("P", 1, {}, 0.0),
+            ev.instance_suspended("operator", 12.0),
+            ev.instance_resumed(20.0),
+            ev.task_dispatched("P/A", "node001", "w.u", 1, 21.0),
+            ev.task_failed("P/A", "disk-full", "node001", 1, 30.0),
+            ev.instance_aborted("operator", 31.0),
+        ])
+        timeline = failure_timeline(store, instance_id)
+        assert [entry["reason"] for entry in timeline] == [
+            ev.INSTANCE_SUSPENDED, ev.INSTANCE_RESUMED,
+            "disk-full", ev.INSTANCE_ABORTED,
+        ]
+        assert timeline[2]["node"] == "node001"

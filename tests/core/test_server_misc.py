@@ -3,18 +3,9 @@
 import pytest
 
 from repro.core.engine import (
-    BioOperaServer,
-    InlineEnvironment,
-    ProgramContext,
-    ProgramRegistry,
-    ProgramResult,
+    BioOperaServer, InlineEnvironment, ProgramContext, ProgramRegistry,
 )
-from repro.errors import (
-    EngineError,
-    InvalidStateError,
-    UnknownInstanceError,
-    ValidationError,
-)
+from repro.errors import EngineError, UnknownInstanceError, ValidationError
 
 from ..conftest import constant_program, make_inline_server
 

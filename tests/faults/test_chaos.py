@@ -1,0 +1,114 @@
+"""Chaos campaigns: determinism, coverage, and failing-seed reproduction.
+
+The harness's whole value is that a failing seed replays bit-for-bit, so
+these tests pin three properties:
+
+* the same seed produces byte-identical campaigns (fired faults, wall
+  time, event counts — everything);
+* plans round-trip through ``to_dict``/``from_dict`` (the JSON a failing
+  campaign dumps is a complete reproduction recipe);
+* a batch of seeded campaigns survives every fault category with all
+  invariants holding and outputs matching the fault-free baseline.
+
+The full 50-campaign acceptance run lives in ``benchmarks/chaos_run.py``;
+here a smaller batch keeps the tier-1 suite fast while still spanning
+every category across the generated plans.
+"""
+
+import pytest
+
+from repro.faults import chaos
+from repro.faults.plan import SCHEDULED_CATEGORIES, FaultAction, FaultPlan
+from repro.faults.points import CATALOG
+
+
+@pytest.fixture(scope="module")
+def darwin():
+    return chaos.default_darwin()
+
+
+@pytest.fixture(scope="module")
+def baseline(darwin):
+    result = chaos.fault_free_baseline(darwin)
+    assert result["status"] == "completed"
+    return result
+
+
+class TestPlanGeneration:
+    def test_same_seed_same_plan(self):
+        nodes = ["node001", "node002", "node003", "node004"]
+        assert (FaultPlan.generate(7, nodes).to_dict()
+                == FaultPlan.generate(7, nodes).to_dict())
+        assert (FaultPlan.generate(7, nodes).to_dict()
+                != FaultPlan.generate(8, nodes).to_dict())
+
+    def test_round_trip_is_lossless(self):
+        nodes = ["node001", "node002"]
+        for seed in range(10):
+            plan = FaultPlan.generate(seed, nodes)
+            assert FaultPlan.from_dict(plan.to_dict()).to_dict() \
+                == plan.to_dict()
+
+    def test_generated_plans_span_every_category(self):
+        """Across 50 seeds the generator must exercise every scheduled
+        disturbance category and every crash point in the catalog."""
+        nodes = ["node001", "node002", "node003", "node004"]
+        covered = set()
+        for seed in range(50):
+            covered.update(FaultPlan.generate(seed, nodes).categories())
+        assert covered >= set(SCHEDULED_CATEGORIES)
+        assert covered >= {f"point:{point}" for point in CATALOG}
+
+
+class TestCampaigns:
+    def test_same_seed_reproduces_identically(self, darwin, baseline):
+        first = chaos.run_campaign(3, darwin, baseline=baseline)
+        second = chaos.run_campaign(3, darwin, baseline=baseline)
+        assert first.ok and second.ok
+        assert first.fired == second.fired
+        assert first.plan == second.plan
+        assert (first.status, first.crashes, first.recoveries,
+                first.wall, first.events) == \
+               (second.status, second.crashes, second.recoveries,
+                second.wall, second.events)
+
+    def test_recorded_plan_replays_the_campaign(self, darwin, baseline):
+        original = chaos.run_campaign(4, darwin, baseline=baseline)
+        replayed = chaos.run_campaign(
+            4, darwin, baseline=baseline,
+            plan=FaultPlan.from_dict(original.plan),
+        )
+        assert replayed.fired == original.fired
+        assert replayed.wall == original.wall
+        assert replayed.violations == original.violations
+
+    def test_batch_survives_all_invariants(self, darwin, baseline):
+        results = chaos.run_campaigns(range(12), darwin, baseline=baseline)
+        bad = [r for r in results if not r.ok]
+        assert not bad, [(r.seed, r.status, r.violations[:2]) for r in bad]
+        # the batch exercised real faults, not a quiet walk-through
+        assert sum(r.crashes for r in results) > 0
+        assert sum(len(r.fired) for r in results) > 0
+        assert sum(r.recoveries for r in results) > 0
+
+    def test_failing_campaign_reproduces_from_recorded_plan(
+            self, darwin, baseline):
+        """A hand-built hostile plan (every one of the first 60 job
+        receives errors, so some task exhausts its retry budget) aborts
+        the instance; its recorded plan must reproduce the same
+        violations exactly."""
+        hostile = FaultPlan(seed=999, actions=[
+            FaultAction("pec.program", "error", at_hit=hit)
+            for hit in range(1, 61)
+        ])
+        result = chaos.run_campaign(999, darwin, baseline=baseline,
+                                    plan=hostile)
+        assert not result.ok
+        assert result.status != "completed"
+        assert any("expected 'completed'" in v for v in result.violations)
+        replay = chaos.run_campaign(
+            999, darwin, baseline=baseline,
+            plan=FaultPlan.from_dict(result.plan),
+        )
+        assert replay.violations == result.violations
+        assert replay.status == result.status

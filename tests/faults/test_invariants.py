@@ -1,0 +1,92 @@
+"""The invariant checker must catch planted violations, not just pass.
+
+A checker that returns ``[]`` on a healthy server proves nothing unless it
+also *fails* on a corrupted one. Each test here plants one specific class
+of corruption — a phantom completion in the log, a leaked node slot, a
+wrong final output — and asserts the catalog names it.
+"""
+
+from repro.cluster import SimKernel, SimulatedCluster, uniform
+from repro.core.engine import (
+    BioOperaServer, ProgramRegistry, ProgramResult, events as ev,
+)
+from repro.faults import invariants
+
+OCR = "PROCESS P\n  ACTIVITY A\n    PROGRAM w.u\n  END\nEND"
+
+
+def _completed_server(seed=41):
+    kernel = SimKernel(seed=seed)
+    cluster = SimulatedCluster(kernel, uniform(2, cpus=1))
+    registry = ProgramRegistry()
+    registry.register("w.u", lambda inputs, ctx: ProgramResult({"x": 1}, 5.0))
+    server = BioOperaServer(registry=registry)
+    server.attach_environment(cluster)
+    server.define_template_ocr(OCR)
+    instance_id = server.launch("P")
+    status = cluster.run_until_instance_done(instance_id)
+    assert status == "completed"
+    return server, instance_id
+
+
+class TestHealthyServer:
+    def test_clean_run_has_no_violations(self):
+        server, instance_id = _completed_server()
+        assert invariants.check_server(server) == []
+
+    def test_final_checks_pass_with_matching_baseline(self):
+        server, instance_id = _completed_server()
+        baseline = {instance_id: server.instance(instance_id).outputs}
+        assert invariants.check_server(
+            server, baseline_outputs=baseline, final=True) == []
+
+
+class TestPlantedViolations:
+    def test_phantom_completion_is_caught(self):
+        """A node-bearing completion with no live dispatch must be named
+        by the exactly-once check (and the replay twin diverges too)."""
+        server, instance_id = _completed_server()
+        server.store.instances.append_event(instance_id, ev.task_completed(
+            "P/ghost", {"x": 9}, 1.0, "node001", 99.0,
+        ))
+        problems = invariants.check_server(server)
+        assert any("P/ghost" in p and "no live dispatch" in p
+                   for p in problems)
+        assert any("replay failed" in p for p in problems)
+
+    def test_double_completion_is_caught(self):
+        server, instance_id = _completed_server()
+        # replay the real completion event verbatim: same path, same node
+        events = list(server.store.instances.events(instance_id))
+        done = next(e for e in events
+                    if e["type"] == ev.TASK_COMPLETED and e.get("node"))
+        server.store.instances.append_event(instance_id, dict(done))
+        problems = invariants.check_server(server)
+        assert any("completed" in p and ("twice" in p or "no live" in p)
+                   for p in problems)
+
+    def test_leaked_slot_is_caught(self):
+        server, _ = _completed_server()
+        server.awareness.assign("node001", "job-leak")
+        problems = invariants.check_server(server)
+        assert any("leaked slot" in p and "job-leak" in p for p in problems)
+
+    def test_incomplete_instance_fails_final_check(self):
+        kernel = SimKernel(seed=42)
+        cluster = SimulatedCluster(kernel, uniform(1, cpus=1))
+        registry = ProgramRegistry()
+        registry.register(
+            "w.u", lambda inputs, ctx: ProgramResult({}, 5.0))
+        server = BioOperaServer(registry=registry)
+        server.attach_environment(cluster)
+        server.define_template_ocr(OCR)
+        server.launch("P")  # never run to completion
+        problems = invariants.check_server(server, final=True)
+        assert any("expected 'completed'" in p for p in problems)
+
+    def test_baseline_output_mismatch_fails_final_check(self):
+        server, instance_id = _completed_server()
+        baseline = {instance_id: {"something": "else"}}
+        problems = invariants.check_server(
+            server, baseline_outputs=baseline, final=True)
+        assert any("fault-free baseline" in p for p in problems)

@@ -1,6 +1,5 @@
 """Property-based engine tests: random processes, random crash points."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.engine import (
@@ -10,12 +9,7 @@ from repro.core.engine import (
     ProgramResult,
     replay_instance,
 )
-from repro.core.model import (
-    Activity,
-    Binding,
-    ProcessTemplate,
-    TaskGraph,
-)
+from repro.core.model import Activity, ProcessTemplate, TaskGraph
 from repro.core.model.data import ProcessParameter
 
 

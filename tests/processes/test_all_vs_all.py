@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.bio import DarwinEngine, merge_match_sets
 from repro.core.engine import BioOperaServer, InlineEnvironment
-from repro.core.model import Activity, ParallelTask, SubprocessTask
+from repro.core.model import ParallelTask, SubprocessTask
 from repro.processes import (
     build_align_chunk_template,
     build_all_vs_all_template,

@@ -1,6 +1,5 @@
 """Serialization: determinism, round trips, rejection of bad values."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st
