@@ -1,0 +1,286 @@
+"""O1 — operator-query cost: materialized views vs full event-log rescan.
+
+The observability tentpole's performance claim: with the
+:class:`~repro.obs.ObservabilityHub` attached, every operator query in
+``repro.core.monitor.queries`` is an O(answer) read over incrementally
+maintained views — independent of the event-log length — while the
+per-event append overhead stays bounded. This benchmark demonstrates both
+on a synthetic 1000-node event stream (50 000 events at full size) and
+emits ``BENCH_observe.json`` at the repo root.
+
+Metrics
+-------
+
+* **append overhead** — wall time to durably append the stream with the
+  hub subscribed vs a bare store (acceptance: ratio < 2x);
+* **query latency** — one full operator-query round (all six queries)
+  against the views vs against the legacy rescans, across growing log
+  sizes: rescans grow O(events), views stay flat;
+* **recovery catch-up** — time for a fresh hub to bind to a crashed
+  store's durable checkpoint and replay only the event suffix;
+* **equivalence** — every view answer byte-identical to its rescan
+  (the differential contract, sanity-checked here too).
+
+Run standalone: ``PYTHONPATH=src python benchmarks/bench_observe.py``
+(add ``--smoke`` for the small CI-sized variant).
+"""
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+
+if __package__ in (None, ""):  # standalone: make src/ importable
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src"),
+    )
+
+from repro.core.engine import events as ev
+from repro.core.monitor import queries
+from repro.obs import ObservabilityHub
+from repro.store import OperaStore, codec
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_JSON_PATH = os.path.join(_REPO_ROOT, "BENCH_observe.json")
+
+NODES = 1000
+PATHS = 240
+#: all completion times are quantized into this fixed horizon, so the
+#: *answer* size (distinct curve points, nodes, paths) is constant across
+#: log sizes — exactly the regime where a rescan's O(events) shows.
+HORIZON = 2000
+
+FULL_SIZES = (10_000, 25_000, 50_000)
+SMOKE_SIZES = (2_000, 8_000)
+
+QUERY_ROUNDS_FULL = 30
+QUERY_ROUNDS_SMOKE = 10
+
+
+def _make_events(count, seed=7):
+    """A deterministic mixed stream: dispatches, completions (some
+    zero-cost), failures of both classes, suspend/resume pairs."""
+    rng = random.Random(seed)
+    events = [ev.instance_started(0.0)]
+    suspended = False
+    for i in range(1, count - 1):
+        t = float(int(i * HORIZON / count))
+        path = f"Align/T{i % PATHS:03d}"
+        node = f"node{rng.randrange(NODES):04d}"
+        roll = rng.random()
+        if roll < 0.42:
+            events.append(ev.task_dispatched(path, node, "darwin.compare",
+                                             1 + i % 3, t))
+        elif roll < 0.88:
+            cost = 0.0 if i % 17 == 0 else round(rng.uniform(0.5, 90.0), 3)
+            events.append(ev.task_completed(path, {}, cost, node, t))
+        elif roll < 0.97:
+            reason = ("node-crash" if rng.random() < 0.5
+                      else "program-error")
+            events.append(ev.task_failed(path, reason, node, 1 + i % 3, t))
+        elif not suspended:
+            events.append(ev.instance_suspended("operator pause", t))
+            suspended = True
+        else:
+            events.append(ev.instance_resumed(t))
+            suspended = False
+    events.append(ev.instance_completed({}, float(HORIZON)))
+    return events[:count]
+
+
+def _fill(events, hub=None, instance_id="bench"):
+    store = OperaStore()
+    if hub is not None:
+        hub.attach(store)
+    store.instances.create(instance_id, {})
+    append = store.instances.append_event
+    t0 = time.perf_counter()
+    for event in events:
+        append(instance_id, event)
+    elapsed = time.perf_counter() - t0
+    return store, elapsed
+
+
+def _query_round(store, instance_id, rescan):
+    if rescan:
+        queries.node_usage_rescan(store, instance_id)
+        queries.event_histogram_rescan(store, instance_id)
+        queries.completions_over_time_rescan(store, instance_id, 50.0)
+        queries.slowest_activities_rescan(store, instance_id, 10)
+        queries.retry_hotspots_rescan(store, instance_id, 2)
+        queries.wall_time_breakdown_rescan(store, instance_id)
+    else:
+        queries.node_usage(store, instance_id)
+        queries.event_histogram(store, instance_id)
+        queries.completions_over_time(store, instance_id, 50.0)
+        queries.slowest_activities(store, instance_id, 10)
+        queries.retry_hotspots(store, instance_id, 2)
+        queries.wall_time_breakdown(store, instance_id)
+
+
+def _time_queries(store, instance_id, rescan, rounds):
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        _query_round(store, instance_id, rescan)
+    return (time.perf_counter() - t0) / rounds
+
+
+def _check_equivalence(store, instance_id):
+    pairs = [
+        ([u.__dict__ for u in queries.node_usage(store, instance_id)],
+         [u.__dict__ for u in queries.node_usage_rescan(store,
+                                                        instance_id)]),
+        (queries.event_histogram(store, instance_id),
+         queries.event_histogram_rescan(store, instance_id)),
+        (queries.completions_over_time(store, instance_id, 50.0),
+         queries.completions_over_time_rescan(store, instance_id, 50.0)),
+        (queries.slowest_activities(store, instance_id, 10),
+         queries.slowest_activities_rescan(store, instance_id, 10)),
+        (queries.retry_hotspots(store, instance_id, 2),
+         queries.retry_hotspots_rescan(store, instance_id, 2)),
+        (queries.wall_time_breakdown(store, instance_id),
+         queries.wall_time_breakdown_rescan(store, instance_id)),
+    ]
+    return all(codec.encode(a) == codec.encode(b) for a, b in pairs)
+
+
+def _bench_recovery(events):
+    """Checkpoint halfway, append the rest, crash, time the catch-up."""
+    half = len(events) // 2
+    hub = ObservabilityHub(checkpoint_interval=10 ** 9)
+    store, _ = _fill(events[:half], hub=hub)
+    hub.checkpoint()
+    for event in events[half:]:
+        store.instances.append_event("bench", event)
+    survivor = store.simulate_crash()
+    fresh = ObservabilityHub()
+    t0 = time.perf_counter()
+    fresh.attach(survivor)
+    catch_up_s = time.perf_counter() - t0
+    assert fresh.views.in_sync(survivor, "bench")
+    return {
+        "checkpointed_events": half,
+        "replayed_suffix": len(events) - half,
+        "catch_up_s": round(catch_up_s, 4),
+    }
+
+
+def run_bench(smoke=False):
+    sizes = SMOKE_SIZES if smoke else FULL_SIZES
+    rounds = QUERY_ROUNDS_SMOKE if smoke else QUERY_ROUNDS_FULL
+    largest = sizes[-1]
+    events = _make_events(largest)
+
+    # append overhead: bare store vs hub-subscribed store
+    _, bare_s = _fill(events)
+    hub = ObservabilityHub(checkpoint_interval=10 ** 9)
+    observed_store, observed_s = _fill(events, hub=hub)
+    overhead = observed_s / max(bare_s, 1e-9)
+
+    # query latency across sizes (fresh stores so logs really differ)
+    per_size = []
+    for size in sizes:
+        sized_hub = ObservabilityHub(checkpoint_interval=10 ** 9)
+        store, _ = _fill(_make_events(size), hub=sized_hub)
+        view_s = _time_queries(store, "bench", rescan=False, rounds=rounds)
+        rescan_s = _time_queries(store, "bench", rescan=True,
+                                 rounds=max(1, rounds // 10))
+        per_size.append({
+            "events": size,
+            "view_query_round_s": round(view_s, 6),
+            "rescan_query_round_s": round(rescan_s, 6),
+            "speedup": round(rescan_s / max(view_s, 1e-9), 1),
+        })
+
+    result = {
+        "bench": "observe",
+        "mode": "smoke" if smoke else "full",
+        "nodes": NODES,
+        "events": largest,
+        "append": {
+            "bare_s": round(bare_s, 4),
+            "observed_s": round(observed_s, 4),
+            "overhead_ratio": round(overhead, 3),
+            "per_event_overhead_us": round(
+                (observed_s - bare_s) / largest * 1e6, 2),
+        },
+        "queries": per_size,
+        "recovery": _bench_recovery(events),
+        "views_equal_rescan": _check_equivalence(observed_store, "bench"),
+    }
+    with open(_JSON_PATH, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return result
+
+
+def _format(result):
+    lines = [
+        f"observability bench ({result['mode']}): {result['nodes']} nodes, "
+        f"{result['events']} events",
+        "",
+        f"append overhead: bare {result['append']['bare_s']:.3f}s, "
+        f"observed {result['append']['observed_s']:.3f}s "
+        f"({result['append']['overhead_ratio']:.2f}x, "
+        f"+{result['append']['per_event_overhead_us']:.1f}us/event)",
+        "",
+        f"{'events':>10}{'view round (s)':>18}{'rescan round (s)':>20}"
+        f"{'speedup':>10}",
+    ]
+    for row in result["queries"]:
+        lines.append(
+            f"{row['events']:>10}{row['view_query_round_s']:>18.6f}"
+            f"{row['rescan_query_round_s']:>20.6f}"
+            f"{row['speedup']:>9.1f}x"
+        )
+    recovery = result["recovery"]
+    lines.append(
+        f"\nrecovery catch-up: replayed {recovery['replayed_suffix']} "
+        f"suffix events over a {recovery['checkpointed_events']}-event "
+        f"checkpoint in {recovery['catch_up_s']:.3f}s"
+    )
+    lines.append(f"views byte-identical to rescan: "
+                 f"{result['views_equal_rescan']}")
+    return "\n".join(lines)
+
+
+def _assert_acceptance(result, smoke):
+    assert result["views_equal_rescan"]
+    # bounded per-event overhead: appending with the hub subscribed must
+    # stay under 2x the no-observability baseline
+    assert result["append"]["overhead_ratio"] < (3.0 if smoke else 2.0), \
+        result["append"]
+    # operator queries must beat the rescan, decisively at full scale
+    largest = result["queries"][-1]
+    assert largest["speedup"] >= (3.0 if smoke else 10.0), largest
+    # ...and stay flat as the log grows (the rescan does not)
+    smallest = result["queries"][0]
+    growth = (largest["view_query_round_s"]
+              / max(smallest["view_query_round_s"], 1e-9))
+    log_growth = largest["events"] / smallest["events"]
+    assert growth < log_growth, (smallest, largest)
+
+
+def test_observe_views(artifact):
+    result = run_bench(smoke=True)
+    artifact("o1_observe", _format(result))
+    _assert_acceptance(result, smoke=True)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI-sized run")
+    args = parser.parse_args(argv)
+    result = run_bench(smoke=args.smoke)
+    print(_format(result))
+    _assert_acceptance(result, smoke=args.smoke)
+    print(f"\nwrote {_JSON_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,6 +63,7 @@ from .core.monitor.adaptive import AdaptiveMonitor, MonitorConfig
 from .core.ocr import parse_ocr, print_ocr
 from .core.planning import drain_plan, outage_impact
 from .errors import ReproError
+from .obs import ObservabilityHub, TaskSpan, TraceCollector
 from .processes import install_all_vs_all, install_tower
 from .store import LineageGraph, LineageRecord, OperaStore
 
@@ -93,6 +94,9 @@ __all__ = [
     # monitoring & planning
     "AdaptiveMonitor",
     "MonitorConfig",
+    "ObservabilityHub",
+    "TaskSpan",
+    "TraceCollector",
     "outage_impact",
     "drain_plan",
     # store

@@ -82,6 +82,9 @@ class SimulatedCluster(ExecutionEnvironment):
         self._outage_detection = None
         #: cancelled job ids whose dispatch message may still be in flight.
         self._cancelled_jobs: set = set()
+        #: node-local finish times (job_id -> kernel time), consumed once
+        #: by the tracing layer to compute per-span report delays.
+        self._job_finish_times: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # ExecutionEnvironment interface
@@ -198,6 +201,14 @@ class SimulatedCluster(ExecutionEnvironment):
                        payload: Dict[str, Any], cpu_consumed: float) -> None:
         self.pecs[node.name].job_finished(job_id, payload, cpu_consumed)
         self.trace.record()
+
+    def note_job_finished(self, job_id: str) -> None:
+        """PEC callback: stamp a job's node-local finish time."""
+        self._job_finish_times[job_id] = self.kernel.now
+
+    def job_finish_time(self, job_id: str) -> Optional[float]:
+        """Consume (pop) a job's node-local finish stamp, if recorded."""
+        return self._job_finish_times.pop(job_id, None)
 
     # ------------------------------------------------------------------
     # Failure & reconfiguration API (used by scenario scripts and tests)

@@ -117,6 +117,9 @@ class PEC:
         if retries_left <= 0 or not self.node.up:
             self.reports_lost += 1
             self.pending_reports.discard(job_id)
+            obs = getattr(self.cluster.server, "obs", None)
+            if obs is not None:
+                obs.metrics.inc("pec_reports_lost")
             return
         if job_id:
             self.pending_reports.add(job_id)
@@ -141,6 +144,9 @@ class PEC:
             # the server this node is gone.
             return
         server = self.cluster.server
+        obs = getattr(server, "obs", None)
+        if obs is not None:
+            obs.metrics.inc("pec_jobs_received")
         ctx = ProgramContext(
             instance_id=job.instance_id,
             task_path=job.task_path,
@@ -175,6 +181,9 @@ class PEC:
                      cpu_consumed: float) -> None:
         """Node callback: the simulated work is done; report upstream."""
         job: JobRequest = payload["job"]
+        # Stamp the node-local finish time before the report travels (the
+        # span's report_delay is exactly the gap this stamp opens).
+        self.cluster.note_job_finished(job_id)
         if (self.cluster.job_failure_rate > 0.0
                 and self.cluster.kernel.rng("io-errors").random()
                 < self.cluster.job_failure_rate):

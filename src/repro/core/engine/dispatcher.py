@@ -99,6 +99,8 @@ class Dispatcher:
         self._submit = None          # fn(job, node)
         self._record_dispatch = None  # fn(job, node) -> bool (may veto)
         self._is_dispatchable = None  # fn(instance_id) -> bool
+        #: optional MetricsRegistry (set by the server's observability hub).
+        self.metrics = None
 
     def wire(self, submit, record_dispatch, is_dispatchable) -> None:
         self._submit = submit
@@ -225,6 +227,10 @@ class Dispatcher:
             if not queue:
                 del self._queues[tag]
                 self._blocked_tags.discard(tag)
+        if self.metrics is not None:
+            if placed:
+                self.metrics.inc("placements", placed)
+            self.metrics.set_gauge("queue_depth", float(len(self._queued)))
         return placed
 
     # -- completion bookkeeping ------------------------------------------------------

@@ -60,6 +60,9 @@ class Navigator:
         # Crash while interpreting: navigation decisions not yet persisted
         # as events must be re-derived identically after recovery.
         fire("navigator.navigate", instance=instance.id)
+        obs = self.server.obs
+        if obs is not None:
+            obs.metrics.inc("navigations")
         changed = True
         while changed and not instance.terminal:
             changed = False

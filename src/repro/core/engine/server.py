@@ -67,12 +67,26 @@ class BioOperaServer:
         policy: Optional[SchedulingPolicy] = None,
         clock: Optional[Callable[[], float]] = None,
         seed: int = 0,
+        observability: Any = None,
     ):
         self.store = store or OperaStore()
         self.registry = registry or ProgramRegistry()
         self.awareness = AwarenessModel()
         self.dispatcher = Dispatcher(self.awareness, policy)
         self.navigator = Navigator(self)
+        # observability: None -> a fresh default hub; False -> disabled;
+        # an ObservabilityHub instance -> use it. Imported lazily: obs
+        # imports engine event constants, so a module-level import here
+        # would be circular.
+        if observability is None:
+            from ...obs import ObservabilityHub
+
+            observability = ObservabilityHub()
+        self.obs = observability or None
+        if self.obs is not None:
+            self.obs.attach(self.store)
+            self.dispatcher.metrics = self.obs.metrics
+            self.awareness.metrics = self.obs.metrics
         self.clock = clock or StepClock()
         self.seed = seed
         self.up = True
@@ -103,6 +117,10 @@ class BioOperaServer:
     def attach_environment(self, environment) -> None:
         self.environment = environment
         environment.attach(self)
+        if self.obs is not None:
+            lookup = getattr(environment, "job_finish_time", None)
+            if lookup is not None:
+                self.obs.tracing.finish_time_lookup = lookup
 
     def register_node(self, name: str, cpus: int, speed: float = 1.0,
                       tags: Tuple[str, ...] = (),
@@ -303,6 +321,9 @@ class BioOperaServer:
             "instance_id": instance.id,
             "task": path,
             "timestamp": event["time"],
+            # Joins this derivation to the task span of the attempt that
+            # produced it (state.attempts is the completing attempt).
+            "span": f"{instance.id}:{path}:{state.attempts}",
         })
 
     # ------------------------------------------------------------------
@@ -350,8 +371,20 @@ class BioOperaServer:
         # Crash between the placement decision and its durable record: no
         # task_dispatched event exists, so recovery simply re-queues.
         fire("server.dispatch.record", job=job.job_id, node=node)
+        now = self.clock()
+        if self.obs is not None:
+            # Open before the emit so the event subscription sees an open
+            # span to enrich rather than synthesizing one without the
+            # enqueue time.
+            self.obs.tracing.open_span(
+                job.instance_id, job.task_path, node, job.program,
+                job.attempt, job.enqueued_at, now,
+            )
+            self.obs.metrics.observe(
+                "dispatch_latency", max(0.0, now - job.enqueued_at)
+            )
         self.emit(instance, ev.task_dispatched(
-            job.task_path, node, job.program, job.attempt, self.clock()
+            job.task_path, node, job.program, job.attempt, now
         ))
         self.metrics["jobs_dispatched"] += 1
         return True
@@ -417,6 +450,11 @@ class BioOperaServer:
                 return
         self.metrics["jobs_failed"] += 1
         now = self.clock()
+        if self.obs is not None:
+            if reason in ev.INFRASTRUCTURE_REASONS:
+                self.obs.metrics.inc("retries_infrastructure")
+            else:
+                self.obs.metrics.inc("retries_program")
         self.emit(instance, ev.task_failed(
             job.task_path, reason, node, job.attempt, now,
             detail=detail,
@@ -735,6 +773,7 @@ class BioOperaServer:
         policy: Optional[SchedulingPolicy] = None,
         clock: Optional[Callable[[], float]] = None,
         seed: int = 0,
+        observability: Any = None,
     ) -> "BioOperaServer":
         """Rebuild a server from the durable store after a crash.
 
@@ -744,8 +783,11 @@ class BioOperaServer:
         event 2: "when the server recovers, [processes] are automatically
         resumed."
         """
+        # The hub attaches (and its views catch up from the durable log)
+        # inside __init__, BEFORE the recovery emissions below — so the
+        # views stay in lock-step with everything recovery appends.
         server = cls(store=store, registry=registry, policy=policy,
-                     clock=clock, seed=seed)
+                     clock=clock, seed=seed, observability=observability)
         if environment is not None:
             server.attach_environment(environment)
         for node, config in store.configuration.nodes().items():

@@ -138,6 +138,9 @@ class AwarenessModel:
         self._heaps: Dict[Tuple[str, str], List[tuple]] = {}
         #: tags whose capacity may have grown since the last drain.
         self._dirty_tags: Set[str] = set()
+        #: optional MetricsRegistry (set by the server's observability
+        #: hub); assignment changes publish per-node utilization gauges.
+        self.metrics = None
 
     def register(self, name: str, cpus: int, speed: float = 1.0,
                  tags: Tuple[str, ...] = ()) -> NodeView:
@@ -264,12 +267,21 @@ class AwarenessModel:
         view = self.node(name)
         view.assigned.add(job_id)
         self._touch(view)
+        self._publish_utilization(view)
 
     def release(self, name: str, job_id: str) -> None:
         view = self._nodes.get(name)
         if view is not None:
             view.assigned.discard(job_id)
             self._touch(view, capacity_gain=True)
+            self._publish_utilization(view)
+
+    def _publish_utilization(self, view: NodeView) -> None:
+        if self.metrics is not None:
+            self.metrics.set_gauge(
+                f"node_util/{view.name}",
+                view.assigned_count / view.cpus if view.cpus else 0.0,
+            )
 
     # -- queries -------------------------------------------------------------------
 

@@ -2,10 +2,26 @@
 
 "The fact that the process state is persistently stored in a database also
 offers significant advantages for monitoring and querying purposes"
-(paper, Section 3.2). These queries read only the durable event logs, so
-they work on live servers, on recovered stores, and on the archives of
-finished runs alike — the operator analytics behind questions like *which
-nodes did the work*, *where did the time go*, and *what kept failing*.
+(paper, Section 3.2). These queries answer the operator analytics behind
+questions like *which nodes did the work*, *where did the time go*, and
+*what kept failing*.
+
+Two execution paths, one contract
+---------------------------------
+
+Each query reads from the store's attached
+:class:`~repro.obs.ObservabilityHub`'s materialized views when they are in
+sync with the durable log — an O(answer) read, independent of the
+event-log length — and otherwise falls back to a full event-log rescan.
+The rescan implementations (``*_rescan``) are kept public: they are the
+differential-test oracle, and both paths share the same merge/ranking
+helpers so their results are **byte-identical** (same float grouping, same
+deterministic tie-breakers).
+
+All single-instance queries validate the instance id against the instance
+space and raise :class:`~repro.errors.StoreError` on unknown ids — a KV
+prefix scan over a typo'd id silently yields nothing, which used to make
+"no such instance" indistinguishable from "no events yet".
 """
 
 from __future__ import annotations
@@ -13,7 +29,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ...errors import StoreError
+from ...obs.views import (
+    is_activity_completion,
+    merge_node_usage_chunks,
+    rank_path_costs,
+    rank_retry_hotspots,
+)
 from ...store.spaces import OperaStore
+from ..engine.events import (
+    INFRASTRUCTURE_REASONS,
+    INSTANCE_RESUMED,
+    INSTANCE_SUSPENDED,
+    TASK_DISPATCHED,
+    TASK_FAILED,
+)
 
 
 @dataclass
@@ -30,74 +60,226 @@ class NodeUsage:
         return self.cpu_seconds / self.activities if self.activities else 0.0
 
 
+# ---------------------------------------------------------------------------
+# Path selection
+# ---------------------------------------------------------------------------
+
+
+def _require_instance(store: OperaStore, instance_id: str) -> None:
+    if store.instances.meta(instance_id) is None:
+        raise StoreError(f"unknown instance {instance_id!r}")
+
+
+def _live_views(store: OperaStore, instance_id: Optional[str] = None):
+    """The store's view catalog, if attached and caught up; else None."""
+    hub = getattr(store, "observability", None)
+    if hub is None:
+        return None
+    views = hub.views
+    if instance_id is not None:
+        return views if views.in_sync(store, instance_id) else None
+    for iid in store.instances.instance_ids():
+        if not views.in_sync(store, iid):
+            return None
+    return views
+
+
+# ---------------------------------------------------------------------------
+# node_usage
+# ---------------------------------------------------------------------------
+
+
 def node_usage(store: OperaStore,
                instance_id: Optional[str] = None) -> List[NodeUsage]:
-    """CPU and activity counts per node (descending by CPU)."""
-    usage: Dict[str, NodeUsage] = {}
+    """CPU and activity counts per node (descending by CPU, then name)."""
+    if instance_id is not None:
+        _require_instance(store, instance_id)
+    views = _live_views(store, instance_id)
+    if views is None:
+        return node_usage_rescan(store, instance_id)
     instance_ids = ([instance_id] if instance_id
                     else store.instances.instance_ids())
+    merged = merge_node_usage_chunks(
+        views.node_usage.chunk(iid) for iid in instance_ids
+    )
+    return [NodeUsage(row[0], row[1], row[2], row[3]) for row in merged]
+
+
+def node_usage_rescan(store: OperaStore,
+                      instance_id: Optional[str] = None) -> List[NodeUsage]:
+    """Full event-log scan (the differential oracle for :func:`node_usage`)."""
+    if instance_id is not None:
+        _require_instance(store, instance_id)
+    instance_ids = ([instance_id] if instance_id
+                    else store.instances.instance_ids())
+    chunks = []
     for iid in instance_ids:
+        per: Dict[str, List] = {}
         for event in store.instances.events(iid):
+            # Filter on type *before* creating the node's entry: a
+            # task_dispatched event also carries a node, and folding it
+            # used to materialize phantom all-zero rows for nodes whose
+            # dispatched work had not produced an outcome yet.
+            kind = event["type"]
+            if kind not in ("task_completed", "task_failed"):
+                continue
             node = event.get("node")
             if not node:
                 continue
-            entry = usage.setdefault(node, NodeUsage(node))
-            if event["type"] == "task_completed":
-                entry.activities += 1
-                entry.cpu_seconds += event.get("cost", 0.0)
-            elif event["type"] == "task_failed":
-                entry.failures += 1
-    return sorted(usage.values(), key=lambda u: -u.cpu_seconds)
+            entry = per.get(node)
+            if entry is None:
+                entry = per[node] = [0, 0.0, 0]
+            if kind == "task_completed":
+                entry[0] += 1
+                entry[1] += event.get("cost", 0.0)
+            else:
+                entry[2] += 1
+        chunks.append([[node, e[0], e[1], e[2]] for node, e in per.items()])
+    merged = merge_node_usage_chunks(chunks)
+    return [NodeUsage(row[0], row[1], row[2], row[3]) for row in merged]
+
+
+# ---------------------------------------------------------------------------
+# event_histogram
+# ---------------------------------------------------------------------------
 
 
 def event_histogram(store: OperaStore,
                     instance_id: str) -> Dict[str, int]:
     """Event counts by type for one instance."""
+    _require_instance(store, instance_id)
+    views = _live_views(store, instance_id)
+    if views is None:
+        return event_histogram_rescan(store, instance_id)
+    return views.event_histogram.read(instance_id)
+
+
+def event_histogram_rescan(store: OperaStore,
+                           instance_id: str) -> Dict[str, int]:
+    _require_instance(store, instance_id)
     histogram: Dict[str, int] = {}
     for event in store.instances.events(instance_id):
         histogram[event["type"]] = histogram.get(event["type"], 0) + 1
     return histogram
 
 
+# ---------------------------------------------------------------------------
+# completions_over_time
+# ---------------------------------------------------------------------------
+
+
 def completions_over_time(store: OperaStore, instance_id: str,
                           bucket: float) -> List[Tuple[float, int]]:
-    """Progress curve: completed activities per time bucket."""
+    """Progress curve: completed activities per time bucket.
+
+    Counts every activity completion by event type — a zero-cost completed
+    task is still progress (the old ``event.get("cost")`` truthiness filter
+    silently dropped them from the curve).
+    """
+    _require_instance(store, instance_id)
+    views = _live_views(store, instance_id)
+    if views is None:
+        return completions_over_time_rescan(store, instance_id, bucket)
+    return views.completions.read(instance_id, bucket)
+
+
+def completions_over_time_rescan(store: OperaStore, instance_id: str,
+                                 bucket: float) -> List[Tuple[float, int]]:
+    _require_instance(store, instance_id)
     buckets: Dict[int, int] = {}
     for event in store.instances.events(instance_id):
-        if event["type"] == "task_completed" and event.get("cost"):
+        if is_activity_completion(event):
             index = int(event["time"] // bucket)
             buckets[index] = buckets.get(index, 0) + 1
     return [(index * bucket, count)
             for index, count in sorted(buckets.items())]
 
 
+# ---------------------------------------------------------------------------
+# slowest_activities
+# ---------------------------------------------------------------------------
+
+
 def slowest_activities(store: OperaStore, instance_id: str,
                        top: int = 10) -> List[Tuple[str, float]]:
-    """The activities that consumed the most CPU (paths, descending)."""
+    """The activities that consumed the most CPU (paths, descending).
+
+    Includes zero-cost completions (cost defaults to 0.0) so a path's
+    presence in the ranking reflects that it *ran*, not that it was
+    expensive — the old cost-truthiness filter hid free tasks entirely.
+    """
+    _require_instance(store, instance_id)
+    views = _live_views(store, instance_id)
+    if views is None:
+        return slowest_activities_rescan(store, instance_id, top)
+    return rank_path_costs(views.path_cost.read(instance_id), top)
+
+
+def slowest_activities_rescan(store: OperaStore, instance_id: str,
+                              top: int = 10) -> List[Tuple[str, float]]:
+    _require_instance(store, instance_id)
     costs: Dict[str, float] = {}
     for event in store.instances.events(instance_id):
-        if event["type"] == "task_completed" and event.get("cost"):
+        if is_activity_completion(event):
             path = event["path"]
-            costs[path] = costs.get(path, 0.0) + event["cost"]
-    ranked = sorted(costs.items(), key=lambda kv: -kv[1])
-    return ranked[:top]
+            costs[path] = costs.get(path, 0.0) + event.get("cost", 0.0)
+    return rank_path_costs(costs, top)
+
+
+# ---------------------------------------------------------------------------
+# retry_hotspots
+# ---------------------------------------------------------------------------
 
 
 def retry_hotspots(store: OperaStore, instance_id: str,
-                   minimum: int = 2) -> List[Tuple[str, int, List[str]]]:
-    """Tasks dispatched ``minimum``+ times, with their failure reasons."""
-    dispatches: Dict[str, int] = {}
+                   minimum: int = 2) -> List[Tuple[str, Dict[str, int],
+                                                   List[str]]]:
+    """Tasks dispatched ``minimum``+ times, with failure counts split by
+    class and the failure reasons observed.
+
+    Each hotspot is ``(path, counts, reasons)`` where ``counts`` separates
+    ``program_failures`` from ``infrastructure_failures``
+    (:data:`~repro.core.engine.events.INFRASTRUCTURE_REASONS`): a healthy
+    task bounced around by node crashes is not the same signal as one
+    whose program keeps failing, and ranking puts program failures first.
+    """
+    _require_instance(store, instance_id)
+    views = _live_views(store, instance_id)
+    if views is None:
+        return retry_hotspots_rescan(store, instance_id, minimum)
+    counts, reasons = views.retry_hotspots.read(instance_id)
+    return rank_retry_hotspots(counts, reasons, minimum)
+
+
+def retry_hotspots_rescan(store: OperaStore, instance_id: str,
+                          minimum: int = 2) -> List[Tuple[str, Dict[str, int],
+                                                          List[str]]]:
+    _require_instance(store, instance_id)
+    counts: Dict[str, List] = {}
     reasons: Dict[str, List[str]] = {}
     for event in store.instances.events(instance_id):
-        if event["type"] == "task_dispatched":
-            dispatches[event["path"]] = dispatches.get(event["path"], 0) + 1
-        elif event["type"] == "task_failed":
-            reasons.setdefault(event["path"], []).append(event["reason"])
-    hotspots = [
-        (path, count, reasons.get(path, []))
-        for path, count in dispatches.items() if count >= minimum
-    ]
-    return sorted(hotspots, key=lambda h: -h[1])
+        kind = event["type"]
+        if kind not in (TASK_DISPATCHED, TASK_FAILED):
+            continue
+        path = event["path"]
+        entry = counts.get(path)
+        if entry is None:
+            entry = counts[path] = [0, 0, 0]
+        if kind == TASK_DISPATCHED:
+            entry[0] += 1
+        else:
+            reason = event["reason"]
+            if reason in INFRASTRUCTURE_REASONS:
+                entry[2] += 1
+            else:
+                entry[1] += 1
+            reasons.setdefault(path, []).append(reason)
+    return rank_retry_hotspots(counts, reasons, minimum)
+
+
+# ---------------------------------------------------------------------------
+# wall_time_breakdown
+# ---------------------------------------------------------------------------
 
 
 def wall_time_breakdown(store: OperaStore,
@@ -105,8 +287,20 @@ def wall_time_breakdown(store: OperaStore,
     """Where the wall time went: running vs suspended vs (post-)terminal.
 
     Suspension intervals come from the suspend/resume events; the
-    remainder up to the final event is counted as running time.
+    remainder up to the final event is counted as running time. A second
+    ``instance_suspended`` before a resume closes the open interval first
+    (the old fold overwrote ``suspend_start`` and lost the earlier one).
     """
+    _require_instance(store, instance_id)
+    views = _live_views(store, instance_id)
+    if views is None:
+        return wall_time_breakdown_rescan(store, instance_id)
+    return views.wall_time.read(instance_id)
+
+
+def wall_time_breakdown_rescan(store: OperaStore,
+                               instance_id: str) -> Dict[str, float]:
+    _require_instance(store, instance_id)
     events = list(store.instances.events(instance_id))
     if not events:
         return {"running": 0.0, "suspended": 0.0, "total": 0.0}
@@ -115,9 +309,11 @@ def wall_time_breakdown(store: OperaStore,
     suspended = 0.0
     suspend_start: Optional[float] = None
     for event in events:
-        if event["type"] == "instance_suspended":
+        if event["type"] == INSTANCE_SUSPENDED:
+            if suspend_start is not None:
+                suspended += event["time"] - suspend_start
             suspend_start = event["time"]
-        elif event["type"] == "instance_resumed" and suspend_start is not None:
+        elif event["type"] == INSTANCE_RESUMED and suspend_start is not None:
             suspended += event["time"] - suspend_start
             suspend_start = None
     if suspend_start is not None:

@@ -30,6 +30,7 @@ from ..bio import DarwinEngine, DatabaseProfile
 from ..cluster import SimKernel, SimulatedCluster, uniform
 from ..cluster.failures import ScenarioScript
 from ..core.engine import BioOperaServer
+from ..obs import ObservabilityHub
 from ..processes import install_all_vs_all
 from ..store.kvstore import MEMORY
 from . import invariants
@@ -38,6 +39,11 @@ from .points import FaultInjector, InjectedCrash, installed
 
 #: quarantine policy active during campaigns (threshold, window, probe).
 QUARANTINE = (3, 900.0, 300.0)
+
+#: view-checkpoint interval for campaign servers: small enough that the
+#: campaign workload (a few hundred events) actually crosses it, so the
+#: ``obs.view.checkpoint`` crash window gets exercised.
+CHECKPOINT_INTERVAL = 120
 
 #: wedge guards: a campaign that exceeds either has lost an invariant in a
 #: way that stalls progress (the violation we report for it).
@@ -81,7 +87,11 @@ def _build(darwin: DarwinEngine, kernel_seed: int, nodes: int, cpus: int,
     kernel = SimKernel(seed=kernel_seed)
     cluster = SimulatedCluster(kernel, uniform(nodes, cpus=cpus),
                                execution_noise=0.0)
-    server = BioOperaServer(seed=kernel_seed)
+    server = BioOperaServer(
+        seed=kernel_seed,
+        observability=ObservabilityHub(
+            checkpoint_interval=CHECKPOINT_INTERVAL),
+    )
     server.attach_environment(cluster)
     server.enable_quarantine(*QUARANTINE)
     install_all_vs_all(server, darwin)
@@ -233,6 +243,8 @@ def run_campaign(seed: int, darwin: DarwinEngine,
             recovered = BioOperaServer.recover(
                 store, current.registry, environment=cluster,
                 policy=current.dispatcher.policy, seed=current.seed,
+                observability=ObservabilityHub(
+                    checkpoint_interval=CHECKPOINT_INTERVAL),
             )
         except InjectedCrash:
             # Recovery itself was killed; whatever half-recovered server

@@ -47,6 +47,7 @@ def check_server(server, baseline_outputs: Optional[Dict] = None,
         problems += _check_replay_equivalence(server, instance_id)
         problems += _check_exactly_once(server, instance_id)
         problems += _check_log_contiguity(server, instance_id)
+        problems += _check_view_equivalence(server, instance_id)
     problems += _check_slot_consistency(server)
     problems += [f"store: {p}" for p in server.store.kv.audit()]
     if final:
@@ -151,6 +152,53 @@ def _check_log_contiguity(server, instance_id: str) -> List[str]:
             f"{actual} (hole or phantom)"
         ]
     return []
+
+
+def _check_view_equivalence(server, instance_id: str) -> List[str]:
+    """Every materialized view must answer byte-identically to a full
+    rescan of the durable log (the observability tentpole's contract —
+    checked here after every crash + recovery)."""
+    hub = getattr(server.store, "observability", None)
+    if hub is None:
+        return []
+    problems = []
+    if not hub.views.in_sync(server.store, instance_id):
+        problems.append(
+            f"{instance_id}: view catalog cursor "
+            f"{hub.views.cursors.get(instance_id, 0)} != event count "
+            f"{server.store.instances.event_count(instance_id)}"
+        )
+        return problems
+    from ..core.monitor import queries
+
+    pairs = [
+        ("node_usage",
+         [u.__dict__ for u in queries.node_usage(server.store, instance_id)],
+         [u.__dict__ for u in queries.node_usage_rescan(
+             server.store, instance_id)]),
+        ("event_histogram",
+         queries.event_histogram(server.store, instance_id),
+         queries.event_histogram_rescan(server.store, instance_id)),
+        ("completions_over_time",
+         queries.completions_over_time(server.store, instance_id, 50.0),
+         queries.completions_over_time_rescan(
+             server.store, instance_id, 50.0)),
+        ("slowest_activities",
+         queries.slowest_activities(server.store, instance_id, 10),
+         queries.slowest_activities_rescan(server.store, instance_id, 10)),
+        ("retry_hotspots",
+         queries.retry_hotspots(server.store, instance_id, 2),
+         queries.retry_hotspots_rescan(server.store, instance_id, 2)),
+        ("wall_time_breakdown",
+         queries.wall_time_breakdown(server.store, instance_id),
+         queries.wall_time_breakdown_rescan(server.store, instance_id)),
+    ]
+    for name, viewed, rescanned in pairs:
+        if codec.encode(viewed) != codec.encode(rescanned):
+            problems.append(
+                f"{instance_id}: view {name} diverges from full rescan"
+            )
+    return problems
 
 
 def _check_slot_consistency(server) -> List[str]:

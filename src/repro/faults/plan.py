@@ -196,6 +196,7 @@ class FaultPlan:
         maybe(0.3, "dispatcher.submit", "crash", (1, 12))
         maybe(0.25, "navigator.navigate", "crash", (1, 30))
         maybe(0.3, "recovery.replay", "crash", (1, 2))
+        maybe(0.25, "obs.view.checkpoint", "crash", (1, 6))
         maybe(0.4, "pec.report", "duplicate", (1, 15))
         maybe(0.4, "pec.report", "delay", (1, 15),
               delay=round(rng.uniform(10.0, 400.0), 3))

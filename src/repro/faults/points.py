@@ -48,6 +48,8 @@ CATALOG: Dict[str, tuple] = {
     "dispatcher.submit": ("crash",),
     "navigator.navigate": ("crash",),
     "recovery.replay": ("crash",),
+    # observability layer
+    "obs.view.checkpoint": ("crash",),
     # cluster layer
     "pec.report": MESSAGE_KINDS,
     "pec.program": ("error",),

@@ -1,0 +1,98 @@
+"""Live observability: metrics, materialized views, task-span tracing.
+
+The :class:`ObservabilityHub` is the single attachment point. The server
+creates one (unless handed ``observability=False``), attaches it to its
+store, and from then on every durably appended event flows — in append
+order, after the commit — into:
+
+* the :class:`~repro.obs.views.ViewCatalog` (incremental materialized
+  views behind ``monitor.queries``),
+* the :class:`~repro.obs.tracing.TraceCollector` (dispatch→outcome
+  spans),
+* a couple of registry counters.
+
+View checkpoints are written every ``checkpoint_interval`` appends;
+between checkpoints the views are ahead of their durable cursors, and
+after a crash :meth:`ViewCatalog.bind` replays only the suffix.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .metrics import BoundedHistogram, MetricsRegistry
+from .tracing import TaskSpan, TraceCollector
+from .views import CHECKPOINT_PREFIX, View, ViewCatalog
+
+__all__ = [
+    "BoundedHistogram",
+    "CHECKPOINT_PREFIX",
+    "MetricsRegistry",
+    "ObservabilityHub",
+    "TaskSpan",
+    "TraceCollector",
+    "View",
+    "ViewCatalog",
+]
+
+
+class ObservabilityHub:
+    """Metrics + views + tracing, bound to one store's event stream."""
+
+    def __init__(self, checkpoint_interval: int = 500,
+                 trace_capacity: int = 10000):
+        self.metrics = MetricsRegistry()
+        self.views = ViewCatalog()
+        self.tracing = TraceCollector(capacity=trace_capacity)
+        self.checkpoint_interval = checkpoint_interval
+        self._since_checkpoint = 0
+        self._store = None
+
+    # -- wiring --------------------------------------------------------------
+
+    def attach(self, store) -> None:
+        """Bind to ``store``: load view checkpoints, catch up to the log
+        tail, and subscribe to future appends. Replaces any hub already
+        attached to the store."""
+        previous = getattr(store, "observability", None)
+        if previous is not None and previous is not self:
+            store.instances.unsubscribe(previous._on_event)
+        self._store = store
+        store.observability = self
+        self.views.bind(store)
+        store.instances.subscribe(self._on_event)
+
+    def detach(self) -> None:
+        if self._store is not None:
+            self._store.instances.unsubscribe(self._on_event)
+            if getattr(self._store, "observability", None) is self:
+                self._store.observability = None
+            self._store = None
+
+    # -- event stream (called after each durable append) ---------------------
+
+    def _on_event(self, instance_id: str, seq: int,
+                  event: Dict[str, Any]) -> None:
+        self.views.apply_event(instance_id, seq, event)
+        self.tracing.on_event(instance_id, event)
+        self.metrics.inc("events_appended")
+        self._since_checkpoint += 1
+        if self._since_checkpoint >= self.checkpoint_interval:
+            self.checkpoint()
+
+    def checkpoint(self) -> None:
+        """Persist all view states + cursors now (also called on demand,
+        e.g. before a planned shutdown)."""
+        if self._store is None:
+            return
+        self.views.checkpoint(self._store)
+        self._since_checkpoint = 0
+        self.metrics.inc("view_checkpoints")
+
+    # -- convenience reads ---------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        return self.metrics.snapshot()
+
+    def trace_summary(self, instance_id: Optional[str] = None) -> Dict[str, Any]:
+        return self.tracing.summary(instance_id)

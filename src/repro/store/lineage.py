@@ -33,6 +33,9 @@ class LineageRecord:
     instance_id: str = ""
     task: str = ""
     timestamp: float = 0.0
+    #: task-span id (``instance:path:attempt``) joining this derivation to
+    #: the trace of the attempt that produced it.
+    span: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -44,6 +47,7 @@ class LineageRecord:
             "instance_id": self.instance_id,
             "task": self.task,
             "timestamp": self.timestamp,
+            "span": self.span,
         }
 
     @classmethod
@@ -57,6 +61,7 @@ class LineageRecord:
             instance_id=data.get("instance_id", ""),
             task=data.get("task", ""),
             timestamp=data.get("timestamp", 0.0),
+            span=data.get("span", ""),
         )
 
 

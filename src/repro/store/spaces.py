@@ -72,6 +72,20 @@ class InstanceSpace:
 
     def __init__(self, kv: KVStore):
         self._kv = kv
+        #: append subscribers, called ``fn(instance_id, seq, event)`` after
+        #: each durable append (post-commit, in append order). Observability
+        #: hooks live here; subscribers must not append events themselves.
+        self._subscribers: List[Any] = []
+
+    # -- subscriptions -----------------------------------------------------
+
+    def subscribe(self, callback) -> None:
+        if callback not in self._subscribers:
+            self._subscribers.append(callback)
+
+    def unsubscribe(self, callback) -> None:
+        if callback in self._subscribers:
+            self._subscribers.remove(callback)
 
     # -- metadata ---------------------------------------------------------
 
@@ -110,12 +124,33 @@ class InstanceSpace:
         with self._kv.transaction() as txn:
             txn.put(_seq_key(f"{self.PREFIX}{instance_id}/event/", seq), event)
             txn.put(seq_key, seq + 1)
+        for callback in self._subscribers:
+            callback(instance_id, seq, event)
         return seq
 
     def events(self, instance_id: str) -> Iterator[Dict[str, Any]]:
         prefix = f"{self.PREFIX}{instance_id}/event/"
         for _, event in self._kv.items(prefix):
             yield event
+
+    def events_from(self, instance_id: str,
+                    start: int) -> Iterator[Any]:
+        """Yield ``(seq, event)`` for the log suffix starting at ``start``.
+
+        Reads by direct sequence key, so catching a view up replays only
+        the suffix — no prefix scan. A hole in the log is a corruption
+        signal and raises :class:`StoreError`.
+        """
+        prefix = f"{self.PREFIX}{instance_id}/event/"
+        count = self.event_count(instance_id)
+        for seq in range(start, count):
+            event = self._kv.get(_seq_key(prefix, seq))
+            if event is None:
+                raise StoreError(
+                    f"event log hole at seq {seq} for instance "
+                    f"{instance_id!r}"
+                )
+            yield seq, event
 
     def event_count(self, instance_id: str) -> int:
         return int(self._kv.get(f"{self.PREFIX}{instance_id}/next_seq", 0))
@@ -191,6 +226,8 @@ class OperaStore:
         self.instances = InstanceSpace(self.kv)
         self.configuration = ConfigurationSpace(self.kv)
         self.data = DataSpace(self.kv)
+        #: the attached ObservabilityHub, if any (set by the hub itself).
+        self.observability = None
 
     def checkpoint(self) -> None:
         self.kv.checkpoint()
@@ -203,6 +240,7 @@ class OperaStore:
         survivor.instances = InstanceSpace(survivor.kv)
         survivor.configuration = ConfigurationSpace(survivor.kv)
         survivor.data = DataSpace(survivor.kv)
+        survivor.observability = None
         return survivor
 
     def reopen(self) -> "OperaStore":

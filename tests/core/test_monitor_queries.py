@@ -97,6 +97,19 @@ class TestHistogramsAndCurves:
         reasons = {reason for _p, _c, rs in hotspots for reason in rs}
         assert "node-crash" in reasons
 
+    def test_retry_hotspots_classify_node_crashes_as_infrastructure(
+            self, finished_run):
+        server, instance_id, _wall = finished_run
+        hotspots = queries.retry_hotspots(server.store, instance_id)
+        # the crashed node002's re-dispatches must show up as
+        # infrastructure failures, not program failures
+        infra = sum(c["infrastructure_failures"] for _p, c, _r in hotspots)
+        assert infra >= 1
+        for _path, counts, reasons in hotspots:
+            assert counts["dispatches"] >= 2
+            assert set(counts) == {"dispatches", "program_failures",
+                                   "infrastructure_failures"}
+
 
 class TestWallBreakdown:
     def test_suspension_accounted(self, finished_run):
@@ -112,3 +125,134 @@ class TestWallBreakdown:
         store = OperaStore()
         store.instances.create("empty", {})
         assert queries.wall_time_breakdown(store, "empty")["total"] == 0.0
+
+
+def _synthetic_store(events):
+    """A store holding one instance with a hand-built event log, with an
+    observability hub attached so queries take the view-backed path (the
+    ``*_rescan`` comparisons below are then real differentials)."""
+    from repro.obs import ObservabilityHub
+    from repro.store import OperaStore
+
+    store = OperaStore()
+    ObservabilityHub().attach(store)
+    store.instances.create("syn", {})
+    for event in events:
+        store.instances.append_event("syn", event)
+    return store
+
+
+class TestQueryBugfixes:
+    """Regression tests for the monitor-query bugs this layer flushed out."""
+
+    def test_zero_cost_completions_stay_on_the_curve(self):
+        # BUG: filtering on event.get("cost") truthiness dropped
+        # legitimately zero-cost completed tasks from the progress curve.
+        from repro.core.engine import events as ev
+
+        store = _synthetic_store([
+            ev.task_completed("P/A", {}, 0.0, "node001", 10.0),
+            ev.task_completed("P/B", {}, 5.0, "node001", 20.0),
+            ev.task_completed("P/#comp", {}, 0.0, "", 30.0),  # frame: not
+        ])
+        curve = queries.completions_over_time(store, "syn", bucket=100.0)
+        assert sum(c for _t, c in curve) == 2  # both activities, no frame
+        rescan = queries.completions_over_time_rescan(store, "syn", 100.0)
+        assert rescan == curve
+
+    def test_zero_cost_completions_rank_in_slowest(self):
+        from repro.core.engine import events as ev
+
+        store = _synthetic_store([
+            ev.task_completed("P/A", {}, 0.0, "node001", 10.0),
+            ev.task_completed("P/B", {}, 5.0, "node001", 20.0),
+        ])
+        ranked = queries.slowest_activities(store, "syn", top=10)
+        assert ("P/A", 0.0) in ranked
+        assert ranked[0] == ("P/B", 5.0)
+
+    def test_unknown_instance_raises_store_error(self):
+        # BUG: a typo'd instance id silently returned empty results (the
+        # KV prefix scan just yields nothing).
+        from repro.errors import StoreError
+        from repro.store import OperaStore
+
+        store = OperaStore()
+        for query in (
+            lambda: queries.node_usage(store, "nope"),
+            lambda: queries.node_usage_rescan(store, "nope"),
+            lambda: queries.event_histogram(store, "nope"),
+            lambda: queries.completions_over_time(store, "nope", 10.0),
+            lambda: queries.slowest_activities(store, "nope"),
+            lambda: queries.retry_hotspots(store, "nope"),
+            lambda: queries.wall_time_breakdown(store, "nope"),
+            lambda: queries.wall_time_breakdown_rescan(store, "nope"),
+        ):
+            with pytest.raises(StoreError):
+                query()
+
+    def test_double_suspend_keeps_both_intervals(self):
+        # BUG: a second instance_suspended before a resume overwrote
+        # suspend_start, losing the earlier interval.
+        from repro.core.engine import events as ev
+
+        store = _synthetic_store([
+            ev.instance_started(0.0),
+            ev.instance_suspended("first", 10.0),
+            ev.instance_suspended("second", 30.0),  # closes [10, 30] first
+            ev.instance_resumed(40.0),
+            ev.instance_completed({}, 100.0),
+        ])
+        breakdown = queries.wall_time_breakdown(store, "syn")
+        assert breakdown["suspended"] == pytest.approx(30.0)  # 20 + 10
+        assert breakdown["running"] == pytest.approx(70.0)
+        assert breakdown == queries.wall_time_breakdown_rescan(store, "syn")
+
+    def test_in_flight_dispatches_do_not_fabricate_node_rows(self):
+        # BUG (flushed out by the view differential): the rescan created
+        # a [0, 0.0, 0] row for *any* event carrying a node — including
+        # task_dispatched — so mid-run queries listed phantom all-zero
+        # nodes whose work had not produced an outcome yet.
+        from repro.core.engine import events as ev
+
+        store = _synthetic_store([
+            ev.task_completed("P/A", {}, 2.0, "node001", 5.0),
+            ev.task_dispatched("P/B", "node002", "w.u", 1, 6.0),  # in flight
+        ])
+        for usage in (queries.node_usage(store, "syn"),
+                      queries.node_usage_rescan(store, "syn")):
+            assert [u.node for u in usage] == ["node001"]
+
+    def test_retry_hotspots_split_by_failure_class(self):
+        # BUG: infrastructure re-dispatches (node-crash etc.) counted
+        # identically to program-failure retries, making healthy tasks on
+        # flaky nodes look like program hot spots.
+        from repro.core.engine import events as ev
+
+        store = _synthetic_store([
+            # flaky-node task: two infra failures, three dispatches
+            ev.task_dispatched("P/Flaky", "node001", "w.u", 1, 1.0),
+            ev.task_failed("P/Flaky", "node-crash", "node001", 1, 2.0),
+            ev.task_dispatched("P/Flaky", "node002", "w.u", 2, 3.0),
+            ev.task_failed("P/Flaky", "network-outage", "node002", 2, 4.0),
+            ev.task_dispatched("P/Flaky", "node003", "w.u", 3, 5.0),
+            ev.task_completed("P/Flaky", {}, 1.0, "node003", 6.0),
+            # buggy-program task: two program failures
+            ev.task_dispatched("P/Buggy", "node001", "w.u", 1, 7.0),
+            ev.task_failed("P/Buggy", "program-error", "node001", 1, 8.0),
+            ev.task_dispatched("P/Buggy", "node001", "w.u", 2, 9.0),
+            ev.task_failed("P/Buggy", "program-error", "node001", 2, 10.0),
+        ])
+        hotspots = queries.retry_hotspots(store, "syn", minimum=2)
+        by_path = {path: counts for path, counts, _r in hotspots}
+        assert by_path["P/Flaky"] == {
+            "dispatches": 3, "program_failures": 0,
+            "infrastructure_failures": 2,
+        }
+        assert by_path["P/Buggy"] == {
+            "dispatches": 2, "program_failures": 2,
+            "infrastructure_failures": 0,
+        }
+        # program failures rank ahead of infrastructure-driven retries
+        assert hotspots[0][0] == "P/Buggy"
+        assert hotspots == queries.retry_hotspots_rescan(store, "syn", 2)

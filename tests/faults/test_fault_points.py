@@ -77,9 +77,13 @@ class TestRegistry:
         assert active() is None
 
 
+#: crash points a plain single-activity run passes through. Excluded:
+#: recovery.replay (needs a recovery) and obs.view.checkpoint (a tiny run
+#: never crosses the checkpoint interval) — both have dedicated tests.
 ENGINE_CRASH_POINTS = [
     point for point, kinds in CATALOG.items()
-    if "crash" in kinds and point != "recovery.replay"
+    if "crash" in kinds
+    and point not in ("recovery.replay", "obs.view.checkpoint")
 ]
 
 
@@ -96,6 +100,21 @@ class TestCrashWindows:
                 cluster.run_until_instance_done(instance_id)
         assert err.value.point == point
         assert injector.fired[0]["point"] == point
+
+    def test_obs_view_checkpoint_fires_during_checkpoint(self):
+        """The checkpoint crash window fires whenever the hub persists its
+        views — here forced explicitly after a completed run."""
+        kernel, cluster, server = _single_activity(seed=22)
+        instance_id = server.launch("P")
+        cluster.run_until_instance_done(instance_id)
+        action = FaultAction("obs.view.checkpoint", "crash", at_hit=2)
+        injector = FaultInjector([action])
+        with installed(injector):
+            with pytest.raises(InjectedCrash) as err:
+                server.obs.checkpoint()
+        assert err.value.point == "obs.view.checkpoint"
+        # the first view's transaction committed before the crash
+        assert injector.fired[0]["hit"] == 2
 
     def test_recovery_replay_fires_during_recover(self):
         kernel, cluster, server = _single_activity()

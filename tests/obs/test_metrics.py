@@ -1,0 +1,74 @@
+"""MetricsRegistry and BoundedHistogram unit behavior."""
+
+import pytest
+
+from repro.obs import BoundedHistogram, MetricsRegistry
+
+
+class TestBoundedHistogram:
+    def test_buckets_are_inclusive_upper_edges(self):
+        h = BoundedHistogram(bounds=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 10.0, 99.0):
+            h.observe(value)
+        assert h.buckets == [2, 2, 1]  # <=1, <=10, overflow
+        assert h.count == 5
+        assert h.total == pytest.approx(115.5)
+        assert h.min == 0.5 and h.max == 99.0
+
+    def test_memory_is_bounded(self):
+        h = BoundedHistogram(bounds=(1.0,))
+        for i in range(10000):
+            h.observe(float(i))
+        assert len(h.buckets) == 2
+        assert h.count == 10000
+
+    def test_quantiles_read_bucket_edges(self):
+        h = BoundedHistogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5,) * 50 + (1.5,) * 45 + (3.0,) * 5:
+            h.observe(value)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(0.95) == 2.0
+        assert h.quantile(1.0) == 4.0
+
+    def test_empty_summary(self):
+        s = BoundedHistogram().summary()
+        assert s["count"] == 0
+        assert s["mean"] == 0.0
+        assert s["p95"] == 0.0
+
+    def test_summary_shape(self):
+        h = BoundedHistogram(bounds=(1.0,))
+        h.observe(0.5)
+        h.observe(3.0)
+        s = h.summary()
+        assert s["buckets"] == [[1.0, 1], ["+inf", 1]]
+        assert s["mean"] == pytest.approx(1.75)
+
+
+class TestMetricsRegistry:
+    def test_counters_and_gauges(self):
+        m = MetricsRegistry()
+        m.inc("a")
+        m.inc("a", 4)
+        m.set_gauge("depth", 7.0)
+        assert m.counter("a") == 5
+        assert m.counter("missing") == 0
+        assert m.gauge("depth") == 7.0
+        assert m.gauge("missing", -1.0) == -1.0
+
+    def test_observe_autocreates_histogram(self):
+        m = MetricsRegistry()
+        assert m.histogram("lat") is None
+        m.observe("lat", 0.2)
+        m.observe("lat", 99.0)
+        assert m.histogram("lat").count == 2
+
+    def test_snapshot_does_not_alias_live_state(self):
+        m = MetricsRegistry()
+        m.inc("a")
+        m.observe("lat", 1.0)
+        snap = m.snapshot()
+        m.inc("a")
+        m.observe("lat", 2.0)
+        assert snap["counters"]["a"] == 1
+        assert snap["histograms"]["lat"]["count"] == 1

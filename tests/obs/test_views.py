@@ -1,0 +1,196 @@
+"""Materialized views: cursor discipline, checkpoints, crash recovery."""
+
+import pytest
+
+from repro.core.engine import events as ev
+from repro.errors import StoreError
+from repro.faults.plan import FaultAction
+from repro.faults.points import FaultInjector, InjectedCrash, installed
+from repro.obs import CHECKPOINT_PREFIX, ObservabilityHub
+from repro.store import OperaStore
+from repro.store.codec import encode
+
+
+def _event_stream(n=60):
+    """A synthetic mixed event log with retries, suspends, zero costs."""
+    events = [ev.instance_started(0.0)]
+    t = 1.0
+    for i in range(n):
+        path = f"P/T{i % 7}"
+        node = f"node{i % 3:03d}"
+        events.append(ev.task_dispatched(path, node, "w.u", 1 + i // 7, t))
+        t += 1.0
+        if i % 5 == 4:
+            reason = "node-crash" if i % 2 else "program-error"
+            events.append(ev.task_failed(path, reason, node, 1 + i // 7, t))
+        else:
+            cost = 0.0 if i % 6 == 0 else float(i)
+            events.append(ev.task_completed(path, {}, cost, node, t))
+        t += 1.0
+        if i == 20:
+            events.append(ev.instance_suspended("s1", t))
+        if i == 25:
+            events.append(ev.instance_suspended("s2", t))
+        if i == 30:
+            events.append(ev.instance_resumed(t))
+    events.append(ev.instance_completed({}, t + 1.0))
+    return events
+
+
+def _store_with(events, hub=None, instance_id="pi-1"):
+    store = OperaStore()
+    if hub is not None:
+        hub.attach(store)
+    store.instances.create(instance_id, {})
+    for event in events:
+        store.instances.append_event(instance_id, event)
+    return store
+
+
+def _view_dumps(hub):
+    return {v.name: encode(v.dump_state()) for v in hub.views.views}
+
+
+class TestCursorDiscipline:
+    def test_live_application_tracks_appends(self):
+        hub = ObservabilityHub()
+        store = _store_with(_event_stream(), hub=hub)
+        assert hub.views.in_sync(store, "pi-1")
+        assert hub.views.cursors["pi-1"] == store.instances.event_count("pi-1")
+
+    def test_redelivered_events_are_skipped(self):
+        hub = ObservabilityHub()
+        store = _store_with(_event_stream(10), hub=hub)
+        before = _view_dumps(hub)
+        # re-deliver an old (seq, event): must be a no-op
+        for seq, event in store.instances.events_from("pi-1", 0):
+            hub.views.apply_event("pi-1", seq, event)
+        assert _view_dumps(hub) == before
+        assert hub.views.in_sync(store, "pi-1")
+
+    def test_gap_raises(self):
+        hub = ObservabilityHub()
+        store = _store_with(_event_stream(5), hub=hub)
+        count = store.instances.event_count("pi-1")
+        with pytest.raises(StoreError):
+            hub.views.apply_event("pi-1", count + 3, ev.instance_started(0.0))
+
+
+class TestCheckpointRecovery:
+    def test_bind_catches_up_from_scratch(self):
+        # No checkpoint at all: bind replays the whole log.
+        live_hub = ObservabilityHub()
+        store = _store_with(_event_stream(), hub=live_hub)
+        cold = ObservabilityHub()
+        cold.attach(store.simulate_crash())
+        assert _view_dumps(cold) == _view_dumps(live_hub)
+
+    def test_bind_replays_only_the_suffix_after_checkpoint(self):
+        live_hub = ObservabilityHub()
+        store = _store_with(_event_stream(20), hub=live_hub)
+        live_hub.checkpoint()
+        suffix = _event_stream(30)[40:]  # more events after the checkpoint
+        for event in suffix:
+            store.instances.append_event("pi-1", event)
+        survivor = store.simulate_crash()
+        recovered = ObservabilityHub()
+        recovered.attach(survivor)
+        # the recovered views saw checkpoint + suffix; a from-scratch fold
+        # of the full surviving log must agree exactly
+        oracle = ObservabilityHub()
+        scratch = OperaStore()
+        oracle.attach(scratch)
+        scratch.instances.create("pi-1", {})
+        for event in survivor.instances.events("pi-1"):
+            scratch.instances.append_event("pi-1", event)
+        assert _view_dumps(recovered) == _view_dumps(oracle)
+        assert recovered.views.in_sync(survivor, "pi-1")
+
+    def test_checkpoint_cursor_never_exceeds_log(self):
+        hub = ObservabilityHub()
+        store = _store_with(_event_stream(15), hub=hub)
+        hub.checkpoint()
+        for view in hub.views.views:
+            data = store.kv.get(CHECKPOINT_PREFIX + view.name)
+            assert data["cursors"]["pi-1"] <= \
+                store.instances.event_count("pi-1")
+
+    def test_stale_checkpoint_ahead_of_log_is_rejected(self):
+        hub = ObservabilityHub()
+        store = _store_with(_event_stream(10), hub=hub)
+        count = store.instances.event_count("pi-1")
+        store.kv.put(CHECKPOINT_PREFIX + "node_usage", {
+            "cursors": {"pi-1": count + 5}, "state": {},
+        })
+        broken = ObservabilityHub()
+        with pytest.raises(StoreError):
+            broken.attach(store)
+
+
+class TestCrashMidCheckpoint:
+    def test_views_left_at_different_cursors_recover_independently(self):
+        """An injected crash between per-view checkpoint transactions
+        leaves some views durable at the new cursor and the rest at the
+        old one; bind must catch each up independently and idempotently."""
+        events = _event_stream(40)
+        live_hub = ObservabilityHub()
+        store = _store_with(events[:50], hub=live_hub)
+        live_hub.checkpoint()  # all views durable at cursor=50
+        for event in events[50:]:
+            store.instances.append_event("pi-1", event)
+        # crash while the 3rd view checkpoints: views 1-2 are durable at
+        # the new cursor, views 3-6 still at the old one
+        action = FaultAction("obs.view.checkpoint", "crash", at_hit=3)
+        with installed(FaultInjector([action])):
+            with pytest.raises(InjectedCrash):
+                live_hub.checkpoint()
+        survivor = store.simulate_crash()
+        cursors = set()
+        for view in live_hub.views.views:
+            data = survivor.kv.get(CHECKPOINT_PREFIX + view.name)
+            cursors.add(data["cursors"]["pi-1"])
+        assert len(cursors) == 2  # genuinely torn across the views
+        recovered = ObservabilityHub()
+        recovered.attach(survivor)
+        oracle = ObservabilityHub()
+        _store_with(list(survivor.instances.events("pi-1")), hub=oracle)
+        assert _view_dumps(recovered) == _view_dumps(oracle)
+
+    def test_replaying_the_same_suffix_twice_is_idempotent(self):
+        hub = ObservabilityHub()
+        store = _store_with(_event_stream(20), hub=hub)
+        hub.checkpoint()
+        survivor = store.simulate_crash()
+        first = ObservabilityHub()
+        first.attach(survivor)
+        once = _view_dumps(first)
+        # a second recovery from the same durable state (the crash-during-
+        # recovery path) must produce identical views
+        second = ObservabilityHub()
+        second.attach(survivor)
+        assert _view_dumps(second) == once
+
+
+class TestStateHygiene:
+    def test_checkpoint_state_does_not_alias_live_state(self):
+        # The in-memory KVStore returns live references; a view mutating
+        # state it shares with the KV map would corrupt the audit.
+        hub = ObservabilityHub()
+        store = _store_with(_event_stream(20), hub=hub)
+        hub.checkpoint()
+        frozen = encode(store.kv.get(CHECKPOINT_PREFIX + "node_usage"))
+        for event in _event_stream(5)[1:]:
+            store.instances.append_event("pi-1", event)
+        assert encode(store.kv.get(CHECKPOINT_PREFIX + "node_usage")) == \
+            frozen
+        assert store.kv.audit() == []
+
+    def test_multi_instance_cursors_are_independent(self):
+        hub = ObservabilityHub()
+        store = _store_with(_event_stream(10), hub=hub, instance_id="a")
+        store.instances.create("b", {})
+        for event in _event_stream(3):
+            store.instances.append_event("b", event)
+        assert hub.views.in_sync(store, "a")
+        assert hub.views.in_sync(store, "b")
+        assert hub.views.cursors["a"] != hub.views.cursors["b"]
