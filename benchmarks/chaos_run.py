@@ -3,6 +3,7 @@
 Usage::
 
     PYTHONPATH=src python benchmarks/chaos_run.py [--seeds N] [--start S]
+                                                  [--profile mixed|partition]
 
 Each seed generates a :class:`repro.faults.plan.FaultPlan` (scheduled
 cluster disturbances plus armed crash-point actions), runs one all-vs-all
@@ -25,6 +26,7 @@ from collections import Counter
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.faults import chaos  # noqa: E402
+from repro.faults.plan import PROFILES  # noqa: E402
 from repro.workloads.reporting import format_table  # noqa: E402
 
 OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
@@ -57,6 +59,11 @@ def main(argv=None):
     parser.add_argument("--nodes", type=int, default=4)
     parser.add_argument("--cpus", type=int, default=2)
     parser.add_argument("--granularity", type=int, default=8)
+    parser.add_argument("--profile", choices=PROFILES, default="mixed",
+                        help="fault mix: every category (mixed) or the "
+                             "network-fabric stress set (partition)")
+    parser.add_argument("--output", default="chaos_campaigns.txt",
+                        help="report filename under benchmarks/output/")
     args = parser.parse_args(argv)
 
     darwin = chaos.default_darwin()
@@ -71,7 +78,8 @@ def main(argv=None):
     for seed in range(args.start, args.start + args.seeds):
         result = chaos.run_campaign(
             seed, darwin, baseline=baseline, nodes=args.nodes,
-            cpus=args.cpus, granularity=args.granularity)
+            cpus=args.cpus, granularity=args.granularity,
+            profile=args.profile)
         results.append(result)
         marker = "ok " if result.ok else "FAIL"
         print(f"  seed {seed:>3} {marker} status={result.status:<10} "
@@ -83,7 +91,8 @@ def main(argv=None):
     table = survival_table(results)
     lines = [
         f"chaos campaigns: {len(results)} seeded runs "
-        f"(seeds {args.start}..{args.start + args.seeds - 1}), "
+        f"(seeds {args.start}..{args.start + args.seeds - 1}, "
+        f"profile={args.profile}), "
         f"{len(failures)} failed",
         "",
         table,
@@ -93,7 +102,7 @@ def main(argv=None):
     print(report)
 
     os.makedirs(OUTPUT_DIR, exist_ok=True)
-    with open(os.path.join(OUTPUT_DIR, "chaos_campaigns.txt"), "w") as fh:
+    with open(os.path.join(OUTPUT_DIR, args.output), "w") as fh:
         fh.write(report + "\n")
 
     if failures:

@@ -2,7 +2,7 @@
 
 from .environment import SimulatedCluster
 from .failures import DAY, HOUR, ScenarioScript
-from .network import Network
+from .network import ANY, SERVER, STANDBY, Network
 from .node import NodeSpec, SimNode
 from .pec import PEC
 from .simulation import Event, SimKernel, format_duration
@@ -16,6 +16,9 @@ __all__ = [
     "NodeSpec",
     "SimNode",
     "Network",
+    "ANY",
+    "SERVER",
+    "STANDBY",
     "PEC",
     "SimulatedCluster",
     "ClusterTrace",

@@ -26,7 +26,7 @@ from ..core.engine.environment import ExecutionEnvironment
 from ..core.engine.server import BioOperaServer
 from ..core.monitor.adaptive import MonitorConfig
 from ..errors import ClusterError
-from .network import Network
+from .network import Network, SERVER
 from .node import NodeSpec, SimNode
 from .pec import PEC
 from .simulation import SimKernel
@@ -80,6 +80,8 @@ class SimulatedCluster(ExecutionEnvironment):
             )
         self.trace = ClusterTrace(self)
         self._outage_detection = None
+        #: partition id -> (node names, direction) for cluster-level cuts.
+        self._partitions: Dict[int, tuple] = {}
         #: cancelled job ids whose dispatch message may still be in flight.
         self._cancelled_jobs: set = set()
         #: node-local finish times (job_id -> kernel time), consumed once
@@ -93,6 +95,8 @@ class SimulatedCluster(ExecutionEnvironment):
     def attach(self, server: BioOperaServer) -> None:
         self.server = server
         server.clock = lambda: self.kernel.now
+        obs = getattr(server, "obs", None)
+        self.network.metrics = obs.metrics if obs is not None else None
         for node in self.nodes.values():
             if not server.awareness.has_node(node.name):
                 server.register_node(
@@ -111,23 +115,30 @@ class SimulatedCluster(ExecutionEnvironment):
 
     def _send_job(self, job: JobRequest, node_name: str) -> None:
         delivered = self.network.send(
-            self._deliver_job, job, node_name, label=f"job:{job.job_id}"
+            self._deliver_job, job, node_name, label=f"job:{job.job_id}",
+            src=SERVER, dst=node_name,
+            on_dropped=lambda: self._note_dispatch_lost(job, node_name),
         )
         if not delivered:
-            # Dispatch lost to a network outage. If the outage outlives the
-            # failure detector the node-down path re-queues the job; for
-            # shorter glitches this timeout reports the loss directly (the
-            # server's staleness checks make a duplicate report harmless).
-            self.kernel.schedule(
-                self.detection_delay, self._dispatch_lost, job, node_name,
-                label=f"dispatch-lost:{job.job_id}",
-            )
+            self._note_dispatch_lost(job, node_name)
+
+    def _note_dispatch_lost(self, job: JobRequest, node_name: str) -> None:
+        # Dispatch lost to a cut link — at send time or in flight. If the
+        # cut outlives the failure detector the node-down path re-queues
+        # the job; for shorter glitches this timeout reports the loss
+        # directly (the server's staleness checks make a duplicate report
+        # harmless).
+        self.kernel.schedule(
+            self.detection_delay, self._dispatch_lost, job, node_name,
+            label=f"dispatch-lost:{job.job_id}",
+        )
 
     def _dispatch_lost(self, job: JobRequest, node_name: str) -> None:
         if self.server is not None and self.server.up:
             self.server.on_job_failed(
                 job.job_id, "network-outage", node_name,
                 detail="dispatch message lost",
+                epoch=job.epoch or None,
             )
 
     def _deliver_job(self, job: JobRequest, node_name: str) -> None:
@@ -158,6 +169,23 @@ class SimulatedCluster(ExecutionEnvironment):
     def step(self) -> bool:
         return self.kernel.step()
 
+    def schedule(self, delay: float, fn, *args, label: str = ""):
+        """Engine-facing timer hook (lease expiries); returns a
+        cancellable kernel event."""
+        return self.kernel.schedule(delay, fn, *args, label=label)
+
+    def job_alive(self, node_name: str, job_id: str) -> bool:
+        """Lease renewal probe: is the job's holder reachable and still
+        working on it (or waiting to retransmit its report)?"""
+        node = self.nodes.get(node_name)
+        if node is None or not node.up:
+            return False
+        if (self.network.is_cut(SERVER, node_name)
+                or self.network.is_cut(node_name, SERVER)):
+            return False
+        return (node.has_job(job_id)
+                or job_id in self.pecs[node_name].pending_reports)
+
     def schedule_probe(self, node_name: str, delay: float) -> None:
         """Probe a quarantined node after ``delay`` seconds. The probe
         succeeds only if it can actually reach a healthy node; while the
@@ -168,7 +196,9 @@ class SimulatedCluster(ExecutionEnvironment):
             server = self.server
             if server is None or not server.up:
                 return  # quarantine state died with the server
-            if self.network.outage or not self.nodes[node_name].up:
+            if (not self.nodes[node_name].up
+                    or self.network.is_cut(SERVER, node_name)
+                    or self.network.is_cut(node_name, SERVER)):
                 self.kernel.schedule(delay, probe,
                                      label=f"probe:{node_name}")
                 return
@@ -184,14 +214,16 @@ class SimulatedCluster(ExecutionEnvironment):
                            cost: float, node_name: str) -> None:
         self.trace.record()
         if self.server is not None and self.server.up:
-            self.server.on_job_completed(job.job_id, outputs, cost, node_name)
+            self.server.on_job_completed(job.job_id, outputs, cost,
+                                         node_name, epoch=job.epoch or None)
 
     def deliver_failure(self, job: JobRequest, reason: str, node_name: str,
                         detail: str) -> None:
         self.trace.record()
         if self.server is not None and self.server.up:
             self.server.on_job_failed(job.job_id, reason, node_name,
-                                      detail=detail)
+                                      detail=detail,
+                                      epoch=job.epoch or None)
 
     def deliver_load_report(self, node_name: str, load: float) -> None:
         if self.server is not None and self.server.up:
@@ -234,8 +266,25 @@ class SimulatedCluster(ExecutionEnvironment):
         node = self.nodes[name]
         node.restore()
         self.trace.record()
-        self.network.send(self._notify_node_up, name,
-                          label=f"node-up:{name}")
+        self._announce_node_up(name)
+
+    def _announce_node_up(self, name: str) -> None:
+        """Send the node's (re)join announcement; a cut link retries until
+        it gets through (or the node goes down again)."""
+        def retry():
+            if self.nodes[name].up:
+                self._announce_node_up(name)
+
+        def undelivered():
+            self.kernel.schedule(self.detection_delay, retry,
+                                 label=f"re-announce:{name}")
+
+        sent = self.network.send(self._notify_node_up, name,
+                                 label=f"node-up:{name}",
+                                 src=name, dst=SERVER,
+                                 on_dropped=undelivered)
+        if not sent:
+            undelivered()
 
     def _notify_node_up(self, name: str) -> None:
         if self.server is not None and self.server.up and self.nodes[name].up:
@@ -280,6 +329,75 @@ class SimulatedCluster(ExecutionEnvironment):
             if node.up:
                 self._notify_node_up(name)
 
+    def start_partition(self, nodes: Optional[Sequence[str]] = None,
+                        direction: str = "both") -> int:
+        """Cut the links between the server and a node subset.
+
+        ``direction`` is ``"both"`` (symmetric cut), ``"to-server"`` (node
+        reports vanish, dispatches still arrive — the half-open link that
+        produces zombie workers), or ``"to-nodes"`` (dispatches vanish,
+        reports still arrive). Returns a partition id for
+        :meth:`heal_partition`.
+        """
+        names = tuple(sorted(nodes if nodes is not None else self.nodes))
+        if direction == "both":
+            pid = self.network.partition({SERVER}, set(names),
+                                         symmetric=True)
+        elif direction == "to-server":
+            pid = self.network.partition(set(names), {SERVER},
+                                         symmetric=False)
+        elif direction == "to-nodes":
+            pid = self.network.partition({SERVER}, set(names),
+                                         symmetric=False)
+        else:
+            raise ClusterError(f"unknown partition direction {direction!r}")
+        self._partitions[pid] = (names, direction)
+        self.trace.record()
+        if direction in ("both", "to-server"):
+            # The server stops hearing from these nodes; after the failure
+            # detector's delay it declares them down. A "to-nodes" cut is
+            # invisible to the detector (reports keep flowing) — only the
+            # dispatch-lost timeouts and leases cover it.
+            self.kernel.schedule(self.detection_delay,
+                                 self._notify_partition, pid,
+                                 label="detect-partition")
+        return pid
+
+    def _notify_partition(self, pid: int) -> None:
+        entry = self._partitions.get(pid)
+        if entry is None:
+            return  # healed before detection fired
+        names, _direction = entry
+        if self.server is not None and self.server.up:
+            for name in names:
+                self.server.on_node_down(name)
+
+    def heal_partition(self, pid: int) -> None:
+        entry = self._partitions.pop(pid, None)
+        if entry is None:
+            return
+        self.network.heal(pid)
+        self.trace.record()
+        names, direction = entry
+        if direction in ("both", "to-server"):
+            for name in names:
+                if self.nodes[name].up:
+                    self._announce_node_up(name)
+
+    def heal_all_partitions(self) -> None:
+        for pid in list(self._partitions):
+            self.heal_partition(pid)
+
+    def set_duplication(self, rate: float) -> None:
+        self.network.set_duplication(rate)
+
+    def set_reordering(self, rate: float, extra: Optional[float] = None
+                       ) -> None:
+        self.network.set_reordering(rate, extra)
+
+    def set_link_loss(self, src: str, dst: str, probability: float) -> None:
+        self.network.set_loss(src, dst, probability)
+
     def set_storage_full(self, full: bool) -> None:
         self.storage_full = full
         self.trace.record()
@@ -307,6 +425,7 @@ class SimulatedCluster(ExecutionEnvironment):
             store if store is not None else old.store,
             old.registry, environment=self,
             policy=old.dispatcher.policy, seed=old.seed,
+            leases=old.leases,
         )
         # Cumulative counters survive the crash (they describe the run,
         # not the server process), and so does the quarantine policy.
@@ -324,7 +443,11 @@ class SimulatedCluster(ExecutionEnvironment):
     def available_cpus(self) -> int:
         if self.network.outage:
             return 0
-        return sum(node.available_cpus() for node in self.nodes.values())
+        return sum(
+            node.available_cpus() for name, node in self.nodes.items()
+            if not (self.network.is_cut(SERVER, name)
+                    or self.network.is_cut(name, SERVER))
+        )
 
     def busy_cpus(self) -> float:
         return sum(node.utilization() for node in self.nodes.values())

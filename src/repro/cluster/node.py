@@ -158,6 +158,9 @@ class SimNode:
     def running_jobs(self) -> List[str]:
         return sorted(self._jobs)
 
+    def has_job(self, job_id: str) -> bool:
+        return job_id in self._jobs
+
     # ------------------------------------------------------------------
     # Environment changes
     # ------------------------------------------------------------------

@@ -26,7 +26,7 @@ from ..core.engine.library import ProgramContext
 from ..core.monitor.adaptive import AdaptiveMonitor, MonitorConfig
 from ..errors import ActivityFailure
 from ..faults.points import fire
-from .network import Network
+from .network import Network, SERVER
 from .node import SimNode
 
 
@@ -66,6 +66,11 @@ class PEC:
         #: job ids whose report is waiting for a retransmission slot; the
         #: server must not treat these as lost when the node reconnects.
         self.pending_reports: set = set()
+        #: highest server epoch seen on any dispatch; lower-epoch dispatches
+        #: come from a deposed server and are rejected (fencing).
+        self.highest_epoch_seen = 0
+        self.stale_dispatches_rejected = 0
+        self.duplicate_dispatches_ignored = 0
 
     def retry_delay(self, attempt: int) -> float:
         """Backoff before retry ``attempt`` (0-based), jitter included."""
@@ -87,7 +92,6 @@ class PEC:
         if retries_left is None:
             retries_left = self.report_retries
         directive = fire("pec.report", label=label)
-        dropped = False
         if directive is not None:
             if directive.kind == "delay":
                 # The report dawdles in a queue somewhere; same retry
@@ -107,13 +111,31 @@ class PEC:
             if directive.kind == "duplicate":
                 # An extra copy arrives too; the server's staleness checks
                 # must shrug the duplicate off.
-                self.network.send(fn, *args, label=f"{label}#dup")
+                self.network.send(fn, *args, label=f"{label}#dup",
+                                  src=self.node.name, dst=SERVER)
             elif directive.kind == "drop":
-                dropped = True
-        sent = (not dropped) and self.network.send(fn, *args, label=label)
+                self._report_undelivered(fn, args, label, retries_left,
+                                         job_id)
+                return
+
+        def undelivered():
+            self._report_undelivered(fn, args, label, retries_left, job_id)
+
+        # Every failure to reach the server — a send-time cut (False
+        # return), a mid-flight kill, sampled loss — feeds the same
+        # retransmission/backoff path through ``on_dropped``.
+        sent = self.network.send(fn, *args, label=label,
+                                 src=self.node.name, dst=SERVER,
+                                 on_dropped=undelivered)
         if sent:
             self.pending_reports.discard(job_id)
-            return
+        else:
+            undelivered()
+
+    def _report_undelivered(self, fn, args, label: str, retries_left: int,
+                            job_id: str) -> None:
+        """A report did not reach the server; retry on the backoff
+        schedule or account it lost."""
         if retries_left <= 0 or not self.node.up:
             self.reports_lost += 1
             self.pending_reports.discard(job_id)
@@ -147,6 +169,22 @@ class PEC:
         obs = getattr(server, "obs", None)
         if obs is not None:
             obs.metrics.inc("pec_jobs_received")
+        if job.epoch and job.epoch < self.highest_epoch_seen:
+            # Fencing: a dispatch issued by a deposed server (stale epoch)
+            # must not run — the new server owns this task occurrence.
+            self.stale_dispatches_rejected += 1
+            if obs is not None:
+                obs.metrics.inc("pec_stale_dispatches_rejected")
+            return
+        if job.epoch:
+            self.highest_epoch_seen = max(self.highest_epoch_seen, job.epoch)
+        if self.node.has_job(job.job_id) or job.job_id in self.pending_reports:
+            # A duplicated delivery of a dispatch already running here (or
+            # already finished and waiting to report) must not double-run.
+            self.duplicate_dispatches_ignored += 1
+            if obs is not None:
+                obs.metrics.inc("pec_duplicate_dispatches")
+            return
         ctx = ProgramContext(
             instance_id=job.instance_id,
             task_path=job.task_path,
@@ -220,8 +258,24 @@ class PEC:
             self.node.external_load / capacity
         )
         if report is not None:
-            self.network.send(
-                self.cluster.deliver_load_report, self.node.name,
-                report * capacity,
-                label=f"load:{self.node.name}",
-            )
+            self._send_load_report(report * capacity)
+
+    def _send_load_report(self, load: float, retries_left: int = 2) -> None:
+        """Send a load report; a dropped send retries once or twice with
+        the node's *current* load (stale samples are worthless)."""
+        def undelivered():
+            if retries_left > 0 and self.node.up:
+                self.cluster.kernel.schedule(
+                    self.retry_delay(0),
+                    lambda: self._send_load_report(
+                        self.node.external_load, retries_left - 1),
+                    label=f"retry-load:{self.node.name}",
+                )
+
+        sent = self.network.send(
+            self.cluster.deliver_load_report, self.node.name, load,
+            label=f"load:{self.node.name}",
+            src=self.node.name, dst=SERVER, on_dropped=undelivered,
+        )
+        if not sent:
+            undelivered()

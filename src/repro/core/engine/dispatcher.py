@@ -63,6 +63,7 @@ class JobRequest:
     cost_hint: float = 0.0       # estimated CPU seconds (for policies/UI)
     enqueued_at: float = 0.0
     seq: int = 0                 # global FIFO position, stamped by enqueue
+    epoch: int = 0               # issuing server epoch, 0 = unfenced
 
     @property
     def job_id(self) -> str:
@@ -101,6 +102,9 @@ class Dispatcher:
         self._is_dispatchable = None  # fn(instance_id) -> bool
         #: optional MetricsRegistry (set by the server's observability hub).
         self.metrics = None
+        #: optional fn(job_id) invoked whenever an in-flight job is
+        #: released — the single choke point the lease table hangs off.
+        self.on_release = None
 
     def wire(self, submit, record_dispatch, is_dispatchable) -> None:
         self._submit = submit
@@ -253,6 +257,8 @@ class Dispatcher:
                 if not jobs:
                     del self._inflight_by_node[node]
             self.awareness.release(node, job_id)
+            if self.on_release is not None:
+                self.on_release(job_id)
         return entry
 
     def jobs_on_node(self, node: str) -> List[str]:

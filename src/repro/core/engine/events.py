@@ -51,6 +51,7 @@ INFRASTRUCTURE_REASONS = frozenset({
     "disk-full",
     "io-error",
     "migrated",
+    "lease-expired",
 })
 
 #: Failure reasons attributable to the reporting node itself (as opposed

@@ -128,6 +128,24 @@ class OperatorConsole:
     def queue_depth(self) -> int:
         return self.server.dispatcher.queue_length()
 
+    def network_health(self) -> Dict[str, Any]:
+        """How lossy has the fabric been, and how often did fencing bite?
+
+        Combines the network's send/drop/duplicate/reorder counters (when
+        the server runs on a simulated cluster) with the server's own
+        epoch-fencing and lease accounting, so an operator can tell a
+        lossy network from a misbehaving engine at a glance.
+        """
+        network = getattr(self.server.environment, "network", None)
+        health: Dict[str, Any] = (
+            dict(network.health()) if network is not None else {}
+        )
+        for key in ("stale_epoch_reports", "epoch_fenced", "leases_granted",
+                    "leases_renewed", "leases_expired"):
+            health[key] = self.server.metrics.get(key, 0)
+        health["epoch"] = self.server.epoch
+        return health
+
     # ------------------------------------------------------------------
     # Observability (metrics snapshot, task-span traces)
     # ------------------------------------------------------------------

@@ -43,12 +43,23 @@ def verify_log(store: OperaStore, instance_id: str, resolver) -> List[str]:
             f"(got {events[0]['type']})"
         )
     last_time = float("-inf")
+    last_epoch = 0
     for index, event in enumerate(events):
         if event.get("time", 0.0) < last_time:
             anomalies.append(
                 f"event {index} ({event['type']}) goes back in time"
             )
         last_time = max(last_time, event.get("time", 0.0))
+        # Epochs must be monotone: once a failover's epoch appears in the
+        # log, a write from any older (fenced) epoch is a safety breach.
+        epoch = event.get("epoch")
+        if epoch is not None:
+            if epoch < last_epoch:
+                anomalies.append(
+                    f"event {index} ({event['type']}) carries fenced epoch "
+                    f"{epoch} after epoch {last_epoch} appeared"
+                )
+            last_epoch = max(last_epoch, epoch)
     try:
         ProcessInstance(instance_id, resolver).replay(iter(events))
     except Exception as exc:  # noqa: BLE001 - report, not crash

@@ -91,8 +91,20 @@ class BioOperaServer:
         self.seed = seed
         self.up = True
         self.environment = None
+        # Durable fencing epoch: bumped in the store on every (re)start and
+        # standby promotion, before any dispatch. Every dispatch and every
+        # emitted event carries it; a server that finds a newer epoch in
+        # the shared store fences itself (see :meth:`_fenced`).
+        self.epoch = int(
+            self.store.configuration.setting("server_epoch", 0)
+        ) + 1
+        self.store.configuration.set_setting("server_epoch", self.epoch)
         self.migration = None  # (min_rate, improvement) when enabled
         self.quarantine = None  # (threshold, window, probe_after) when on
+        self.leases = None  # (base, factor) when enabled
+        #: job_id -> live lease record (key, attempt, node, duration, event).
+        self._leases: Dict[str, Dict[str, Any]] = {}
+        self._lease_keys: Dict[str, str] = {}  # job key -> holder job_id
         self._node_failures: Dict[str, List[float]] = {}
         self.instances: Dict[str, ProcessInstance] = {}
         self._template_cache: Dict[Tuple[str, int], ProcessTemplate] = {}
@@ -103,12 +115,19 @@ class BioOperaServer:
             "stale_results_ignored": 0,
             "nodes_failed": 0,
             "manual_interventions": 0,
+            "stale_epoch_reports": 0,
+            "epoch_fenced": 0,
+            "leases_granted": 0,
+            "leases_renewed": 0,
+            "leases_expired": 0,
+            "lease_double_grants": 0,
         }
         self.dispatcher.wire(
             submit=self._submit_job,
             record_dispatch=self._record_dispatch,
             is_dispatchable=self._is_dispatchable,
         )
+        self.dispatcher.on_release = self._release_lease
 
     # ------------------------------------------------------------------
     # Environment & cluster configuration
@@ -230,6 +249,7 @@ class BioOperaServer:
         # engine never acted on it, so nothing to repair). Crash after: the
         # event is durable but the in-memory state never saw it — recovery
         # must pick it up from the log.
+        event.setdefault("epoch", self.epoch)
         fire("server.emit.pre-persist",
              instance=instance.id, type=event["type"])
         self.store.instances.append_event(instance.id, event)
@@ -342,6 +362,7 @@ class BioOperaServer:
             placement=placement,
             cost_hint=cost_hint,
             enqueued_at=self.clock(),
+            epoch=self.epoch,
         )
         self.dispatcher.enqueue(job)
 
@@ -359,6 +380,8 @@ class BioOperaServer:
         return instance.status == RUNNING
 
     def _record_dispatch(self, job: JobRequest, node: str) -> bool:
+        if not self.up or self._fenced():
+            return False
         instance = self.instances.get(job.instance_id)
         if instance is None or instance.terminal:
             return False
@@ -387,6 +410,8 @@ class BioOperaServer:
             job.task_path, node, job.program, job.attempt, now
         ))
         self.metrics["jobs_dispatched"] += 1
+        if self.leases is not None:
+            self._grant_lease(job, node)
         return True
 
     def _submit_job(self, job: JobRequest, node: str) -> None:
@@ -399,8 +424,11 @@ class BioOperaServer:
     # ------------------------------------------------------------------
 
     def on_job_completed(self, job_id: str, outputs: Dict[str, Any],
-                         cost: float, node: str) -> None:
-        if not self.up:
+                         cost: float, node: str,
+                         epoch: Optional[int] = None) -> None:
+        if not self.up or self._fenced():
+            return
+        if self._stale_epoch(epoch, job_id, "completion"):
             return
         entry = self.dispatcher.job_finished(job_id)
         if entry is None:
@@ -428,8 +456,10 @@ class BioOperaServer:
         self.dispatcher.pump()
 
     def on_job_failed(self, job_id: str, reason: str, node: str,
-                      detail: str = "") -> None:
-        if not self.up:
+                      detail: str = "", epoch: Optional[int] = None) -> None:
+        if not self.up or self._fenced():
+            return
+        if self._stale_epoch(epoch, job_id, "failure"):
             return
         entry = self.dispatcher.job_finished(job_id)
         if entry is None:
@@ -470,7 +500,7 @@ class BioOperaServer:
     # ------------------------------------------------------------------
 
     def on_node_down(self, node: str) -> None:
-        if not self.up or not self.awareness.has_node(node):
+        if not self.up or self._fenced() or not self.awareness.has_node(node):
             return
         self.metrics["nodes_failed"] += 1
         orphan_ids = self.awareness.node_down(node, self.clock())
@@ -498,7 +528,7 @@ class BioOperaServer:
         """A node (re)joined. ``running`` is the set of job ids its PEC
         actually has; jobs we believe are there but are not get failed —
         this covers a crash+restore that beat the failure detector."""
-        if not self.up or not self.awareness.has_node(node):
+        if not self.up or self._fenced() or not self.awareness.has_node(node):
             return
         self._node_failures.pop(node, None)  # a fresh join resets strikes
         self.awareness.node_up(node, self.clock())
@@ -537,7 +567,7 @@ class BioOperaServer:
         self.dispatcher.pump()
 
     def on_load_report(self, node: str, external_load: float) -> None:
-        if not self.up or not self.awareness.has_node(node):
+        if not self.up or self._fenced() or not self.awareness.has_node(node):
             return
         self.awareness.load_report(node, external_load, self.clock())
         self._migration_review()
@@ -554,6 +584,127 @@ class BioOperaServer:
         for view in self.awareness.nodes():
             if view.assigned and self._consider_migration(view.name):
                 return
+
+    # ------------------------------------------------------------------
+    # Epoch fencing & dispatch leases (partition safety)
+    # ------------------------------------------------------------------
+
+    def _fenced(self) -> bool:
+        """Self-fence against a newer server sharing the durable store.
+
+        A standby promotion bumps the store's epoch; the moment the old
+        primary consults the store and sees a newer epoch it stands down
+        (``up = False``) instead of racing the new server's writes.
+        """
+        durable = int(
+            self.store.configuration.setting("server_epoch", self.epoch)
+        )
+        if durable <= self.epoch:
+            return False
+        self.up = False
+        self.metrics["epoch_fenced"] += 1
+        if self.obs is not None:
+            self.obs.metrics.inc("fencing_rejections")
+        return True
+
+    def _stale_epoch(self, epoch: Optional[int], job_id: str,
+                     what: str) -> bool:
+        """Reject a report stamped by a different epoch than ours.
+
+        ``None``/0 means the transport is unfenced (inline environments,
+        direct calls) and is accepted for compatibility.
+        """
+        if not epoch or epoch == self.epoch:
+            return False
+        self.metrics["stale_epoch_reports"] += 1
+        if self.obs is not None:
+            self.obs.metrics.inc("fencing_rejections")
+        self.dispatcher.pump()
+        return True
+
+    def enable_leases(self, base: float = 900.0, factor: float = 4.0) -> None:
+        """Grant every dispatch a lease; expiry triggers safe re-dispatch.
+
+        A dispatched job's lease lasts ``base + factor * cost_hint``
+        seconds. On expiry the server probes the environment
+        (``job_alive``): a job still running (or whose report is pending
+        retransmission) renews; one that is gone or unreachable is
+        cancelled and failed with reason ``lease-expired`` — so work lost
+        to an asymmetric partition is re-dispatched even if no failure
+        report ever arrives. Environments without a ``schedule`` hook
+        never grant leases (nothing could ever expire them).
+        """
+        self.leases = (base, factor)
+
+    def disable_leases(self) -> None:
+        self.leases = None
+        for job_id in list(self._leases):
+            self._release_lease(job_id)
+
+    def _grant_lease(self, job: JobRequest, node: str) -> None:
+        schedule = getattr(self.environment, "schedule", None)
+        if schedule is None:
+            return
+        holder = self._lease_keys.get(job.key)
+        if holder is not None and holder in self._leases:
+            # Two live leases for one task occurrence would mean two
+            # concurrent legitimate executions — the invariant chaos checks.
+            self.metrics["lease_double_grants"] += 1
+        base, factor = self.leases
+        duration = base + factor * max(0.0, job.cost_hint)
+        event = schedule(duration, self._lease_expired, job.job_id,
+                         job.attempt, label=f"lease:{job.job_id}")
+        self._leases[job.job_id] = {
+            "key": job.key, "attempt": job.attempt, "node": node,
+            "duration": duration, "event": event,
+        }
+        self._lease_keys[job.key] = job.job_id
+        self.metrics["leases_granted"] += 1
+
+    def _release_lease(self, job_id: str) -> None:
+        lease = self._leases.pop(job_id, None)
+        if lease is None:
+            return
+        if self._lease_keys.get(lease["key"]) == job_id:
+            del self._lease_keys[lease["key"]]
+        event = lease.get("event")
+        if event is not None and hasattr(event, "cancel"):
+            event.cancel()
+
+    def _lease_expired(self, job_id: str, attempt: int) -> None:
+        lease = self._leases.get(job_id)
+        if lease is None or lease["attempt"] != attempt:
+            return
+        if not self.up or self._fenced():
+            return
+        entry = self.dispatcher.in_flight.get(job_id)
+        if entry is None:
+            self._release_lease(job_id)
+            return
+        job, node = entry
+        alive_fn = getattr(self.environment, "job_alive", None)
+        if alive_fn is not None and alive_fn(node, job_id):
+            # Still making progress (or waiting out a report retry):
+            # renew for another term.
+            self.metrics["leases_renewed"] += 1
+            schedule = getattr(self.environment, "schedule", None)
+            lease["event"] = schedule(
+                lease["duration"], self._lease_expired, job_id, attempt,
+                label=f"lease:{job_id}",
+            )
+            return
+        # The holder is gone or unreachable. The environment-side kill
+        # models lease-based self-termination (the PEC abandons work whose
+        # lease it can no longer renew), so re-dispatching is safe even if
+        # the old node is still alive behind a partition.
+        self.metrics["leases_expired"] += 1
+        if self.obs is not None:
+            self.obs.metrics.inc("leases_expired")
+        if self.environment is not None:
+            self.environment.cancel(job_id)
+        self.on_job_failed(job_id, "lease-expired", node,
+                           detail="dispatch lease expired without renewal",
+                           epoch=self.epoch)
 
     # ------------------------------------------------------------------
     # Node quarantine (graceful degradation / failure masking)
@@ -774,6 +925,7 @@ class BioOperaServer:
         clock: Optional[Callable[[], float]] = None,
         seed: int = 0,
         observability: Any = None,
+        leases: Optional[Tuple[float, float]] = None,
     ) -> "BioOperaServer":
         """Rebuild a server from the durable store after a crash.
 
@@ -790,6 +942,8 @@ class BioOperaServer:
                      clock=clock, seed=seed, observability=observability)
         if environment is not None:
             server.attach_environment(environment)
+        if leases is not None:
+            server.enable_leases(*leases)
         for node, config in store.configuration.nodes().items():
             if not server.awareness.has_node(node):
                 server.awareness.register(

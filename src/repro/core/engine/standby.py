@@ -6,11 +6,22 @@ the backup can assume control and continue execution smoothly"
 (Conclusions). This module implements that architecture over the existing
 recovery machinery:
 
-* the primary serves normally and emits liveness heartbeats;
+* the primary serves normally and emits liveness heartbeats — in the
+  simulated cluster these are real network messages to the
+  :data:`~repro.cluster.network.STANDBY` endpoint, so a partition between
+  primary and standby silences them exactly like a dead primary would;
 * a :class:`StandbyMonitor` watches them; after ``takeover_after``
   seconds of silence it **promotes** a standby: a fresh server is rebuilt
   from the shared durable store (same code path as cold recovery) and
   attached to the environment;
+* promotion is decided on *silence alone* — the monitor cannot peek at
+  the primary's ``up`` flag, because across a partition nobody can. A
+  split brain (healthy primary behind a cut, promoted standby in front
+  of it) is therefore possible and must be **safe**, not impossible:
+  promotion durably bumps the server epoch in the shared store, the
+  PECs reject the old primary's stale-epoch dispatches, the new primary
+  rejects its stale-epoch reports, and the old primary fences itself the
+  moment it consults the store;
 * because every state transition was persisted before the primary acted
   on it, the standby resumes every running instance without losing
   completed work — the downtime shrinks from "until an operator restarts
@@ -68,6 +79,11 @@ class StandbyMonitor:
         if primary is not None and primary.up:
             self.last_heartbeat = self._clock()
 
+    def receive_heartbeat(self) -> None:
+        """A heartbeat message arrived over the network. Unconditional:
+        the monitor knows only what reaches it, not the primary's state."""
+        self.last_heartbeat = self._clock()
+
     def silence(self) -> float:
         return self._clock() - self.last_heartbeat
 
@@ -75,27 +91,39 @@ class StandbyMonitor:
         """Promote the standby if the primary has been silent too long.
 
         Returns the new server when a takeover happened, else None.
+        Silence is the *only* input: a partitioned-but-healthy primary is
+        indistinguishable from a dead one, so this can and will promote
+        into a split brain — which the epoch fencing makes safe.
         """
         if not self.enabled:
-            return None
-        primary = self._get_primary()
-        if primary is not None and primary.up:
             return None
         if self.silence() < self.takeover_after:
             return None
         return self.promote()
 
     def promote(self) -> BioOperaServer:
-        """Unconditionally rebuild a server from the durable store."""
+        """Unconditionally rebuild a server from the durable store.
+
+        Recovery's constructor durably bumps the server epoch in the
+        shared store before the replacement dispatches anything, which is
+        what fences a still-live old primary out of the cluster.
+        """
         old = self._get_primary()
         if old is None:
             raise EngineError("standby has no primary to take over from")
+        if old.obs is not None:
+            # Two hubs checkpointing views into one store would corrupt
+            # each other; the deposed primary's hub stops following.
+            old.obs.detach()
         replacement = BioOperaServer.recover(
             old.store, old.registry,
             environment=self._environment,
             policy=old.dispatcher.policy,
             seed=old.seed,
+            leases=old.leases,
         )
+        if old.quarantine is not None:
+            replacement.enable_quarantine(*old.quarantine)
         # Cumulative run counters survive the failover.
         for key, value in old.metrics.items():
             replacement.metrics[key] = (
@@ -114,11 +142,15 @@ def attach_standby(cluster, takeover_after: float = 60.0,
                    check_interval: float = 15.0) -> StandbyMonitor:
     """Install a hot standby on a :class:`SimulatedCluster`.
 
-    The monitor polls on the simulation kernel; the primary's liveness is
-    derived from its ``up`` flag (the simulated stand-in for heartbeat
-    messages). Returns the monitor; ``monitor.takeovers`` counts
-    promotions.
+    The monitor polls on the simulation kernel. Heartbeats are real
+    network messages from the :data:`~repro.cluster.network.SERVER`
+    endpoint to :data:`~repro.cluster.network.STANDBY`, so a partition
+    between the two looks exactly like a dead primary — the split-brain
+    case the epoch fencing exists for. Returns the monitor;
+    ``monitor.takeovers`` counts promotions.
     """
+    from ...cluster.network import SERVER, STANDBY
+
     monitor = StandbyMonitor(
         get_primary=lambda: cluster.server,
         set_primary=lambda server: setattr(cluster, "server", server),
@@ -131,9 +163,10 @@ def attach_standby(cluster, takeover_after: float = 60.0,
         if not monitor.enabled:
             return
         if cluster.server is not None and cluster.server.up:
-            monitor.heartbeat()
-        else:
-            monitor.check()
+            cluster.network.send(monitor.receive_heartbeat,
+                                 label="heartbeat",
+                                 src=SERVER, dst=STANDBY)
+        monitor.check()
         cluster.kernel.schedule(check_interval, poll, label="standby-poll")
 
     cluster.kernel.schedule(check_interval, poll, label="standby-poll")

@@ -8,7 +8,13 @@ checker (:mod:`repro.faults.invariants`) import the cluster and engine
 layers and must be imported explicitly.
 """
 
-from .plan import FaultAction, FaultPlan, ScheduledFault
+from .plan import (
+    PROFILES,
+    SCHEDULED_CATEGORIES,
+    FaultAction,
+    FaultPlan,
+    ScheduledFault,
+)
 from .points import (
     CATALOG,
     FaultInjector,
@@ -22,6 +28,8 @@ from .points import (
 
 __all__ = [
     "CATALOG",
+    "PROFILES",
+    "SCHEDULED_CATEGORIES",
     "FaultAction",
     "FaultInjector",
     "FaultPlan",

@@ -40,6 +40,13 @@ from .points import FaultInjector, InjectedCrash, installed
 #: quarantine policy active during campaigns (threshold, window, probe).
 QUARANTINE = (3, 900.0, 300.0)
 
+#: dispatch-lease policy active during campaigns (base seconds, cost
+#: factor). Leases are what un-wedge a campaign whose completion report
+#: was lost to sampled link loss with no detectable outage: the lease
+#: expires, the renewal probe finds no live job, and the attempt is
+#: safely re-dispatched.
+LEASES = (900.0, 4.0)
+
 #: view-checkpoint interval for campaign servers: small enough that the
 #: campaign workload (a few hundred events) actually crosses it, so the
 #: ``obs.view.checkpoint`` crash window gets exercised.
@@ -94,6 +101,7 @@ def _build(darwin: DarwinEngine, kernel_seed: int, nodes: int, cpus: int,
     )
     server.attach_environment(cluster)
     server.enable_quarantine(*QUARANTINE)
+    server.enable_leases(*LEASES)
     install_all_vs_all(server, darwin)
     instance_id = server.launch("all_vs_all", {
         "db_name": darwin.profile.name,
@@ -193,6 +201,47 @@ def _schedule_plan(plan: FaultPlan, cluster: SimulatedCluster,
             script.at(time, "chaos: load burst", noted(category, start_load))
             script.at(time + params["duration"], "chaos: load burst over",
                       stop_load)
+        elif category == "partition":
+            names = params["nodes"]
+            direction = params.get("direction", "both")
+            handle: Dict[str, int] = {}
+
+            def cut(names=names, direction=direction, handle=handle):
+                handle["id"] = cluster.start_partition(
+                    names, direction=direction
+                )
+
+            def heal(handle=handle):
+                pid = handle.pop("id", None)
+                if pid is not None:
+                    cluster.heal_partition(pid)
+
+            script.at(time, f"chaos: partition {direction}",
+                      noted(category, cut))
+            script.at(time + params["duration"], "chaos: partition heals",
+                      heal)
+        elif category == "net-loss":
+            rate = params["rate"]
+            script.at(time, "chaos: link loss", noted(
+                category, lambda r=rate: cluster.set_link_loss("*", "*", r)
+            ))
+            script.at(time + params["duration"], "chaos: link loss over",
+                      lambda: cluster.set_link_loss("*", "*", 0.0))
+        elif category == "net-duplicate":
+            rate = params["rate"]
+            script.at(time, "chaos: duplication", noted(
+                category, lambda r=rate: cluster.set_duplication(r)
+            ))
+            script.at(time + params["duration"], "chaos: duplication over",
+                      lambda: cluster.set_duplication(0.0))
+        elif category == "net-reorder":
+            rate, extra = params["rate"], params.get("extra", 1.0)
+            script.at(time, "chaos: reordering", noted(
+                category,
+                lambda r=rate, e=extra: cluster.set_reordering(r, e),
+            ))
+            script.at(time + params["duration"], "chaos: reordering over",
+                      lambda: cluster.set_reordering(0.0))
         elif category == "server-crash":
             def crash_server():
                 if cluster.server.up:
@@ -213,7 +262,8 @@ def run_campaign(seed: int, darwin: DarwinEngine,
                  baseline: Optional[Dict] = None,
                  plan: Optional[FaultPlan] = None,
                  nodes: int = 4, cpus: int = 2,
-                 granularity: int = 8) -> CampaignResult:
+                 granularity: int = 8,
+                 profile: str = "mixed") -> CampaignResult:
     """Run one seeded chaos campaign; returns its full accounting."""
     if baseline is None:
         baseline = fault_free_baseline(darwin, nodes=nodes, cpus=cpus,
@@ -226,6 +276,7 @@ def run_campaign(seed: int, darwin: DarwinEngine,
         plan = FaultPlan.generate(
             seed, sorted(cluster.nodes),
             horizon=max(120.0, baseline["wall"] * 1.5),
+            profile=profile,
         )
     result = CampaignResult(seed=seed, plan=plan.to_dict())
     executed: set = set()
@@ -245,6 +296,7 @@ def run_campaign(seed: int, darwin: DarwinEngine,
                 policy=current.dispatcher.policy, seed=current.seed,
                 observability=ObservabilityHub(
                     checkpoint_interval=CHECKPOINT_INTERVAL),
+                leases=current.leases,
             )
         except InjectedCrash:
             # Recovery itself was killed; whatever half-recovered server
@@ -307,12 +359,14 @@ def run_campaign(seed: int, darwin: DarwinEngine,
 
 def run_campaigns(seeds, darwin: Optional[DarwinEngine] = None,
                   baseline: Optional[Dict] = None,
+                  profile: str = "mixed",
                   **build_kw) -> List[CampaignResult]:
     """Run many seeded campaigns against one shared baseline."""
     darwin = darwin or default_darwin()
     if baseline is None:
         baseline = fault_free_baseline(darwin, **build_kw)
     return [
-        run_campaign(seed, darwin, baseline=baseline, **build_kw)
+        run_campaign(seed, darwin, baseline=baseline, profile=profile,
+                     **build_kw)
         for seed in seeds
     ]

@@ -16,6 +16,13 @@ against a live :class:`~repro.core.engine.server.BioOperaServer`:
   number of events (no holes, no phantoms);
 * **no leaked slots** — the awareness model's per-node assignments and the
   dispatcher's in-flight table are the same set, seen from both sides;
+* **single-epoch acceptance** — event epochs are monotone per log (checked
+  in ``verify_log``): once a failover's epoch appears, no write from a
+  fenced older epoch is ever accepted, and every node-reported completion
+  carries the epoch of its own dispatch (no cross-epoch or
+  healed-partition double-apply);
+* **no lease double-grant** — at most one live lease per task occurrence,
+  every live lease backed by an in-flight job;
 * **WAL integrity** — the KV store's snapshot + WAL replays to exactly the
   live state (:meth:`~repro.store.kvstore.KVStore.audit`).
 
@@ -49,6 +56,7 @@ def check_server(server, baseline_outputs: Optional[Dict] = None,
         problems += _check_log_contiguity(server, instance_id)
         problems += _check_view_equivalence(server, instance_id)
     problems += _check_slot_consistency(server)
+    problems += _check_leases(server)
     problems += [f"store: {p}" for p in server.store.kv.audit()]
     if final:
         problems += _check_final(server, baseline_outputs)
@@ -102,6 +110,7 @@ def _check_exactly_once(server, instance_id: str) -> List[str]:
     attempt: Dict[str, int] = {}
     dispatched_attempts = set()
     completed_attempts = set()
+    dispatch_epoch: Dict[tuple, Optional[int]] = {}
     for event in server.store.instances.events(instance_id):
         kind = event["type"]
         path = event.get("path", "")
@@ -115,6 +124,7 @@ def _check_exactly_once(server, instance_id: str) -> List[str]:
                     f"dispatched twice"
                 )
             dispatched_attempts.add(key)
+            dispatch_epoch[key] = event.get("epoch")
             status[path] = "dispatched"
             attempt[path] = event["attempt"]
         elif kind == ev.TASK_COMPLETED:
@@ -134,6 +144,17 @@ def _check_exactly_once(server, instance_id: str) -> List[str]:
                         f"completed twice"
                     )
                 completed_attempts.add(key)
+                # A completion must be accepted in the epoch that issued
+                # its dispatch — a mismatch means a fenced server's report
+                # crossed a healed partition and was applied anyway.
+                issued = dispatch_epoch.get(key)
+                accepted = event.get("epoch")
+                if issued and accepted and issued != accepted:
+                    problems.append(
+                        f"{instance_id}: {path} attempt {attempt.get(path)} "
+                        f"completed in epoch {accepted} but dispatched in "
+                        f"epoch {issued}"
+                    )
             status[path] = "completed"
         elif kind == ev.TASK_FAILED:
             status[path] = "failed"
@@ -223,6 +244,27 @@ def _check_slot_consistency(server) -> List[str]:
         problems.append(
             f"leaked slot: job {job_id} assigned on {node} but not in flight"
         )
+    return problems
+
+
+def _check_leases(server) -> List[str]:
+    """At most one live lease per task occurrence, each backed by an
+    in-flight job — and no double-grant was ever counted."""
+    problems = []
+    doubles = server.metrics.get("lease_double_grants", 0)
+    if doubles:
+        problems.append(f"lease double-granted {doubles} time(s)")
+    holders: Dict[str, str] = {}
+    for job_id, lease in server._leases.items():
+        if job_id not in server.dispatcher.in_flight:
+            problems.append(f"lease held for {job_id} with no in-flight job")
+        other = holders.get(lease["key"])
+        if other is not None:
+            problems.append(
+                f"two live leases for task {lease['key']}: "
+                f"{other} and {job_id}"
+            )
+        holders[lease["key"]] = job_id
     return problems
 
 

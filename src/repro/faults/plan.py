@@ -32,7 +32,17 @@ SCHEDULED_CATEGORIES = (
     "io-error-burst",
     "load-burst",
     "server-crash",
+    "partition",
+    "net-loss",
+    "net-duplicate",
+    "net-reorder",
 )
+
+#: plan profiles: ``mixed`` draws from every category; ``partition``
+#: draws only the network-fabric disturbances (partitions, loss,
+#: duplication, reordering, outages) plus server crashes — the
+#: split-brain/fencing stress mix.
+PROFILES = ("mixed", "partition")
 
 
 @dataclass
@@ -127,13 +137,18 @@ class FaultPlan:
 
     @classmethod
     def generate(cls, seed: int, node_names: Sequence[str],
-                 horizon: float = 600.0) -> "FaultPlan":
+                 horizon: float = 600.0,
+                 profile: str = "mixed") -> "FaultPlan":
         """Draw a randomized failure schedule from the seed.
 
         ``horizon`` should roughly match the fault-free wall time of the
         workload so disturbances land while work is actually in flight;
-        schedules landing after completion simply never run.
+        schedules landing after completion simply never run. ``profile``
+        selects the draw mix (see :data:`PROFILES`).
         """
+        if profile not in PROFILES:
+            raise ValueError(f"unknown plan profile {profile!r}")
+        mixed = profile == "mixed"
         rng = random.Random(f"fault-plan/{seed}")
         nodes = list(node_names)
         scheduled: List[ScheduledFault] = []
@@ -141,40 +156,66 @@ class FaultPlan:
         def when(lo: float = 0.05, hi: float = 0.75) -> float:
             return round(rng.uniform(lo * horizon, hi * horizon), 3)
 
-        if rng.random() < 0.7:
+        if mixed and rng.random() < 0.7:
             scheduled.append(ScheduledFault("node-crash", when(), {
                 "node": rng.choice(nodes),
                 "duration": round(rng.uniform(0.2, 2.0) * horizon, 3),
             }))
-        if rng.random() < 0.35:
+        if mixed and rng.random() < 0.35:
             count = rng.randint(max(1, len(nodes) // 2), len(nodes))
             scheduled.append(ScheduledFault("mass-failure", when(), {
                 "nodes": sorted(rng.sample(nodes, count)),
                 "duration": round(rng.uniform(0.3, 1.5) * horizon, 3),
             }))
-        if rng.random() < 0.5:
+        if rng.random() < (0.5 if mixed else 0.4):
             scheduled.append(ScheduledFault("network-outage", when(), {
                 "duration": round(rng.uniform(0.1, 1.2) * horizon, 3),
             }))
-        if rng.random() < 0.35:
+        if mixed and rng.random() < 0.35:
             scheduled.append(ScheduledFault("storage-full", when(), {
                 "duration": round(rng.uniform(0.2, 1.0) * horizon, 3),
             }))
-        if rng.random() < 0.4:
+        if mixed and rng.random() < 0.4:
             scheduled.append(ScheduledFault("io-error-burst", when(), {
                 "rate": round(rng.uniform(0.05, 0.35), 3),
                 "duration": round(rng.uniform(0.3, 1.5) * horizon, 3),
             }))
-        if rng.random() < 0.5:
+        if mixed and rng.random() < 0.5:
             count = rng.randint(1, len(nodes))
             scheduled.append(ScheduledFault("load-burst", when(), {
                 "nodes": sorted(rng.sample(nodes, count)),
                 "load_fraction": round(rng.uniform(0.3, 0.9), 3),
                 "duration": round(rng.uniform(0.3, 1.5) * horizon, 3),
             }))
-        if rng.random() < 0.55:
+        if rng.random() < (0.55 if mixed else 0.5):
             scheduled.append(ScheduledFault("server-crash", when(), {
                 "recovery_after": round(rng.uniform(0.1, 0.6) * horizon, 3),
+            }))
+        # Network-fabric disturbances: per-link partitions with a drawn
+        # direction (symmetric, half-open toward the server, half-open
+        # toward the nodes), sampled loss, duplication, reordering.
+        if rng.random() < (0.5 if mixed else 0.9):
+            count = rng.randint(1, len(nodes))
+            scheduled.append(ScheduledFault("partition", when(), {
+                "nodes": sorted(rng.sample(nodes, count)),
+                "direction": rng.choice(("both", "to-server", "to-nodes")),
+                "duration": round(rng.uniform(0.15, 1.0) * horizon, 3),
+            }))
+        if rng.random() < (0.45 if mixed else 0.7):
+            scheduled.append(ScheduledFault("net-loss", when(), {
+                "rate": round(rng.uniform(0.02, 0.25), 3),
+                "duration": round(rng.uniform(0.3, 1.2) * horizon, 3),
+            }))
+        if rng.random() < (0.45 if mixed else 0.7):
+            scheduled.append(ScheduledFault("net-duplicate", when(), {
+                "rate": round(rng.uniform(0.05, 0.5), 3),
+                "duration": round(rng.uniform(0.3, 1.2) * horizon, 3),
+            }))
+        if rng.random() < (0.45 if mixed else 0.7):
+            scheduled.append(ScheduledFault("net-reorder", when(), {
+                "rate": round(rng.uniform(0.05, 0.5), 3),
+                "extra": round(rng.uniform(0.5, 30.0), 3),
+                "duration": round(rng.uniform(0.3, 1.2) * horizon, 3),
             }))
 
         actions: List[FaultAction] = []
@@ -185,24 +226,30 @@ class FaultPlan:
                     point, kind, at_hit=rng.randint(*hits), **extra
                 ))
 
-        maybe(0.3, "wal.append", "crash", (1, 40))
-        maybe(0.25, "wal.append", "torn", (1, 40),
-              torn_fraction=round(rng.uniform(0.1, 0.9), 3))
-        maybe(0.25, "kvstore.commit.pre-sync", "crash", (1, 50))
-        maybe(0.25, "kvstore.commit.post-sync", "crash", (1, 50))
-        maybe(0.25, "server.emit.pre-persist", "crash", (1, 40))
-        maybe(0.25, "server.emit.post-persist", "crash", (1, 40))
-        maybe(0.3, "server.dispatch.record", "crash", (1, 12))
-        maybe(0.3, "dispatcher.submit", "crash", (1, 12))
-        maybe(0.25, "navigator.navigate", "crash", (1, 30))
-        maybe(0.3, "recovery.replay", "crash", (1, 2))
-        maybe(0.25, "obs.view.checkpoint", "crash", (1, 6))
+        if mixed:
+            maybe(0.3, "wal.append", "crash", (1, 40))
+            maybe(0.25, "wal.append", "torn", (1, 40),
+                  torn_fraction=round(rng.uniform(0.1, 0.9), 3))
+            maybe(0.25, "kvstore.commit.pre-sync", "crash", (1, 50))
+            maybe(0.25, "kvstore.commit.post-sync", "crash", (1, 50))
+            maybe(0.25, "server.emit.pre-persist", "crash", (1, 40))
+            maybe(0.25, "server.emit.post-persist", "crash", (1, 40))
+            maybe(0.3, "server.dispatch.record", "crash", (1, 12))
+            maybe(0.3, "dispatcher.submit", "crash", (1, 12))
+            maybe(0.25, "navigator.navigate", "crash", (1, 30))
+            maybe(0.3, "recovery.replay", "crash", (1, 2))
+            maybe(0.25, "obs.view.checkpoint", "crash", (1, 6))
         maybe(0.4, "pec.report", "duplicate", (1, 15))
         maybe(0.4, "pec.report", "delay", (1, 15),
               delay=round(rng.uniform(10.0, 400.0), 3))
         maybe(0.3, "pec.report", "drop", (1, 15))
-        for _ in range(rng.randint(0, 2)):
-            actions.append(FaultAction(
-                "pec.program", "error", at_hit=rng.randint(1, 10)
-            ))
+        maybe(0.4, "network.deliver", "drop", (1, 20))
+        maybe(0.35, "network.deliver", "delay", (1, 20),
+              delay=round(rng.uniform(5.0, 240.0), 3))
+        maybe(0.35, "network.deliver", "duplicate", (1, 20))
+        if mixed:
+            for _ in range(rng.randint(0, 2)):
+                actions.append(FaultAction(
+                    "pec.program", "error", at_hit=rng.randint(1, 10)
+                ))
         return cls(seed=seed, scheduled=scheduled, actions=actions)

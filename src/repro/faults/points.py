@@ -51,6 +51,7 @@ CATALOG: Dict[str, tuple] = {
     # observability layer
     "obs.view.checkpoint": ("crash",),
     # cluster layer
+    "network.deliver": MESSAGE_KINDS,
     "pec.report": MESSAGE_KINDS,
     "pec.program": ("error",),
 }

@@ -34,9 +34,10 @@ class TestReportRetransmission:
     def test_retry_success_clears_pending_without_loss(self):
         kernel, cluster, server, instance_id = _launch_single_activity(11)
         pec = cluster.pecs["node001"]
-        # outage starts before the job completes (~t=12-14), so the first
-        # completion report fails and a retry is scheduled
-        kernel.run(until=2.0)
+        # outage starts after the dispatch lands (~t=2.05) but before the
+        # job completes (~t=12-14), so the first completion report fails
+        # and a retry is scheduled
+        kernel.run(until=5.0)
         cluster.start_network_outage()
         kernel.run(until=60.0)
         assert pec.pending_reports, "completion report should be pending"
@@ -53,10 +54,10 @@ class TestReportRetransmission:
     def test_exhausted_retries_count_as_lost(self):
         kernel, cluster, server, instance_id = _launch_single_activity(12)
         pec = cluster.pecs["node001"]
-        kernel.run(until=2.0)
+        kernel.run(until=5.0)
         cluster.start_network_outage()
         # keep the outage up past the whole worst-case backoff schedule
-        horizon = 2.0 + 20.0 + pec.max_retry_span() + 100.0
+        horizon = 5.0 + 20.0 + pec.max_retry_span() + 100.0
         kernel.run(until=horizon)
         assert pec.reports_lost == 1
         assert pec.pending_reports == set()
@@ -66,15 +67,39 @@ class TestReportRetransmission:
         task; the instance must still complete once the outage ends."""
         kernel, cluster, server, instance_id = _launch_single_activity(13)
         pec = cluster.pecs["node001"]
-        kernel.run(until=2.0)
+        kernel.run(until=5.0)
         cluster.start_network_outage()
-        horizon = 2.0 + 20.0 + pec.max_retry_span() + 100.0
+        horizon = 5.0 + 20.0 + pec.max_retry_span() + 100.0
         kernel.run(until=horizon)
         assert pec.reports_lost == 1
         cluster.end_network_outage()
         status = cluster.run_until_instance_done(
             cluster.server.instances and instance_id)
         assert status == "completed"
+
+
+class TestInFlightDrops:
+    def test_report_killed_in_flight_feeds_retransmission(self):
+        """A report that the fabric loses AFTER the send (outage starts
+        mid-flight) must feed the same retry path as a send-time failure:
+        Network.send returned True, so only ``on_dropped`` can tell the
+        PEC its report died."""
+        kernel, cluster, server, instance_id = _launch_single_activity(
+            14, base_latency=5.0, jitter=0.0, execution_noise=0.0)
+        pec = cluster.pecs["node001"]
+        # dispatch lands at t=7, job runs 10s, report sent at t=17 and
+        # would arrive at t=22 — the outage opens while it is in flight
+        kernel.run(until=19.0)
+        cluster.start_network_outage()
+        kernel.run(until=30.0)
+        assert cluster.network.inflight_killed >= 1
+        assert pec.pending_reports, "killed report must be pending retry"
+        assert pec.reports_lost == 0
+        cluster.end_network_outage()
+        status = cluster.run_until_instance_done(instance_id)
+        assert status == "completed"
+        assert pec.pending_reports == set()
+        assert pec.reports_lost == 0
 
 
 class TestBackoffSchedule:

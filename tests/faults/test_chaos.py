@@ -59,6 +59,29 @@ class TestPlanGeneration:
         assert covered >= set(SCHEDULED_CATEGORIES)
         assert covered >= {f"point:{point}" for point in CATALOG}
 
+    def test_partition_profile_draws_only_network_stress(self):
+        """The ``partition`` profile is the split-brain/fencing mix: only
+        fabric disturbances (plus server crashes, which force epoch bumps)
+        and message-level point actions."""
+        nodes = ["node001", "node002", "node003", "node004"]
+        allowed = {
+            "partition", "net-loss", "net-duplicate", "net-reorder",
+            "network-outage", "server-crash",
+            "point:pec.report", "point:network.deliver",
+        }
+        covered = set()
+        for seed in range(30):
+            plan = FaultPlan.generate(seed, nodes, profile="partition")
+            assert set(plan.categories()) <= allowed
+            covered.update(plan.categories())
+        # ...and across seeds the whole fabric arsenal gets exercised
+        assert {"partition", "net-loss", "net-duplicate",
+                "net-reorder"} <= covered
+
+    def test_unknown_profile_is_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.generate(1, ["node001"], profile="bogus")
+
 
 class TestCampaigns:
     def test_same_seed_reproduces_identically(self, darwin, baseline):
@@ -90,6 +113,19 @@ class TestCampaigns:
         assert sum(r.crashes for r in results) > 0
         assert sum(len(r.fired) for r in results) > 0
         assert sum(r.recoveries for r in results) > 0
+
+    def test_partition_profile_campaigns_survive(self, darwin, baseline):
+        """A small partition-profile batch: directed cuts, sampled loss,
+        duplication, and reordering must not break any invariant, and the
+        outputs must still match the fault-free baseline byte-for-byte."""
+        results = chaos.run_campaigns(range(4), darwin, baseline=baseline,
+                                      profile="partition")
+        bad = [r for r in results if not r.ok]
+        assert not bad, [(r.seed, r.status, r.violations[:2]) for r in bad]
+        covered = set()
+        for result in results:
+            covered.update(result.categories())
+        assert "partition" in covered
 
     def test_failing_campaign_reproduces_from_recorded_plan(
             self, darwin, baseline):
