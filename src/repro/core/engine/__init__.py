@@ -18,6 +18,7 @@ from .library import ProgramContext, ProgramFn, ProgramRegistry, ProgramResult
 from .navigator import Navigator
 from .recovery import (
     failure_timeline,
+    recovery_report,
     replay_instance,
     verify_log,
     work_lost_to_failures,
@@ -67,4 +68,5 @@ __all__ = [
     "verify_log",
     "work_lost_to_failures",
     "failure_timeline",
+    "recovery_report",
 ]

@@ -67,6 +67,33 @@ def verify_log(store: OperaStore, instance_id: str, resolver) -> List[str]:
     return anomalies
 
 
+def recovery_report(store: OperaStore) -> Dict[str, object]:
+    """Summarize what the last store recovery actually cost.
+
+    Combines the KV store's bounded-recovery accounting (checkpoint
+    position, records replayed past it, live segments, repairs made on
+    open) with the per-instance event counts the engine replay walks.
+    With checkpointing enabled ``records_replayed`` stays bounded by the
+    checkpoint interval regardless of how long the run has been going —
+    the number an operator checks when recovery feels slow (see
+    docs/recovery.md).
+    """
+    info = dict(store.kv.last_recovery)
+    instances = store.instances.instance_ids()
+    return {
+        "checkpoint_position": info.get("checkpoint_position", 0),
+        "records_replayed": info.get("records_replayed", 0),
+        "wal_position": info.get("wal_position", 0),
+        "wal_segments": info.get("segments", 1),
+        "repairs": info.get("repairs", []),
+        "instances": len(instances),
+        "events_by_instance": {
+            instance_id: store.instances.event_count(instance_id)
+            for instance_id in instances
+        },
+    }
+
+
 def work_lost_to_failures(store: OperaStore, instance_id: str) -> Dict[str, float]:
     """CPU seconds spent on attempts that did not complete, by reason.
 

@@ -33,6 +33,7 @@ from ..core.engine import BioOperaServer
 from ..obs import ObservabilityHub
 from ..processes import install_all_vs_all
 from ..store.kvstore import MEMORY
+from ..store.spaces import OperaStore
 from . import invariants
 from .plan import FaultPlan
 from .points import FaultInjector, InjectedCrash, installed
@@ -48,9 +49,15 @@ QUARANTINE = (3, 900.0, 300.0)
 LEASES = (900.0, 4.0)
 
 #: view-checkpoint interval for campaign servers: small enough that the
-#: campaign workload (a few hundred events) actually crosses it, so the
-#: ``obs.view.checkpoint`` crash window gets exercised.
-CHECKPOINT_INTERVAL = 120
+#: campaign workload (tens of events fault-free, more under retries)
+#: crosses it several times, so the ``obs.view.checkpoint`` and
+#: ``store.checkpoint.*`` crash windows get exercised.
+CHECKPOINT_INTERVAL = 20
+
+#: WAL segment threshold for campaign stores: small enough that the
+#: campaign workload rotates a handful of times, so the ``store.rotate``
+#: crash window gets exercised.
+SEGMENT_RECORDS = 24
 
 #: wedge guards: a campaign that exceeds either has lost an invariant in a
 #: way that stalls progress (the violation we report for it).
@@ -67,6 +74,8 @@ def default_darwin(size: int = 120) -> DarwinEngine:
 
 @dataclass
 class CampaignResult:
+    """Outcome of one seeded campaign: status, violations, fault log."""
+
     seed: int
     status: str = "unknown"
     violations: List[str] = field(default_factory=list)
@@ -80,6 +89,7 @@ class CampaignResult:
 
     @property
     def ok(self) -> bool:
+        """True when the run completed with no invariant violations."""
         return self.status == "completed" and not self.violations
 
     def categories(self) -> List[str]:
@@ -96,6 +106,11 @@ def _build(darwin: DarwinEngine, kernel_seed: int, nodes: int, cpus: int,
                                execution_noise=0.0)
     server = BioOperaServer(
         seed=kernel_seed,
+        # Retained history keeps truncated WAL segments around so the
+        # invariant catalog can check snapshot+suffix recovery against a
+        # full-log replay, byte for byte, after every checkpoint.
+        store=OperaStore(retain_history=True,
+                         segment_records=SEGMENT_RECORDS),
         observability=ObservabilityHub(
             checkpoint_interval=CHECKPOINT_INTERVAL),
     )
@@ -132,7 +147,9 @@ def _schedule_plan(plan: FaultPlan, cluster: SimulatedCluster,
     script = ScenarioScript(cluster)
 
     def noted(category, fn):
+        """Record the category, then run the disturbance."""
         def run():
+            """The wrapped disturbance callback."""
             executed.add(category)
             fn()
         return run
@@ -152,11 +169,13 @@ def _schedule_plan(plan: FaultPlan, cluster: SimulatedCluster,
             names = params["nodes"]
 
             def crash_all(names=names):
+                """Take the whole node set down at once."""
                 for name in names:
                     if cluster.nodes[name].up:
                         cluster.crash_node(name)
 
             def restore_all(names=names):
+                """Bring the mass-failed nodes back."""
                 for name in names:
                     if not cluster.nodes[name].up:
                         cluster.restore_node(name)
@@ -190,11 +209,13 @@ def _schedule_plan(plan: FaultPlan, cluster: SimulatedCluster,
             names, fraction = params["nodes"], params["load_fraction"]
 
             def start_load(names=names, fraction=fraction):
+                """Begin the external-load burst."""
                 for name in names:
                     cpus = cluster.nodes[name].cpus
                     cluster.set_external_load(name, cpus * fraction)
 
             def stop_load(names=names):
+                """End the external-load burst."""
                 for name in names:
                     cluster.set_external_load(name, 0.0)
 
@@ -207,11 +228,13 @@ def _schedule_plan(plan: FaultPlan, cluster: SimulatedCluster,
             handle: Dict[str, int] = {}
 
             def cut(names=names, direction=direction, handle=handle):
+                """Open the scheduled partition."""
                 handle["id"] = cluster.start_partition(
                     names, direction=direction
                 )
 
             def heal(handle=handle):
+                """Heal the scheduled partition."""
                 pid = handle.pop("id", None)
                 if pid is not None:
                     cluster.heal_partition(pid)
@@ -244,6 +267,7 @@ def _schedule_plan(plan: FaultPlan, cluster: SimulatedCluster,
                       lambda: cluster.set_reordering(0.0))
         elif category == "server-crash":
             def crash_server():
+                """Kill the server (recovery follows after the delay)."""
                 if cluster.server.up:
                     cluster.crash_server()
                     result.crashes += 1
@@ -283,6 +307,7 @@ def run_campaign(seed: int, darwin: DarwinEngine,
     recovery_rng = kernel.rng("chaos-recovery")
 
     def ensure_recovered():
+        """Restart the server from durable state if it is down."""
         current = cluster.server
         if current.up:
             return

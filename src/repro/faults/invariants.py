@@ -23,8 +23,15 @@ against a live :class:`~repro.core.engine.server.BioOperaServer`:
   healed-partition double-apply);
 * **no lease double-grant** — at most one live lease per task occurrence,
   every live lease backed by an in-flight job;
-* **WAL integrity** — the KV store's snapshot + WAL replays to exactly the
-  live state (:meth:`~repro.store.kvstore.KVStore.audit`).
+* **WAL integrity** — the KV store's checkpoint snapshot + WAL suffix
+  replays to exactly the live state
+  (:meth:`~repro.store.kvstore.KVStore.audit`);
+* **bounded-recovery equivalence** — when the store retains truncated
+  segments (chaos campaigns run with ``retain_history=True``), the
+  snapshot + suffix reconstruction must be byte-identical, under the
+  canonical codec, to replaying the entire log from record zero — proof
+  that checkpoint-triggered truncation never changes recovery semantics
+  (also inside :meth:`~repro.store.kvstore.KVStore.audit`).
 
 ``final=True`` adds end-of-campaign obligations: all instances completed,
 queue and in-flight tables empty, and (when ``baseline_outputs`` is given)

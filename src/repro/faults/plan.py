@@ -56,6 +56,7 @@ class FaultAction:
     torn_fraction: float = 0.5   # for kind="torn": record prefix written
 
     def to_dict(self) -> Dict:
+        """Serialize to a JSON-safe dict."""
         return {
             "point": self.point,
             "kind": self.kind,
@@ -66,6 +67,7 @@ class FaultAction:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "FaultAction":
+        """Rebuild an action from :meth:`to_dict` output."""
         return cls(
             point=data["point"],
             kind=data["kind"],
@@ -84,6 +86,7 @@ class ScheduledFault:
     params: Dict = field(default_factory=dict)
 
     def to_dict(self) -> Dict:
+        """Serialize to a JSON-safe dict."""
         return {
             "category": self.category,
             "time": self.time,
@@ -92,6 +95,7 @@ class ScheduledFault:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "ScheduledFault":
+        """Rebuild a fault from :meth:`to_dict` output."""
         return cls(
             category=data["category"],
             time=float(data["time"]),
@@ -115,6 +119,7 @@ class FaultPlan:
         return sorted(names)
 
     def to_dict(self) -> Dict:
+        """Serialize the whole plan to a JSON-safe dict."""
         return {
             "seed": self.seed,
             "scheduled": [fault.to_dict() for fault in self.scheduled],
@@ -123,6 +128,7 @@ class FaultPlan:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output."""
         return cls(
             seed=int(data["seed"]),
             scheduled=[
@@ -154,6 +160,7 @@ class FaultPlan:
         scheduled: List[ScheduledFault] = []
 
         def when(lo: float = 0.05, hi: float = 0.75) -> float:
+            """A seeded time inside the campaign horizon."""
             return round(rng.uniform(lo * horizon, hi * horizon), 3)
 
         if mixed and rng.random() < 0.7:
@@ -221,6 +228,7 @@ class FaultPlan:
         actions: List[FaultAction] = []
 
         def maybe(prob, point, kind, hits, **extra):
+            """Arm a crash-point action with the given probability."""
             if rng.random() < prob:
                 actions.append(FaultAction(
                     point, kind, at_hit=rng.randint(*hits), **extra
@@ -239,6 +247,15 @@ class FaultPlan:
             maybe(0.25, "navigator.navigate", "crash", (1, 30))
             maybe(0.3, "recovery.replay", "crash", (1, 2))
             maybe(0.25, "obs.view.checkpoint", "crash", (1, 6))
+            # Log-lifecycle windows: rotation fires on segment-threshold
+            # crossings, checkpoint points a handful of times per run (the
+            # observability hub checkpoints every CHECKPOINT_INTERVAL
+            # events), so hit numbers stay small.
+            maybe(0.3, "store.rotate", "crash", (1, 8))
+            maybe(0.25, "store.checkpoint.begin", "crash", (1, 4))
+            maybe(0.25, "store.checkpoint.post-snapshot", "crash", (1, 4))
+            maybe(0.25, "store.checkpoint.truncate", "crash", (1, 4))
+            maybe(0.25, "store.checkpoint.post-truncate", "crash", (1, 4))
         maybe(0.4, "pec.report", "duplicate", (1, 15))
         maybe(0.4, "pec.report", "delay", (1, 15),
               delay=round(rng.uniform(10.0, 400.0), 3))

@@ -35,12 +35,17 @@ CRASH_KINDS = ("crash", "torn")
 MESSAGE_KINDS = ("drop", "duplicate", "delay")
 
 #: every fault point the code base exposes, with the action kinds that make
-#: sense there. Keep in sync with DESIGN.md's fault-point table.
+#: sense there. Keep in sync with docs/chaos.md's fault-point table.
 CATALOG: Dict[str, tuple] = {
     # store layer
     "wal.append": ("crash", "torn"),
     "kvstore.commit.pre-sync": ("crash",),
     "kvstore.commit.post-sync": ("crash",),
+    "store.rotate": ("crash",),
+    "store.checkpoint.begin": ("crash",),
+    "store.checkpoint.post-snapshot": ("crash",),
+    "store.checkpoint.truncate": ("crash",),
+    "store.checkpoint.post-truncate": ("crash",),
     # engine layer
     "server.emit.pre-persist": ("crash",),
     "server.emit.post-persist": ("crash",),
@@ -88,6 +93,7 @@ class FaultInjector:
             self.arm(action)
 
     def arm(self, action) -> None:
+        """Queue one more one-shot action for its fault point."""
         if action.point not in CATALOG:
             raise ReproError(f"unknown fault point {action.point!r}")
         if action.kind not in CATALOG[action.point]:
@@ -99,9 +105,11 @@ class FaultInjector:
 
     @property
     def pending(self) -> int:
+        """Number of armed actions that have not fired yet."""
         return sum(len(actions) for actions in self._armed.values())
 
     def fire(self, point: str, **context):
+        """Hit ``point``; trigger (and consume) an armed action if due."""
         count = self.hits.get(point, 0) + 1
         self.hits[point] = count
         armed = self._armed.get(point)
@@ -137,17 +145,20 @@ _ACTIVE: Optional[FaultInjector] = None
 
 
 def install(injector: FaultInjector) -> FaultInjector:
+    """Make ``injector`` the process-wide active injector."""
     global _ACTIVE
     _ACTIVE = injector
     return injector
 
 
 def uninstall() -> None:
+    """Deactivate any installed injector (fire() becomes a no-op)."""
     global _ACTIVE
     _ACTIVE = None
 
 
 def active() -> Optional[FaultInjector]:
+    """The currently installed injector, or ``None``."""
     return _ACTIVE
 
 

@@ -40,11 +40,13 @@ class ObservabilityHub:
     """Metrics + views + tracing, bound to one store's event stream."""
 
     def __init__(self, checkpoint_interval: int = 500,
-                 trace_capacity: int = 10000):
+                 trace_capacity: int = 10000,
+                 compact_store: bool = True):
         self.metrics = MetricsRegistry()
         self.views = ViewCatalog()
         self.tracing = TraceCollector(capacity=trace_capacity)
         self.checkpoint_interval = checkpoint_interval
+        self.compact_store = compact_store
         self._since_checkpoint = 0
         self._store = None
 
@@ -81,13 +83,24 @@ class ObservabilityHub:
             self.checkpoint()
 
     def checkpoint(self) -> None:
-        """Persist all view states + cursors now (also called on demand,
-        e.g. before a planned shutdown)."""
+        """Persist all view states + cursors, then compact the store.
+
+        Order matters for the "views never lead the KV checkpoint"
+        invariant: the view cursors are written *into* the KV store first,
+        so the KV checkpoint that follows embeds them — a recovered store
+        can never see a view cursor pointing past the event log it
+        recovered. With ``compact_store`` (the default) the KV checkpoint
+        also truncates every WAL segment it covers, which is what keeps
+        recovery time flat in run length. Also called on demand, e.g.
+        before a planned shutdown."""
         if self._store is None:
             return
         self.views.checkpoint(self._store)
         self._since_checkpoint = 0
         self.metrics.inc("view_checkpoints")
+        if self.compact_store:
+            self._store.kv.checkpoint()
+            self.metrics.inc("store_checkpoints")
 
     # -- convenience reads ---------------------------------------------------
 

@@ -1,4 +1,10 @@
-"""Persistence substrate: WAL-backed KV store, BioOpera data spaces, lineage."""
+"""Persistence substrate: WAL-backed KV store, BioOpera data spaces, lineage.
+
+Public surface: :class:`KVStore` (checkpoint-bounded recovery over a
+segmented WAL), the BioOpera data spaces (:class:`OperaStore` and the four
+space classes), WAL backends (:class:`FileWAL`, :class:`SegmentedWAL`,
+:class:`MemoryWAL`), and the lineage graph.
+"""
 
 from .kvstore import KVStore, MEMORY, Transaction
 from .lineage import LineageGraph, LineageRecord
@@ -9,7 +15,7 @@ from .spaces import (
     OperaStore,
     TemplateSpace,
 )
-from .wal import FileWAL, MemoryWAL
+from .wal import FileWAL, MemoryWAL, SegmentedWAL
 
 __all__ = [
     "KVStore",
@@ -17,6 +23,7 @@ __all__ = [
     "Transaction",
     "FileWAL",
     "MemoryWAL",
+    "SegmentedWAL",
     "OperaStore",
     "TemplateSpace",
     "InstanceSpace",

@@ -1,4 +1,4 @@
-"""Crash-recoverable key-value store: WAL + snapshot + replay.
+"""Crash-recoverable key-value store: WAL + snapshot + bounded replay.
 
 This is the "database" under BioOpera's data spaces. Guarantees:
 
@@ -8,7 +8,11 @@ This is the "database" under BioOpera's data spaces. Guarantees:
 * **Atomicity** — a transaction's operations are framed as one WAL record
   and applied all-or-nothing on replay.
 * **Recovery** — :meth:`KVStore.recover` (or construction over existing
-  files) rebuilds state as snapshot + replay of the valid WAL prefix.
+  files) rebuilds state as the latest checkpoint snapshot plus replay of
+  only the log *suffix* past the snapshot's position. :meth:`checkpoint`
+  cuts a snapshot and truncates every WAL segment it covers, so recovery
+  time and disk footprint stay flat in run length instead of growing with
+  it (ARIES-style log truncation).
 
 Keys are strings; prefix scans (``items(prefix=...)``) give the namespace
 mechanism the data spaces are built on.
@@ -23,9 +27,18 @@ from ..errors import ReproError, StoreError
 from ..faults.points import fire
 from . import codec
 from .snapshot import FileSnapshot, MemorySnapshot
-from .wal import FileWAL, MemoryWAL
+from .wal import (
+    DEFAULT_SEGMENT_BYTES,
+    DEFAULT_SEGMENT_RECORDS,
+    MemoryWAL,
+    SegmentedWAL,
+)
 
 MEMORY = ":memory:"
+
+#: marker key distinguishing a positioned checkpoint snapshot from a
+#: legacy raw-state snapshot (which implies position zero).
+_CHECKPOINT_MAGIC = "__kv_checkpoint__"
 
 
 class Transaction:
@@ -37,18 +50,22 @@ class Transaction:
         self._done = False
 
     def put(self, key: str, value: Any) -> None:
+        """Queue setting ``key`` to ``value`` at commit."""
         self._ops.append(("put", key, value))
 
     def delete(self, key: str) -> None:
+        """Queue removing ``key`` at commit."""
         self._ops.append(("del", key, None))
 
     def commit(self) -> None:
+        """Apply all queued operations as one durable WAL record."""
         if self._done:
             raise StoreError("transaction already finished")
         self._done = True
         self._store._commit_batch(self._ops)
 
     def abort(self) -> None:
+        """Discard the queued operations without touching the store."""
         self._done = True
         self._ops = []
 
@@ -63,34 +80,85 @@ class Transaction:
 
 
 class KVStore:
-    """Recoverable key-value store.
+    """Recoverable key-value store with checkpoint-bounded recovery.
 
     Parameters
     ----------
     path:
-        Directory for ``store.wal`` / ``store.snapshot``, or
-        :data:`MEMORY` for an in-process store with simulated durability.
+        Directory for the segmented WAL (``wal/``) and ``store.snapshot``,
+        or :data:`MEMORY` for an in-process store with simulated
+        durability. A legacy single-file ``store.wal`` found in the
+        directory is adopted as the first segment on open.
+    segment_records, segment_bytes:
+        Rotation thresholds for the segmented WAL (records and bytes per
+        segment; whichever trips first seals the segment).
+    retain_history:
+        Keep truncated segments on disk (retired in the manifest) so
+        :meth:`audit` can verify that checkpoint+suffix recovery is
+        byte-identical to a full-log replay. Costs the disk the
+        truncation would have reclaimed; meant for chaos campaigns and
+        tests, not production stores.
     """
 
-    def __init__(self, path: str = MEMORY):
+    def __init__(self, path: str = MEMORY, *,
+                 segment_records: int = DEFAULT_SEGMENT_RECORDS,
+                 segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+                 retain_history: bool = False):
         self.path = path
+        self._options = {
+            "segment_records": segment_records,
+            "segment_bytes": segment_bytes,
+            "retain_history": retain_history,
+        }
         if path == MEMORY:
-            self._wal = MemoryWAL()
+            self._wal = MemoryWAL(
+                max_segment_records=segment_records,
+                retain_truncated=retain_history,
+            )
             self._snapshot = MemorySnapshot()
         else:
             os.makedirs(path, exist_ok=True)
-            self._wal = FileWAL(os.path.join(path, "store.wal"))
+            self._wal = SegmentedWAL(
+                os.path.join(path, "wal"),
+                max_segment_records=segment_records,
+                max_segment_bytes=segment_bytes,
+                retain_truncated=retain_history,
+                adopt_file=os.path.join(path, "store.wal"),
+            )
             self._snapshot = FileSnapshot(os.path.join(path, "store.snapshot"))
         self._state: Dict[str, Any] = {}
+        #: summary of the last recovery (set by every open/replay):
+        #: checkpoint position, records replayed, live segments, repairs.
+        self.last_recovery: Dict[str, Any] = {}
         self._replay()
 
     # -- recovery -------------------------------------------------------------
 
-    def _replay(self) -> None:
+    def _load_snapshot_state(self) -> Tuple[Dict[str, Any], int]:
+        """Return ``(state, position)`` from the snapshot (legacy aware)."""
         snapshot = self._snapshot.load()
-        self._state = dict(snapshot) if snapshot else {}
-        for record in self._wal.records():
+        if not snapshot:
+            return {}, 0
+        if _CHECKPOINT_MAGIC in snapshot:
+            return dict(snapshot["state"]), int(snapshot["position"])
+        # Legacy raw-state snapshot from the reset()-based scheme: it was
+        # only ever written with an empty log, so its position is zero.
+        return dict(snapshot), 0
+
+    def _replay(self) -> None:
+        state, position = self._load_snapshot_state()
+        self._state = state
+        replayed = 0
+        for record in self._wal.records_from(position):
             self._apply_batch(codec.decode(record))
+            replayed += 1
+        self.last_recovery = {
+            "checkpoint_position": position,
+            "records_replayed": replayed,
+            "wal_position": self._wal.position(),
+            "segments": self._wal.segment_count(),
+            "repairs": list(self._wal.repairs),
+        }
 
     def _apply_batch(self, ops: List[List[Any]]) -> None:
         for op, key, value in ops:
@@ -109,7 +177,7 @@ class KVStore:
                 "for in-memory stores"
             )
         self.close()
-        return KVStore(self.path)
+        return KVStore(self.path, **self._options)
 
     def simulate_crash(self) -> "KVStore":
         """Return a new store holding only what a crash would preserve.
@@ -121,9 +189,11 @@ class KVStore:
             raise StoreError("simulate_crash() applies to in-memory stores")
         survivor = KVStore.__new__(KVStore)
         survivor.path = MEMORY
+        survivor._options = dict(self._options)
         survivor._wal = self._wal.simulate_crash()
         survivor._snapshot = self._snapshot
         survivor._state = {}
+        survivor.last_recovery = {}
         survivor._replay()
         return survivor
 
@@ -156,27 +226,49 @@ class KVStore:
         return Transaction(self)
 
     def checkpoint(self) -> None:
-        """Write a snapshot of current state and reset the WAL."""
-        self._snapshot.save(self._state)
-        self._wal.reset()
+        """Snapshot current state and truncate the log it covers.
+
+        Sequence (each step durable before the next): sync the WAL, write
+        a positioned snapshot via atomic rename, then truncate every
+        segment wholly below the snapshot's position. A crash between
+        snapshot and truncation is benign — recovery uses the new
+        snapshot and the not-yet-truncated records below its position are
+        skipped (and re-truncated by the next checkpoint). The
+        ``store.checkpoint.*`` fault points let chaos campaigns crash in
+        each window.
+        """
+        fire("store.checkpoint.begin")
+        self._wal.sync()
+        position = self._wal.position()
+        self._snapshot.save({
+            _CHECKPOINT_MAGIC: 1,
+            "position": position,
+            "state": self._state,
+        })
+        # Crash here: snapshot durable, log not yet truncated — bounded
+        # recovery must skip the covered prefix rather than re-apply it.
+        fire("store.checkpoint.post-snapshot", position=position)
+        self._wal.truncate_through(position)
+        fire("store.checkpoint.post-truncate", position=position)
 
     def audit(self) -> List[str]:
-        """WAL-integrity check: rebuild state from snapshot + WAL and diff
-        it against the live in-memory state. Returns problem descriptions
-        (ideally []). Only meaningful while the store is quiescent — a
-        batch appended but not yet applied would show as a false diff."""
+        """Recovery-integrity check against the durable state.
+
+        Rebuilds state as checkpoint snapshot + suffix replay and diffs it
+        against the live in-memory state; when the WAL retains full
+        history (``retain_history=True`` or nothing truncated yet), also
+        replays the entire log from position zero and requires the result
+        to be byte-identical (canonical encoding) to the bounded
+        reconstruction — the checkpoint invariant the chaos campaigns
+        assert. Returns problem descriptions (ideally []). Only meaningful
+        while the store is quiescent — a batch appended but not yet
+        applied would show as a false diff.
+        """
         problems: List[str] = []
         try:
-            snapshot = self._snapshot.load()
-            replayed: Dict[str, Any] = dict(snapshot) if snapshot else {}
-            for record in self._wal.records():
-                for op, key, value in codec.decode(record):
-                    if op == "put":
-                        replayed[key] = value
-                    elif op == "del":
-                        replayed.pop(key, None)
-                    else:
-                        problems.append(f"unknown WAL op {op!r}")
+            replayed, position = self._load_snapshot_state()
+            for record in self._wal.records_from(position):
+                self._apply_ops_into(replayed, codec.decode(record), problems)
         except ReproError as exc:
             return [f"WAL replay failed: {type(exc).__name__}: {exc}"]
         if replayed != self._state:
@@ -190,20 +282,56 @@ class KVStore:
                 "replayed state diverges from live state "
                 f"(missing={missing} extra={extra} changed={changed})"
             )
+        # The full-replay equivalence only holds for positioned checkpoint
+        # snapshots: a legacy raw-state snapshot came from the reset-based
+        # scheme, where the state at log position zero was not empty.
+        snapshot = self._snapshot.load()
+        positioned = not snapshot or _CHECKPOINT_MAGIC in snapshot
+        if positioned and self._wal.history_complete():
+            try:
+                full: Dict[str, Any] = {}
+                for record in self._wal.full_records():
+                    self._apply_ops_into(full, codec.decode(record), problems)
+            except ReproError as exc:
+                problems.append(
+                    f"full-log replay failed: {type(exc).__name__}: {exc}"
+                )
+            else:
+                if codec.encode(full) != codec.encode(replayed):
+                    missing = sorted(set(full) - set(replayed))[:5]
+                    extra = sorted(set(replayed) - set(full))[:5]
+                    problems.append(
+                        "snapshot+suffix replay is not byte-identical to "
+                        f"full-log replay (missing={missing} extra={extra})"
+                    )
         return problems
+
+    @staticmethod
+    def _apply_ops_into(state: Dict[str, Any], ops: List[List[Any]],
+                        problems: List[str]) -> None:
+        for op, key, value in ops:
+            if op == "put":
+                state[key] = value
+            elif op == "del":
+                state.pop(key, None)
+            else:
+                problems.append(f"unknown WAL op {op!r}")
 
     # -- reads ----------------------------------------------------------------
 
     def get(self, key: str, default: Any = None) -> Any:
+        """Return the value for ``key``, or ``default`` if absent."""
         return self._state.get(key, default)
 
     def __contains__(self, key: str) -> bool:
         return key in self._state
 
     def keys(self, prefix: str = "") -> List[str]:
+        """Sorted keys starting with ``prefix``."""
         return sorted(k for k in self._state if k.startswith(prefix))
 
     def items(self, prefix: str = "") -> Iterator[Tuple[str, Any]]:
+        """Iterate ``(key, value)`` pairs for keys starting with ``prefix``."""
         for key in self.keys(prefix):
             yield key, self._state[key]
 
@@ -212,8 +340,19 @@ class KVStore:
 
     @property
     def wal_records(self) -> int:
-        """Number of records currently in the WAL (shrinks at checkpoint)."""
+        """Number of live (non-truncated) WAL records; shrinks at checkpoint."""
         return len(self._wal)
 
+    @property
+    def wal_segments(self) -> int:
+        """Number of live WAL segments (1 for the in-memory backend)."""
+        return self._wal.segment_count()
+
+    @property
+    def wal_position(self) -> int:
+        """Global log position: total records ever appended."""
+        return self._wal.position()
+
     def close(self) -> None:
+        """Close the WAL's backing file handles."""
         self._wal.close()

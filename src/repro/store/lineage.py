@@ -38,6 +38,7 @@ class LineageRecord:
     span: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
+        """Serialize to a codec-friendly plain dict."""
         return {
             "outputs": list(self.outputs),
             "inputs": list(self.inputs),
@@ -52,6 +53,7 @@ class LineageRecord:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "LineageRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
         return cls(
             outputs=tuple(data["outputs"]),
             inputs=tuple(data["inputs"]),
@@ -76,6 +78,7 @@ class LineageGraph:
             self.add(record)
 
     def add(self, record: LineageRecord) -> None:
+        """Insert a derivation; re-deriving a dataset replaces the old record."""
         for output in record.outputs:
             existing = self._producers.get(output)
             if existing is not None and existing != record:
@@ -92,12 +95,14 @@ class LineageGraph:
     # -- queries ------------------------------------------------------------
 
     def producer(self, dataset: str) -> LineageRecord:
+        """The record that produced ``dataset`` (raises if underived)."""
         record = self._producers.get(dataset)
         if record is None:
             raise StoreError(f"no lineage record produces {dataset!r}")
         return record
 
     def is_derived(self, dataset: str) -> bool:
+        """True if some lineage record lists ``dataset`` as an output."""
         return dataset in self._producers
 
     def ancestors(self, dataset: str) -> Set[str]:
@@ -156,6 +161,7 @@ class LineageGraph:
         done: Set[str] = set()
 
         def visit(dataset: str) -> None:
+            """Post-order DFS respecting producer dependencies."""
             if dataset in done or dataset not in stale_set:
                 return
             if dataset in visiting:

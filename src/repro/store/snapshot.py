@@ -2,8 +2,11 @@
 
 A snapshot is the full store state written to a temporary file and renamed
 into place, so a crash during snapshotting leaves either the old snapshot or
-the new one — never a partial file. An in-memory variant mirrors the same
-interface for simulation-backed stores.
+the new one — never a partial file. The rename itself is made durable by
+fsyncing the containing directory afterwards; without that, a power loss
+shortly after :func:`os.replace` can roll the directory entry back to the
+old snapshot even though the data blocks of the new one were flushed. An
+in-memory variant mirrors the same interface for simulation-backed stores.
 """
 
 from __future__ import annotations
@@ -21,6 +24,12 @@ class FileSnapshot:
         self.path = path
 
     def save(self, state: Dict[str, Any]) -> None:
+        """Atomically replace the snapshot with ``state``.
+
+        Write order: tmp file → fsync file → ``os.replace`` → fsync the
+        containing directory. Each step is durable before the next makes
+        it visible, so every crash window leaves a complete snapshot.
+        """
         payload = codec.encode(state)
         tmp_path = self.path + ".tmp"
         with open(tmp_path, "wb") as fh:
@@ -28,8 +37,15 @@ class FileSnapshot:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp_path, self.path)
+        dir_fd = os.open(os.path.dirname(os.path.abspath(self.path)),
+                         os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
 
     def load(self) -> Optional[Dict[str, Any]]:
+        """Return the snapshot state, or None if no snapshot exists yet."""
         if not os.path.exists(self.path):
             return None
         with open(self.path, "rb") as fh:
@@ -43,9 +59,11 @@ class MemorySnapshot:
         self._payload: Optional[bytes] = None
 
     def save(self, state: Dict[str, Any]) -> None:
+        """Store an encoded copy of ``state`` (value-snapshot semantics)."""
         self._payload = codec.encode(state)
 
     def load(self) -> Optional[Dict[str, Any]]:
+        """Return the snapshot state, or None if never saved."""
         if self._payload is None:
             return None
         return codec.decode(self._payload)

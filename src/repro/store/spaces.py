@@ -43,9 +43,11 @@ class TemplateSpace:
         return version
 
     def latest_version(self, name: str) -> int:
+        """Newest stored version number of ``name`` (0 if unknown)."""
         return int(self._kv.get(f"{self.PREFIX}{name}/latest", 0))
 
     def load(self, name: str, version: Optional[int] = None) -> Dict[str, Any]:
+        """Fetch a template dict (latest version unless pinned)."""
         if version is None:
             version = self.latest_version(name)
         template = self._kv.get(f"{self.PREFIX}{name}/v{version:06d}")
@@ -56,6 +58,7 @@ class TemplateSpace:
         return template
 
     def names(self) -> List[str]:
+        """Sorted names of every stored template."""
         found = set()
         for key in self._kv.keys(self.PREFIX):
             found.add(key[len(self.PREFIX):].split("/", 1)[0])
@@ -80,16 +83,19 @@ class InstanceSpace:
     # -- subscriptions -----------------------------------------------------
 
     def subscribe(self, callback) -> None:
+        """Register a post-commit append callback (idempotent)."""
         if callback not in self._subscribers:
             self._subscribers.append(callback)
 
     def unsubscribe(self, callback) -> None:
+        """Remove a previously registered append callback."""
         if callback in self._subscribers:
             self._subscribers.remove(callback)
 
     # -- metadata ---------------------------------------------------------
 
     def create(self, instance_id: str, meta: Dict[str, Any]) -> None:
+        """Register a new instance with an empty event log."""
         key = f"{self.PREFIX}{instance_id}/meta"
         if key in self._kv:
             raise StoreError(f"instance {instance_id!r} already exists")
@@ -98,9 +104,11 @@ class InstanceSpace:
             txn.put(f"{self.PREFIX}{instance_id}/next_seq", 0)
 
     def meta(self, instance_id: str) -> Optional[Dict[str, Any]]:
+        """The instance's metadata dict, or ``None`` if unknown."""
         return self._kv.get(f"{self.PREFIX}{instance_id}/meta")
 
     def update_meta(self, instance_id: str, **fields: Any) -> None:
+        """Merge ``fields`` into the instance's metadata."""
         meta = self.meta(instance_id)
         if meta is None:
             raise StoreError(f"unknown instance {instance_id!r}")
@@ -108,6 +116,7 @@ class InstanceSpace:
         self._kv.put(f"{self.PREFIX}{instance_id}/meta", meta)
 
     def instance_ids(self) -> List[str]:
+        """Sorted ids of every known instance."""
         ids = set()
         for key in self._kv.keys(self.PREFIX):
             ids.add(key[len(self.PREFIX):].split("/", 1)[0])
@@ -129,6 +138,7 @@ class InstanceSpace:
         return seq
 
     def events(self, instance_id: str) -> Iterator[Dict[str, Any]]:
+        """Yield the instance's events in append order."""
         prefix = f"{self.PREFIX}{instance_id}/event/"
         for _, event in self._kv.items(prefix):
             yield event
@@ -153,6 +163,7 @@ class InstanceSpace:
             yield seq, event
 
     def event_count(self, instance_id: str) -> int:
+        """Number of events durably appended for the instance."""
         return int(self._kv.get(f"{self.PREFIX}{instance_id}/next_seq", 0))
 
 
@@ -165,24 +176,30 @@ class ConfigurationSpace:
         self._kv = kv
 
     def save_node(self, name: str, description: Dict[str, Any]) -> None:
+        """Store (or replace) a node description."""
         self._kv.put(f"{self.PREFIX}node/{name}", description)
 
     def node(self, name: str) -> Optional[Dict[str, Any]]:
+        """One node's description, or ``None`` if unknown."""
         return self._kv.get(f"{self.PREFIX}node/{name}")
 
     def remove_node(self, name: str) -> None:
+        """Delete a node description (no-op if absent)."""
         self._kv.delete(f"{self.PREFIX}node/{name}")
 
     def nodes(self) -> Dict[str, Dict[str, Any]]:
+        """All node descriptions keyed by node name."""
         prefix = f"{self.PREFIX}node/"
         return {
             key[len(prefix):]: value for key, value in self._kv.items(prefix)
         }
 
     def set_setting(self, name: str, value: Any) -> None:
+        """Store a named cluster-wide setting."""
         self._kv.put(f"{self.PREFIX}setting/{name}", value)
 
     def setting(self, name: str, default: Any = None) -> Any:
+        """Read a named setting, with a default."""
         return self._kv.get(f"{self.PREFIX}setting/{name}", default)
 
 
@@ -195,18 +212,22 @@ class DataSpace:
         self._kv = kv
 
     def record_run(self, run_id: str, summary: Dict[str, Any]) -> None:
+        """Store the summary of a completed run."""
         self._kv.put(f"{self.PREFIX}run/{run_id}", summary)
 
     def run(self, run_id: str) -> Optional[Dict[str, Any]]:
+        """One run summary, or ``None`` if unknown."""
         return self._kv.get(f"{self.PREFIX}run/{run_id}")
 
     def runs(self) -> Dict[str, Dict[str, Any]]:
+        """All run summaries keyed by run id."""
         prefix = f"{self.PREFIX}run/"
         return {
             key[len(prefix):]: value for key, value in self._kv.items(prefix)
         }
 
     def append_lineage(self, record: Dict[str, Any]) -> int:
+        """Durably append one lineage record; returns its sequence."""
         seq = int(self._kv.get(f"{self.PREFIX}lineage_seq", 0))
         with self._kv.transaction() as txn:
             txn.put(_seq_key(f"{self.PREFIX}lineage/", seq), record)
@@ -214,14 +235,22 @@ class DataSpace:
         return seq
 
     def lineage_records(self) -> List[Dict[str, Any]]:
+        """Every lineage record, in append order."""
         return [rec for _, rec in self._kv.items(f"{self.PREFIX}lineage/")]
 
 
 class OperaStore:
-    """All four spaces over one KV store (one WAL, one recovery unit)."""
+    """All four spaces over one KV store (one WAL, one recovery unit).
 
-    def __init__(self, path: str = MEMORY):
-        self.kv = KVStore(path)
+    Keyword options (``segment_records``, ``segment_bytes``,
+    ``retain_history``) are forwarded to the underlying
+    :class:`~repro.store.kvstore.KVStore` and survive
+    :meth:`simulate_crash`/:meth:`reopen`, so a chaos campaign configured
+    for retained history keeps it across every recovery generation.
+    """
+
+    def __init__(self, path: str = MEMORY, **kv_options: Any):
+        self.kv = KVStore(path, **kv_options)
         self.templates = TemplateSpace(self.kv)
         self.instances = InstanceSpace(self.kv)
         self.configuration = ConfigurationSpace(self.kv)
@@ -230,6 +259,7 @@ class OperaStore:
         self.observability = None
 
     def checkpoint(self) -> None:
+        """Checkpoint the KV store: snapshot state, truncate covered log."""
         self.kv.checkpoint()
 
     def simulate_crash(self) -> "OperaStore":
@@ -246,8 +276,10 @@ class OperaStore:
     def reopen(self) -> "OperaStore":
         """Close and re-open an on-disk store (crash-recovery path)."""
         path = self.kv.path
+        options = dict(self.kv._options)
         self.kv.close()
-        return OperaStore(path)
+        return OperaStore(path, **options)
 
     def close(self) -> None:
+        """Close the underlying KV store's file handles."""
         self.kv.close()

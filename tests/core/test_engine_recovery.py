@@ -7,6 +7,7 @@ from repro.core.engine import (
     InlineEnvironment,
     ProgramRegistry,
     ProgramResult,
+    recovery_report,
     replay_instance,
     verify_log,
     work_lost_to_failures,
@@ -135,6 +136,32 @@ class TestCrashRecovery:
                                            environment=env2)
         env2.run_instance(iid)
         assert recovered.instance(iid).outputs == {"v": 3}
+        reopened.close()
+
+    def test_recovery_report_shows_bounded_cost(self, tmp_path):
+        from repro.store import OperaStore
+
+        registry = ProgramRegistry()
+        for name, fn in chain_programs().items():
+            registry.register(name, fn)
+        store = OperaStore(str(tmp_path / "opera"))
+        server = BioOperaServer(store=store, registry=registry)
+        env = InlineEnvironment()
+        server.attach_environment(env)
+        server.define_template_ocr(CHAIN)
+        iid = server.launch("Chain")
+        env.run_instance(iid)
+        store.checkpoint()
+        reopened = store.reopen()
+        report = recovery_report(reopened)
+        # checkpointed just before the reopen: nothing to replay, however
+        # long the run was
+        assert report["records_replayed"] == 0
+        assert report["checkpoint_position"] > 0
+        assert report["repairs"] == []
+        assert report["instances"] == 1
+        assert report["events_by_instance"][iid] \
+            == reopened.instances.event_count(iid)
         reopened.close()
 
 

@@ -78,12 +78,19 @@ class TestRegistry:
 
 
 #: crash points a plain single-activity run passes through. Excluded:
-#: recovery.replay (needs a recovery) and obs.view.checkpoint (a tiny run
-#: never crosses the checkpoint interval) — both have dedicated tests.
+#: recovery.replay (needs a recovery), obs.view.checkpoint and the
+#: store.checkpoint.* family (a tiny run never crosses the checkpoint
+#: interval), and store.rotate (a tiny run never fills a segment) — all
+#: have dedicated tests below.
 ENGINE_CRASH_POINTS = [
     point for point, kinds in CATALOG.items()
     if "crash" in kinds
-    and point not in ("recovery.replay", "obs.view.checkpoint")
+    and point not in ("recovery.replay", "obs.view.checkpoint",
+                      "store.rotate",
+                      "store.checkpoint.begin",
+                      "store.checkpoint.post-snapshot",
+                      "store.checkpoint.truncate",
+                      "store.checkpoint.post-truncate")
 ]
 
 
@@ -179,6 +186,51 @@ class TestCrashWindows:
                 kv.put("b", 2)
         survivor = kv.simulate_crash()
         assert survivor.get("b") == 2  # synced before the crash: durable
+
+    def test_store_rotate_fires_when_a_segment_fills(self):
+        """Rotation happens on the append that crosses the segment
+        threshold; a crash in that window loses only the in-flight
+        (unsynced) record."""
+        kv = KVStore(segment_records=3)
+        kv.put("k0", 0)
+        kv.put("k1", 1)
+        with installed(FaultInjector([FaultAction("store.rotate", "crash")])):
+            with pytest.raises(InjectedCrash) as err:
+                kv.put("k2", 2)
+        assert err.value.point == "store.rotate"
+        survivor = kv.simulate_crash()
+        assert survivor.get("k1") == 1
+        assert survivor.get("k2") is None  # appended but never synced
+        assert survivor.audit() == []
+
+    @pytest.mark.parametrize("point", [
+        "store.checkpoint.begin",
+        "store.checkpoint.post-snapshot",
+        "store.checkpoint.truncate",
+        "store.checkpoint.post-truncate",
+    ])
+    def test_store_checkpoint_crash_windows_preserve_state(self, point):
+        """A crash in any checkpoint window never loses committed state:
+        recovery sees either the old snapshot + full log or the new
+        snapshot + suffix, both reconstructing the same store."""
+        kv = KVStore(retain_history=True)
+        for i in range(6):
+            kv.put(f"k{i}", i)
+        with installed(FaultInjector([FaultAction(point, "crash")])):
+            with pytest.raises(InjectedCrash) as err:
+                kv.checkpoint()
+        assert err.value.point == point
+        survivor = kv.simulate_crash()
+        assert {k: survivor.get(k) for k in survivor.keys()} \
+            == {f"k{i}": i for i in range(6)}
+        assert survivor.audit() == []
+        # windows at or past the snapshot write leave the log truncated
+        # or truncatable; windows before it leave the full log live
+        if point in ("store.checkpoint.begin",
+                     "store.checkpoint.post-snapshot"):
+            assert survivor.wal_records == 6
+        else:
+            assert survivor.wal_records == 0
 
 
 class TestMessageFaults:

@@ -171,6 +171,47 @@ class TestCrashMidCheckpoint:
         assert _view_dumps(second) == once
 
 
+class TestStoreCompaction:
+    def test_hub_checkpoint_compacts_the_kv_log(self):
+        """An observability checkpoint also checkpoints the KV store, so
+        the WAL it covers is truncated — and because the view cursors are
+        keys *inside* the store, the KV checkpoint embeds them: a view
+        checkpoint can never lead the KV checkpoint it recovers with."""
+        hub = ObservabilityHub(checkpoint_interval=10_000)
+        store = _store_with(_event_stream(20), hub=hub)
+        assert store.kv.wal_records > 0
+        hub.checkpoint()
+        assert store.kv.wal_records == 0
+        assert hub.metrics.snapshot()["counters"].get("store_checkpoints") == 1
+        # crash + rebind: cursors recovered from the checkpoint are in
+        # step with the recovered log, views byte-identical
+        survivor = store.simulate_crash()
+        hub2 = ObservabilityHub()
+        hub2.attach(survivor)
+        assert _view_dumps(hub2) == _view_dumps(hub)
+        assert survivor.kv.audit() == []
+
+    def test_compaction_can_be_disabled(self):
+        hub = ObservabilityHub(checkpoint_interval=10_000,
+                               compact_store=False)
+        store = _store_with(_event_stream(10), hub=hub)
+        records = store.kv.wal_records
+        hub.checkpoint()
+        # view states were persisted (more records), nothing truncated
+        assert store.kv.wal_records > records
+
+    def test_interval_checkpoints_bound_the_log(self):
+        """Streaming events through an attached hub keeps the live WAL
+        bounded by the checkpoint interval, not the run length."""
+        hub = ObservabilityHub(checkpoint_interval=40)
+        store = _store_with(_event_stream(60), hub=hub)
+        # every 40 appends the hub checkpointed and truncated; the live
+        # log can never exceed one interval's worth of commits (each
+        # append is 1 event record + the view-checkpoint records)
+        assert store.kv.wal_records < 40 * 2 + 20
+        assert store.kv.wal_position > store.kv.wal_records
+
+
 class TestStateHygiene:
     def test_checkpoint_state_does_not_alias_live_state(self):
         # The in-memory KVStore returns live references; a view mutating

@@ -36,6 +36,26 @@ class TestFileSnapshot:
             fh.write(b'{"half-writ')   # simulated torn temp file
         assert snapshot.load() == {"good": True}
 
+    def test_save_fsyncs_directory_after_rename(self, tmp_path, monkeypatch):
+        """Regression: the rename itself must be made durable by fsyncing
+        the containing directory — without it a power loss shortly after
+        save() can roll the directory entry back to the old snapshot."""
+        import stat
+
+        path = str(tmp_path / "snap")
+        snapshot = FileSnapshot(path)
+        synced_modes = []
+        real_fsync = os.fsync
+
+        def spy(fd):
+            synced_modes.append(os.fstat(fd).st_mode)
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", spy)
+        snapshot.save({"v": 1})
+        assert any(stat.S_ISDIR(mode) for mode in synced_modes), \
+            "save() must fsync the containing directory after os.replace"
+
 
 class TestMemorySnapshot:
     def test_round_trip(self):

@@ -1,4 +1,5 @@
-"""WAL durability: framing, torn tails, corruption, crash simulation."""
+"""WAL durability: framing, torn tails, corruption, crash simulation,
+segment rotation, and checkpoint-driven truncation."""
 
 import os
 import struct
@@ -7,7 +8,9 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import CorruptLogError
-from repro.store.wal import FileWAL, MemoryWAL
+from repro.faults.plan import FaultAction
+from repro.faults.points import FaultInjector, InjectedCrash, installed
+from repro.store.wal import MANIFEST_NAME, FileWAL, MemoryWAL, SegmentedWAL
 
 
 @pytest.fixture()
@@ -171,6 +174,237 @@ class TestFileWAL:
         assert recovered == records[: len(recovered)]
 
 
+@pytest.fixture()
+def seg_dir(tmp_path):
+    return str(tmp_path / "wal")
+
+
+def _fill(wal, count, start=0):
+    records = [f"r{start + i:04d}".encode() for i in range(count)]
+    for record in records:
+        wal.append(record)
+    wal.sync()
+    return records
+
+
+class TestSegmentedWAL:
+    def test_empty_log(self, seg_dir):
+        wal = SegmentedWAL(seg_dir)
+        assert list(wal.records()) == []
+        assert len(wal) == 0
+        assert wal.position() == 0
+        assert wal.segment_count() == 1
+        assert os.path.exists(os.path.join(seg_dir, MANIFEST_NAME))
+
+    def test_append_read_reopen(self, seg_dir):
+        wal = SegmentedWAL(seg_dir)
+        records = _fill(wal, 5)
+        assert list(wal.records()) == records
+        wal.close()
+        reopened = SegmentedWAL(seg_dir)
+        assert list(reopened.records()) == records
+        assert reopened.position() == 5
+
+    def test_rotation_at_record_threshold(self, seg_dir):
+        wal = SegmentedWAL(seg_dir, max_segment_records=3)
+        records = _fill(wal, 7)
+        # rotated after records 3 and 6: two sealed segments + active
+        assert wal.segment_count() == 3
+        assert list(wal.records()) == records
+        assert len(wal) == 7
+
+    def test_rotation_at_byte_threshold(self, seg_dir):
+        wal = SegmentedWAL(seg_dir, max_segment_bytes=64)
+        records = _fill(wal, 6)  # 8-byte header + 5-byte payload each
+        assert wal.segment_count() > 1
+        assert list(wal.records()) == records
+
+    def test_rotation_survives_reopen(self, seg_dir):
+        wal = SegmentedWAL(seg_dir, max_segment_records=2)
+        records = _fill(wal, 5)
+        wal.close()
+        reopened = SegmentedWAL(seg_dir, max_segment_records=2)
+        assert list(reopened.records()) == records
+        more = _fill(reopened, 2, start=5)
+        assert list(reopened.records()) == records + more
+
+    def test_records_from_reads_only_the_suffix(self, seg_dir):
+        wal = SegmentedWAL(seg_dir, max_segment_records=3)
+        records = _fill(wal, 8)
+        for position in (0, 2, 3, 5, 7, 8):
+            assert list(wal.records_from(position)) == records[position:]
+
+    def test_truncate_through_drops_covered_segments(self, seg_dir):
+        wal = SegmentedWAL(seg_dir, max_segment_records=3)
+        records = _fill(wal, 8)  # segments: [0..3) [3..6) [6..8)
+        dropped = wal.truncate_through(6)
+        assert dropped == 2
+        assert wal.base_position() == 6
+        assert wal.position() == 8
+        assert list(wal.records()) == records[6:]
+        # positions keep meaning what they meant before truncation
+        assert list(wal.records_from(7)) == records[7:]
+        # covered segment files are actually gone from disk
+        assert len([name for name in os.listdir(wal.directory)
+                    if name != MANIFEST_NAME]) == wal.segment_count()
+
+    def test_truncate_at_head_rotates_and_empties(self, seg_dir):
+        """A checkpoint at the log head must compact the live log to zero
+        records — the active segment is sealed and dropped too."""
+        wal = SegmentedWAL(seg_dir, max_segment_records=100)
+        _fill(wal, 5)
+        assert wal.truncate_through(wal.position()) >= 1
+        assert len(wal) == 0
+        assert wal.base_position() == wal.position() == 5
+        more = _fill(wal, 2, start=5)
+        assert list(wal.records()) == more
+
+    def test_truncation_survives_reopen(self, seg_dir):
+        wal = SegmentedWAL(seg_dir, max_segment_records=2)
+        records = _fill(wal, 6)
+        wal.truncate_through(4)
+        wal.close()
+        reopened = SegmentedWAL(seg_dir, max_segment_records=2)
+        assert reopened.base_position() == 4
+        assert reopened.position() == 6
+        assert list(reopened.records()) == records[4:]
+
+    def test_retained_history_allows_full_replay(self, seg_dir):
+        wal = SegmentedWAL(seg_dir, max_segment_records=2,
+                           retain_truncated=True)
+        records = _fill(wal, 6)
+        wal.truncate_through(4)
+        assert wal.history_complete()
+        assert list(wal.full_records()) == records
+        assert list(wal.records()) == records[4:]
+        wal.close()
+        reopened = SegmentedWAL(seg_dir, max_segment_records=2,
+                                retain_truncated=True)
+        assert list(reopened.full_records()) == records
+
+    def test_unretained_history_refuses_full_replay(self, seg_dir):
+        wal = SegmentedWAL(seg_dir, max_segment_records=2)
+        _fill(wal, 6)
+        assert wal.history_complete()  # nothing truncated yet
+        wal.truncate_through(4)
+        assert not wal.history_complete()
+        with pytest.raises(CorruptLogError):
+            list(wal.full_records())
+
+    def test_orphan_segments_removed_on_open(self, seg_dir):
+        """Files not in the manifest are crash leftovers (mid-rotation or
+        mid-truncation) and must be cleaned up, never replayed."""
+        wal = SegmentedWAL(seg_dir)
+        records = _fill(wal, 3)
+        wal.close()
+        stray = os.path.join(seg_dir, "seg-99999999.wal")
+        with open(stray, "wb") as fh:
+            fh.write(b"garbage")
+        reopened = SegmentedWAL(seg_dir)
+        assert not os.path.exists(stray)
+        assert list(reopened.records()) == records
+
+    def test_crash_during_rotation_recovers(self, seg_dir):
+        """A crash in the rotation window leaves the old manifest; reopen
+        continues from the unsealed segment with nothing lost."""
+        wal = SegmentedWAL(seg_dir, max_segment_records=3)
+        wal.append(b"a")
+        wal.append(b"b")
+        wal.sync()
+        with installed(FaultInjector([FaultAction("store.rotate", "crash")])):
+            with pytest.raises(InjectedCrash):
+                wal.append(b"c")  # crosses the threshold mid-append
+        wal.sync()
+        wal.close()
+        reopened = SegmentedWAL(seg_dir, max_segment_records=3)
+        assert list(reopened.records()) == [b"a", b"b", b"c"]
+        assert reopened.segment_count() == 1  # rotation never completed
+        reopened.append(b"d")  # threshold crossing now rotates cleanly
+        assert reopened.segment_count() == 2
+
+    def test_corrupt_newest_segment_truncated_tolerantly(self, seg_dir):
+        """Damage to the newest segment is repaired (records past the
+        corruption are dropped, noted in ``repairs``) — sealed history
+        stays intact, so recovery falls back to what checkpoints cover."""
+        wal = SegmentedWAL(seg_dir, max_segment_records=3)
+        records = _fill(wal, 5)  # sealed [0..3), active [3..5)
+        active = os.path.join(seg_dir, wal._entries[-1]["file"])
+        wal.close()
+        with open(active, "r+b") as fh:
+            fh.seek(9)  # into the first active record's payload
+            fh.write(b"X")
+        reopened = SegmentedWAL(seg_dir, max_segment_records=3)
+        assert reopened.repairs
+        assert list(reopened.records()) == records[:3]
+        assert reopened.position() == 3
+
+    def test_missing_newest_segment_recreated(self, seg_dir):
+        wal = SegmentedWAL(seg_dir, max_segment_records=3)
+        records = _fill(wal, 5)
+        active = os.path.join(seg_dir, wal._entries[-1]["file"])
+        wal.close()
+        os.unlink(active)
+        reopened = SegmentedWAL(seg_dir, max_segment_records=3)
+        assert reopened.repairs
+        assert list(reopened.records()) == records[:3]
+        more = _fill(reopened, 2, start=5)
+        assert list(reopened.records()) == records[:3] + more
+
+    def test_corrupt_sealed_segment_raises(self, seg_dir):
+        wal = SegmentedWAL(seg_dir, max_segment_records=3)
+        _fill(wal, 5)
+        sealed = os.path.join(seg_dir, wal._entries[0]["file"])
+        wal.close()
+        with open(sealed, "r+b") as fh:
+            fh.seek(9)
+            fh.write(b"X")
+        with pytest.raises(CorruptLogError):
+            SegmentedWAL(seg_dir, max_segment_records=3)
+
+    def test_adopts_legacy_single_file_wal(self, tmp_path):
+        legacy_path = str(tmp_path / "store.wal")
+        legacy = FileWAL(legacy_path)
+        legacy.append(b"old-1")
+        legacy.append(b"old-2")
+        legacy.sync()
+        legacy.close()
+        wal = SegmentedWAL(str(tmp_path / "wal"), adopt_file=legacy_path)
+        assert list(wal.records()) == [b"old-1", b"old-2"]
+        assert wal.position() == 2
+        assert not os.path.exists(legacy_path)
+
+    def test_reset_keeps_positions_monotonic(self, seg_dir):
+        wal = SegmentedWAL(seg_dir, max_segment_records=2)
+        _fill(wal, 5)
+        wal.reset()
+        assert len(wal) == 0
+        assert wal.position() == wal.base_position() == 5
+        more = _fill(wal, 2, start=5)
+        assert list(wal.records_from(5)) == more
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        count=st.integers(min_value=0, max_value=20),
+        threshold=st.integers(min_value=1, max_value=7),
+        cut=st.integers(min_value=0, max_value=25),
+    )
+    def test_truncation_position_property(self, tmp_path_factory, count,
+                                          threshold, cut):
+        """For any segment layout and truncation point, the surviving
+        records are exactly the suffix past the last covered segment."""
+        directory = str(tmp_path_factory.mktemp("seg") / "wal")
+        wal = SegmentedWAL(directory, max_segment_records=threshold)
+        records = _fill(wal, count)
+        wal.truncate_through(cut)
+        base = wal.base_position()
+        assert base <= max(cut, 0)  # never drop past the checkpoint
+        assert list(wal.records()) == records[base:]
+        assert wal.position() == count
+        wal.close()
+        reopened = SegmentedWAL(directory, max_segment_records=threshold)
+        assert list(reopened.records()) == records[base:]
+
+
 class TestMemoryWAL:
     def test_append_and_read(self):
         wal = MemoryWAL()
@@ -204,3 +438,65 @@ class TestMemoryWAL:
         wal.reset()
         assert len(wal) == 0
         assert wal.unsynced == 0
+
+    def test_positions_and_suffix_reads(self):
+        wal = MemoryWAL()
+        records = [f"r{i}".encode() for i in range(5)]
+        for record in records:
+            wal.append(record)
+        wal.sync()
+        assert wal.position() == 5
+        assert wal.base_position() == 0
+        assert list(wal.records_from(3)) == records[3:]
+
+    def test_truncate_through_never_drops_unsynced(self):
+        wal = MemoryWAL()
+        wal.append(b"a")
+        wal.append(b"b")
+        wal.sync()
+        wal.append(b"c")  # unsynced: a checkpoint cannot have covered it
+        assert wal.truncate_through(3) == 2
+        assert wal.base_position() == 2
+        assert list(wal.records()) == [b"c"]
+        assert wal.unsynced == 1
+
+    def test_retained_history_full_replay(self):
+        wal = MemoryWAL(retain_truncated=True)
+        records = [f"r{i}".encode() for i in range(4)]
+        for record in records:
+            wal.append(record)
+        wal.sync()
+        wal.truncate_through(2)
+        assert wal.history_complete()
+        assert list(wal.full_records()) == records
+        assert list(wal.records()) == records[2:]
+
+    def test_unretained_history_refuses_full_replay(self):
+        wal = MemoryWAL()
+        wal.append(b"a")
+        wal.append(b"b")
+        wal.sync()
+        wal.truncate_through(1)
+        assert not wal.history_complete()
+        with pytest.raises(CorruptLogError):
+            list(wal.full_records())
+
+    def test_crash_preserves_positions_and_history(self):
+        wal = MemoryWAL(retain_truncated=True)
+        for i in range(4):
+            wal.append(f"r{i}".encode())
+        wal.sync()
+        wal.truncate_through(2)
+        wal.append(b"lost")  # unsynced
+        survivor = wal.simulate_crash()
+        assert survivor.base_position() == 2
+        assert survivor.position() == 4
+        assert list(survivor.full_records()) == [b"r0", b"r1", b"r2", b"r3"]
+
+    def test_rotation_counter_fires_store_rotate(self):
+        wal = MemoryWAL(max_segment_records=3)
+        injector = FaultInjector([])
+        with installed(injector):
+            for _ in range(7):
+                wal.append(b"x")
+        assert injector.hits.get("store.rotate") == 2

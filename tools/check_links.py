@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's markdown docs.
+
+Checks every ``[text](target)`` link in README.md, DESIGN.md,
+EXPERIMENTS.md, ROADMAP.md, and docs/*.md:
+
+* external links (``http://``, ``https://``, ``mailto:``) are skipped;
+* a relative file target must exist (directories count, so ``docs/``
+  works);
+* a ``#fragment`` — alone or after a file target — must match a heading
+  anchor in the target document, using GitHub's slug rules (lowercase,
+  punctuation stripped, spaces to dashes, ``-N`` suffixes for
+  duplicates).
+
+Exits non-zero listing every dead link. Stdlib only, so CI can run it
+without installing anything:
+
+    python tools/check_links.py
+"""
+
+import glob
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DOC_GLOBS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md",
+             "docs/*.md")
+
+#: [text](target) — target captured up to the closing paren; images and
+#: reference-style links are out of scope for this repo's docs.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*)$")
+_CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading):
+    """GitHub's anchor slug for a markdown heading."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # drop inline-code ticks
+    text = text.strip().lower()
+    # keep word characters, spaces and hyphens; everything else vanishes
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path):
+    """All heading anchors of a markdown file, with duplicate suffixes."""
+    anchors = set()
+    counts = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            if _CODE_FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = _HEADING.match(line)
+            if not match:
+                continue
+            slug = github_slug(match.group(2))
+            seen = counts.get(slug, 0)
+            counts[slug] = seen + 1
+            anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+    return anchors
+
+
+def iter_links(path):
+    """Yield (line_number, target) for every inline link in the file."""
+    in_fence = False
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            if _CODE_FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in _LINK.finditer(line):
+                yield lineno, match.group(1)
+
+
+def check_file(path, anchor_cache):
+    """Return a list of "file:line: message" problems for one document."""
+    problems = []
+    base = os.path.dirname(path)
+    rel = os.path.relpath(path, REPO_ROOT)
+    for lineno, target in iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, fragment = target.partition("#")
+        dest = path if not file_part \
+            else os.path.normpath(os.path.join(base, file_part))
+        if not os.path.exists(dest):
+            problems.append(f"{rel}:{lineno}: broken link -> {target}")
+            continue
+        if fragment:
+            if os.path.isdir(dest) or not dest.endswith(".md"):
+                problems.append(
+                    f"{rel}:{lineno}: fragment on non-markdown -> {target}")
+                continue
+            if dest not in anchor_cache:
+                anchor_cache[dest] = heading_anchors(dest)
+            if fragment not in anchor_cache[dest]:
+                problems.append(
+                    f"{rel}:{lineno}: missing anchor -> {target}")
+    return problems
+
+
+def main():
+    docs = []
+    for pattern in DOC_GLOBS:
+        docs.extend(sorted(glob.glob(os.path.join(REPO_ROOT, pattern))))
+    anchor_cache = {}
+    problems = []
+    for doc in docs:
+        problems.extend(check_file(doc, anchor_cache))
+    for problem in problems:
+        print(problem)
+    print(f"checked {len(docs)} documents: "
+          f"{'FAILED' if problems else 'ok'} ({len(problems)} dead links)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
