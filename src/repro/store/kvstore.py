@@ -41,6 +41,24 @@ MEMORY = ":memory:"
 _CHECKPOINT_MAGIC = "__kv_checkpoint__"
 
 
+def _is_positioned_snapshot(snapshot: Any) -> bool:
+    """True only for the exact shape :meth:`KVStore.checkpoint` writes.
+
+    The magic key alone is not enough: a legacy raw-state snapshot whose
+    user data happens to contain :data:`_CHECKPOINT_MAGIC` must not be
+    misparsed as a positioned checkpoint, so the full shape is required —
+    exactly the three expected top-level keys, an integer position, and a
+    dict state.
+    """
+    return (
+        isinstance(snapshot, dict)
+        and set(snapshot) == {_CHECKPOINT_MAGIC, "position", "state"}
+        and isinstance(snapshot["position"], int)
+        and not isinstance(snapshot["position"], bool)
+        and isinstance(snapshot["state"], dict)
+    )
+
+
 class Transaction:
     """Mutation batch applied atomically at commit."""
 
@@ -139,7 +157,7 @@ class KVStore:
         snapshot = self._snapshot.load()
         if not snapshot:
             return {}, 0
-        if _CHECKPOINT_MAGIC in snapshot:
+        if _is_positioned_snapshot(snapshot):
             return dict(snapshot["state"]), int(snapshot["position"])
         # Legacy raw-state snapshot from the reset()-based scheme: it was
         # only ever written with an empty log, so its position is zero.
@@ -286,7 +304,7 @@ class KVStore:
         # snapshots: a legacy raw-state snapshot came from the reset-based
         # scheme, where the state at log position zero was not empty.
         snapshot = self._snapshot.load()
-        positioned = not snapshot or _CHECKPOINT_MAGIC in snapshot
+        positioned = not snapshot or _is_positioned_snapshot(snapshot)
         if positioned and self._wal.history_complete():
             try:
                 full: Dict[str, Any] = {}

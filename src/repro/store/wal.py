@@ -281,19 +281,32 @@ class SegmentedWAL:
 
     def _load_manifest(self, adopt_file: Optional[str]) -> None:
         if not os.path.exists(self._manifest_path):
-            base = 0
-            if adopt_file and os.path.exists(adopt_file):
+            first = self._new_entry(0)
+            first_path = self._segment_path(first)
+            if os.path.exists(first_path):
+                # No manifest, yet the first segment file exists: a crash
+                # hit a previous fresh init (or legacy adoption) after the
+                # segment was created/renamed but before the manifest was
+                # written. Its contents may be adopted legacy records —
+                # keep them; never truncate an existing first segment.
+                if adopt_file and os.path.exists(adopt_file):
+                    self.repairs.append(
+                        f"{first['file']}: exists alongside legacy "
+                        f"{os.path.basename(adopt_file)}; adopted the "
+                        "segment and left the legacy file untouched"
+                    )
+            elif adopt_file and os.path.exists(adopt_file):
                 # Legacy migration: adopt an existing single-file WAL as
-                # the first segment of the new layout.
-                first = self._new_entry(0)
-                os.replace(adopt_file, self._segment_path(first))
+                # the first segment of the new layout. A crash after this
+                # rename and before the manifest write is recovered by the
+                # branch above on the next open.
+                os.replace(adopt_file, first_path)
                 _fsync_dir(os.path.dirname(os.path.abspath(adopt_file))
                            or ".")
-                self._entries = [first]
             else:
-                self._entries = [self._new_entry(base)]
-                with open(self._segment_path(self._entries[0]), "wb"):
+                with open(first_path, "wb"):
                     pass
+            self._entries = [first]
             _fsync_dir(self.directory)
             self._write_manifest()
             return
@@ -325,8 +338,10 @@ class SegmentedWAL:
             self._entries = [self._new_entry(
                 self._retired[-1]["base"] + self._retired[-1]["count"]
                 if self._retired else 0)]
-            with open(self._segment_path(self._entries[0]), "wb"):
-                pass
+            path = self._segment_path(self._entries[0])
+            if not os.path.exists(path):
+                with open(path, "wb"):
+                    pass
             _fsync_dir(self.directory)
             self._write_manifest()
         expected = self._entries[0]["base"]
@@ -382,13 +397,26 @@ class SegmentedWAL:
         self._active_bytes = valid_end
 
     def _cleanup_orphans(self) -> None:
+        """Remove crash leftovers: unmanifested segments and tmp files.
+
+        Only files matching the names this WAL itself creates
+        (``seg-*.wal`` and ``*.tmp``) are touched — anything else in the
+        directory (an operator's backup copy, a tool's scratch file) is
+        left alone. Removals are recorded in :attr:`repairs`.
+        """
         known = {e["file"] for e in self._entries}
         known.update(e["file"] for e in self._retired)
         for name in os.listdir(self.directory):
-            if name == MANIFEST_NAME:
+            if name == MANIFEST_NAME or name in known:
                 continue
-            if name not in known:
-                os.unlink(os.path.join(self.directory, name))
+            ours = (name.startswith("seg-") and name.endswith(".wal")) \
+                or name.endswith(".tmp")
+            if not ours:
+                continue
+            os.unlink(os.path.join(self.directory, name))
+            self.repairs.append(
+                f"{name}: removed orphan file left by a crash"
+            )
 
     # -- positions ------------------------------------------------------------
 

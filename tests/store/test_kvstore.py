@@ -309,6 +309,47 @@ class TestBoundedRecovery:
         assert store.audit() == []
         store.close()
 
+    def test_crash_mid_adoption_reopens_with_all_records(self, tmp_path):
+        """Crash between the legacy-WAL rename and the first manifest
+        write: the directory has ``wal/seg-00000001.wal`` but no MANIFEST
+        and no ``store.wal``. Every acked record must survive reopen."""
+        path = str(tmp_path / "db")
+        os.makedirs(path)
+        legacy_wal = FileWAL(os.path.join(path, "store.wal"))
+        for i in range(5):
+            legacy_wal.append(codec.encode([["put", f"k{i}", i]]))
+        legacy_wal.sync()
+        legacy_wal.close()
+        os.makedirs(os.path.join(path, "wal"))
+        os.replace(os.path.join(path, "store.wal"),
+                   os.path.join(path, "wal", "seg-00000001.wal"))
+        store = KVStore(path)
+        assert dict(store.items()) == {f"k{i}": i for i in range(5)}
+        assert store.audit() == []
+        store.close()
+        reopened = KVStore(path)
+        assert dict(reopened.items()) == {f"k{i}": i for i in range(5)}
+        reopened.close()
+
+    def test_legacy_snapshot_containing_magic_key_not_misparsed(
+            self, tmp_path):
+        """A legacy raw-state snapshot whose user data happens to contain
+        the checkpoint marker key is still read as raw state at position
+        zero — a positioned checkpoint requires the full expected shape."""
+        path = str(tmp_path / "db")
+        os.makedirs(path)
+        from repro.store.snapshot import FileSnapshot
+        FileSnapshot(os.path.join(path, "store.snapshot")).save({
+            "__kv_checkpoint__": "user data",
+            "other": 7,
+        })
+        store = KVStore(path)
+        assert store.get("__kv_checkpoint__") == "user data"
+        assert store.get("other") == 7
+        assert store.last_recovery["checkpoint_position"] == 0
+        assert store.audit() == []
+        store.close()
+
     def test_recover_preserves_store_options(self, tmp_path):
         path = str(tmp_path / "db")
         store = KVStore(path, segment_records=2, retain_history=True)

@@ -304,6 +304,26 @@ class TestSegmentedWAL:
         assert not os.path.exists(stray)
         assert list(reopened.records()) == records
 
+    def test_cleanup_leaves_foreign_files_alone(self, seg_dir):
+        """Orphan cleanup only touches names the WAL itself creates: an
+        operator's backup copy in the directory survives reopen, while an
+        unmanifested ``seg-*.wal`` is removed with a note in repairs."""
+        wal = SegmentedWAL(seg_dir)
+        records = _fill(wal, 3)
+        wal.close()
+        backup = os.path.join(seg_dir, "seg-00000001.wal.bak")
+        with open(backup, "wb") as fh:
+            fh.write(b"operator backup")
+        stray = os.path.join(seg_dir, "seg-99999999.wal")
+        with open(stray, "wb") as fh:
+            fh.write(b"garbage")
+        reopened = SegmentedWAL(seg_dir)
+        assert os.path.exists(backup)
+        assert not os.path.exists(stray)
+        assert any("seg-99999999.wal" in note for note in reopened.repairs)
+        assert list(reopened.records()) == records
+        reopened.close()
+
     def test_crash_during_rotation_recovers(self, seg_dir):
         """A crash in the rotation window leaves the old manifest; reopen
         continues from the unsealed segment with nothing lost."""
@@ -372,6 +392,48 @@ class TestSegmentedWAL:
         assert list(wal.records()) == [b"old-1", b"old-2"]
         assert wal.position() == 2
         assert not os.path.exists(legacy_path)
+
+    def test_crash_mid_adoption_does_not_lose_records(self, tmp_path):
+        """A crash between renaming the legacy file into the segment
+        directory and writing the first manifest leaves a manifest-less
+        directory holding ``seg-00000001.wal``; the next open must adopt
+        that segment's contents, never truncate or orphan-delete them."""
+        legacy_path = str(tmp_path / "store.wal")
+        legacy = FileWAL(legacy_path)
+        records = [f"old-{i}".encode() for i in range(5)]
+        for payload in records:
+            legacy.append(payload)
+        legacy.sync()
+        legacy.close()
+        seg_dir = str(tmp_path / "wal")
+        os.makedirs(seg_dir)
+        # the crash state: rename done, manifest never written
+        os.replace(legacy_path, os.path.join(seg_dir, "seg-00000001.wal"))
+        wal = SegmentedWAL(seg_dir, adopt_file=legacy_path)
+        assert list(wal.records()) == records
+        assert wal.position() == 5
+        assert os.path.exists(os.path.join(seg_dir, MANIFEST_NAME))
+        wal.append(b"new")
+        wal.sync()
+        wal.close()
+        reopened = SegmentedWAL(seg_dir, adopt_file=legacy_path)
+        assert list(reopened.records()) == records + [b"new"]
+        reopened.close()
+
+    def test_crash_before_adoption_rename_readopts_legacy(self, tmp_path):
+        """A crash *before* the rename (directory created, nothing else)
+        leaves ``store.wal`` in place; the next open adopts it normally."""
+        legacy_path = str(tmp_path / "store.wal")
+        legacy = FileWAL(legacy_path)
+        legacy.append(b"old")
+        legacy.sync()
+        legacy.close()
+        seg_dir = str(tmp_path / "wal")
+        os.makedirs(seg_dir)  # the crash state: empty segment directory
+        wal = SegmentedWAL(seg_dir, adopt_file=legacy_path)
+        assert list(wal.records()) == [b"old"]
+        assert not os.path.exists(legacy_path)
+        wal.close()
 
     def test_reset_keeps_positions_monotonic(self, seg_dir):
         wal = SegmentedWAL(seg_dir, max_segment_records=2)
