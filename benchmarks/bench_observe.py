@@ -29,7 +29,9 @@ import argparse
 import json
 import os
 import random
+import shutil
 import sys
+import tempfile
 import time
 
 if __package__ in (None, ""):  # standalone: make src/ importable
@@ -58,6 +60,11 @@ SMOKE_SIZES = (2_000, 8_000)
 
 QUERY_ROUNDS_FULL = 30
 QUERY_ROUNDS_SMOKE = 10
+
+#: group-commit throughput comparison (on-disk stores, real fsyncs)
+THROUGHPUT_EVENTS_FULL = 4_000
+THROUGHPUT_EVENTS_SMOKE = 1_000
+THROUGHPUT_BATCH = 64
 
 
 def _make_events(count, seed=7):
@@ -168,16 +175,80 @@ def _bench_recovery(events):
     }
 
 
+def _bench_throughput(smoke=False):
+    """Sustained event throughput, per-commit fsync vs group commit.
+
+    Both stores are ON DISK so every sync is a real fsync — that is the
+    cost group commit amortizes; an in-memory comparison would measure
+    nothing. The group store appends through the batched hot path
+    (``append_events`` in :data:`THROUGHPUT_BATCH`-event slices, matching
+    its ``group_max_pending``) with the hub subscribed, then flushes, so
+    the measured rate covers dispatch→persist→notify end to end. A final
+    view≡rescan check pins the batch path's correctness at speed.
+    """
+    count = THROUGHPUT_EVENTS_SMOKE if smoke else THROUGHPUT_EVENTS_FULL
+    events = _make_events(count, seed=11)
+    root = tempfile.mkdtemp(prefix="bench-throughput-")
+    try:
+        per_commit = OperaStore(os.path.join(root, "per-commit"))
+        ObservabilityHub(checkpoint_interval=10 ** 9).attach(per_commit)
+        per_commit.instances.create("bench", {})
+        append = per_commit.instances.append_event
+        t0 = time.perf_counter()
+        for event in events:
+            append("bench", event)
+        per_commit_s = time.perf_counter() - t0
+        per_commit.kv.close()
+
+        grouped = OperaStore(os.path.join(root, "group"),
+                             sync_policy="group",
+                             group_max_pending=THROUGHPUT_BATCH)
+        hub = ObservabilityHub(checkpoint_interval=10 ** 9)
+        hub.attach(grouped)
+        grouped.instances.create("bench", {})
+        append_many = grouped.instances.append_events
+        t0 = time.perf_counter()
+        for i in range(0, count, THROUGHPUT_BATCH):
+            append_many("bench", events[i:i + THROUGHPUT_BATCH])
+        grouped.kv.flush()  # ack the tail: durable before the clock stops
+        group_s = time.perf_counter() - t0
+
+        views_ok = _check_equivalence(grouped, "bench")
+        syncs = grouped.kv.stats["syncs"]
+        grouped.kv.close()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    per_commit_eps = count / max(per_commit_s, 1e-9)
+    group_eps = count / max(group_s, 1e-9)
+    return {
+        "events": count,
+        "batch_size": THROUGHPUT_BATCH,
+        "per_commit_s": round(per_commit_s, 4),
+        "group_s": round(group_s, 4),
+        "per_commit_eps": round(per_commit_eps, 1),
+        "group_eps": round(group_eps, 1),
+        "group_syncs": syncs,
+        "speedup": round(group_eps / max(per_commit_eps, 1e-9), 2),
+        "views_equal_rescan": views_ok,
+    }
+
+
 def run_bench(smoke=False):
     sizes = SMOKE_SIZES if smoke else FULL_SIZES
     rounds = QUERY_ROUNDS_SMOKE if smoke else QUERY_ROUNDS_FULL
     largest = sizes[-1]
     events = _make_events(largest)
 
-    # append overhead: bare store vs hub-subscribed store
-    _, bare_s = _fill(events)
-    hub = ObservabilityHub(checkpoint_interval=10 ** 9)
-    observed_store, observed_s = _fill(events, hub=hub)
+    # append overhead: bare store vs hub-subscribed store. Best-of-3 on
+    # each side — the minimum is the least-noise estimator on a shared
+    # machine, and the ratio of two noisy maxima is what flakes.
+    bare_s = min(_fill(events)[1] for _ in range(3))
+    observed_s = None
+    for _ in range(3):
+        hub = ObservabilityHub(checkpoint_interval=10 ** 9)
+        observed_store, trial_s = _fill(events, hub=hub)
+        if observed_s is None or trial_s < observed_s:
+            observed_s = trial_s
     overhead = observed_s / max(bare_s, 1e-9)
 
     # query latency across sizes (fresh stores so logs really differ)
@@ -209,6 +280,7 @@ def run_bench(smoke=False):
         },
         "queries": per_size,
         "recovery": _bench_recovery(events),
+        "throughput": _bench_throughput(smoke),
         "views_equal_rescan": _check_equivalence(observed_store, "bench"),
     }
     with open(_JSON_PATH, "w") as fh:
@@ -242,6 +314,14 @@ def _format(result):
         f"suffix events over a {recovery['checkpointed_events']}-event "
         f"checkpoint in {recovery['catch_up_s']:.3f}s"
     )
+    throughput = result["throughput"]
+    lines.append(
+        f"\nsustained throughput (on-disk, {throughput['events']} events): "
+        f"per-commit {throughput['per_commit_eps']:.0f} ev/s, "
+        f"group(batch={throughput['batch_size']}) "
+        f"{throughput['group_eps']:.0f} ev/s "
+        f"({throughput['speedup']:.1f}x, {throughput['group_syncs']} fsyncs)"
+    )
     lines.append(f"views byte-identical to rescan: "
                  f"{result['views_equal_rescan']}")
     return "\n".join(lines)
@@ -262,6 +342,11 @@ def _assert_acceptance(result, smoke):
               / max(smallest["view_query_round_s"], 1e-9))
     log_growth = largest["events"] / smallest["events"]
     assert growth < log_growth, (smallest, largest)
+    # group commit must decisively beat per-commit fsync on disk, and the
+    # batched notify path must stay byte-identical to the rescans
+    throughput = result["throughput"]
+    assert throughput["views_equal_rescan"], throughput
+    assert throughput["speedup"] >= (2.0 if smoke else 5.0), throughput
 
 
 def test_observe_views(artifact):

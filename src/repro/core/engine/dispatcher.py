@@ -105,6 +105,11 @@ class Dispatcher:
         #: optional fn(job_id) invoked whenever an in-flight job is
         #: released — the single choke point the lease table hangs off.
         self.on_release = None
+        #: optional fn() invoked once per pump, after the last dispatch
+        #: record and before any job reaches the environment — the server
+        #: wires a store flush here so grouped commits become durable
+        #: before their jobs are externally visible.
+        self.pre_submit = None
 
     def wire(self, submit, record_dispatch, is_dispatchable) -> None:
         self._submit = submit
@@ -173,6 +178,9 @@ class Dispatcher:
         placed = 0
         fast_metric = self.policy.heap_metric
         survivors: Dict[str, List[JobRequest]] = {tag: [] for tag in active}
+        #: (job, node) pairs recorded this pump; handed to the environment
+        #: only after the pre_submit durability barrier runs.
+        to_submit: List[tuple] = []
         # Merge the active tags' deques by sequence number so jobs are
         # considered in global FIFO order, exactly like a single queue.
         heads = [(self._queues[tag][0].seq, tag) for tag in active]
@@ -219,7 +227,7 @@ class Dispatcher:
                     self._inflight_by_node.setdefault(
                         node, set()
                     ).add(job.job_id)
-                    self._submit(job, node)
+                    to_submit.append((job, node))
                     placed += 1
             if queue:
                 heapq.heappush(heads, (queue[0].seq, tag))
@@ -231,6 +239,11 @@ class Dispatcher:
             if not queue:
                 del self._queues[tag]
                 self._blocked_tags.discard(tag)
+        if to_submit:
+            if self.pre_submit is not None:
+                self.pre_submit()
+            for job, node in to_submit:
+                self._submit(job, node)
         if self.metrics is not None:
             if placed:
                 self.metrics.inc("placements", placed)

@@ -128,6 +128,7 @@ class BioOperaServer:
             is_dispatchable=self._is_dispatchable,
         )
         self.dispatcher.on_release = self._release_lease
+        self.dispatcher.pre_submit = self._sync_barrier
 
     # ------------------------------------------------------------------
     # Environment & cluster configuration
@@ -226,10 +227,12 @@ class BioOperaServer:
         })
         self.instances[instance_id] = instance
         now = self.clock()
-        self.emit(instance, ev.instance_created(
-            template_name, version, dict(inputs or {}), now
-        ))
-        self.emit(instance, ev.instance_started(now))
+        self.emit_batch(instance, [
+            ev.instance_created(
+                template_name, version, dict(inputs or {}), now
+            ),
+            ev.instance_started(now),
+        ])
         self.navigator.navigate(instance)
         self.dispatcher.pump()
         return instance_id
@@ -255,6 +258,38 @@ class BioOperaServer:
         self.store.instances.append_event(instance.id, event)
         fire("server.emit.post-persist",
              instance=instance.id, type=event["type"])
+        self._apply_emitted(instance, event)
+
+    def emit_batch(self, instance: ProcessInstance,
+                   events: List[Dict[str, Any]]) -> None:
+        """Persist ``events`` as one multi-event transaction, then apply.
+
+        Same crash semantics as :meth:`emit`, at batch granularity: a crash
+        before the append loses the whole batch (the engine never acted on
+        any of it), a crash after leaves every event durable for recovery
+        to replay. The single transaction means the log can never hold a
+        prefix of the batch.
+        """
+        if not events:
+            return
+        if len(events) == 1:
+            self.emit(instance, events[0])
+            return
+        for event in events:
+            event.setdefault("epoch", self.epoch)
+        fire("server.emit.pre-persist",
+             instance=instance.id, type=events[0]["type"],
+             batch=len(events))
+        self.store.instances.append_events(instance.id, events)
+        fire("server.emit.post-persist",
+             instance=instance.id, type=events[0]["type"],
+             batch=len(events))
+        for event in events:
+            self._apply_emitted(instance, event)
+
+    def _apply_emitted(self, instance: ProcessInstance,
+                       event: Dict[str, Any]) -> None:
+        """Apply one already-persisted event to live engine state."""
         instance.apply(event)
         if event["type"] in (
             ev.INSTANCE_COMPLETED, ev.INSTANCE_ABORTED, ev.INSTANCE_STARTED,
@@ -418,6 +453,13 @@ class BioOperaServer:
         if self.environment is None:
             raise EngineError("server has no execution environment")
         self.environment.submit(job, node)
+
+    def _sync_barrier(self) -> None:
+        # Durability barrier before externalization: under a grouped sync
+        # policy, flush any pending commits before jobs leave the server so
+        # a node can never observe work whose dispatch record could still
+        # be lost. No-op when the store syncs per commit.
+        self.store.kv.flush()
 
     # ------------------------------------------------------------------
     # Activity queue (results inbound from PECs) — the recovery module path
@@ -959,11 +1001,13 @@ class BioOperaServer:
             server.instances[instance_id] = instance
             if instance.terminal:
                 continue
-            for state in instance.dispatched_states():
-                server.emit(instance, ev.task_failed(
+            server.emit_batch(instance, [
+                ev.task_failed(
                     state.path, "server-recovery", state.node,
                     state.attempts, server.clock(),
-                ))
+                )
+                for state in instance.dispatched_states()
+            ])
         for instance in server.instances.values():
             if not instance.terminal:
                 server.navigator.navigate(instance)

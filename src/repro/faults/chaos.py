@@ -109,8 +109,13 @@ def _build(darwin: DarwinEngine, kernel_seed: int, nodes: int, cpus: int,
         # Retained history keeps truncated WAL segments around so the
         # invariant catalog can check snapshot+suffix recovery against a
         # full-log replay, byte for byte, after every checkpoint.
+        # Group commit (small batches) so every campaign exercises the
+        # coalesced write+fsync windows; the dispatcher's pre-submit
+        # barrier keeps node-visible work durable despite the buffering.
         store=OperaStore(retain_history=True,
-                         segment_records=SEGMENT_RECORDS),
+                         segment_records=SEGMENT_RECORDS,
+                         sync_policy="group",
+                         group_max_pending=8),
         observability=ObservabilityHub(
             checkpoint_interval=CHECKPOINT_INTERVAL),
     )

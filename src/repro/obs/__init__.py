@@ -62,7 +62,7 @@ class ObservabilityHub:
         self._store = store
         store.observability = self
         self.views.bind(store)
-        store.instances.subscribe(self._on_event)
+        store.instances.subscribe(self._on_event, batch=self._on_events)
 
     def detach(self) -> None:
         if self._store is not None:
@@ -79,6 +79,18 @@ class ObservabilityHub:
         self.tracing.on_event(instance_id, event)
         self.metrics.inc("events_appended")
         self._since_checkpoint += 1
+        if self._since_checkpoint >= self.checkpoint_interval:
+            self.checkpoint()
+
+    def _on_events(self, instance_id: str, start_seq: int, events) -> None:
+        """Batched delivery: one view fold + one checkpoint check per
+        contiguous event slice (the group-commit hot path)."""
+        self.views.apply_events(instance_id, start_seq, events)
+        on_event = self.tracing.on_event
+        for event in events:
+            on_event(instance_id, event)
+        self.metrics.inc("events_appended", len(events))
+        self._since_checkpoint += len(events)
         if self._since_checkpoint >= self.checkpoint_interval:
             self.checkpoint()
 

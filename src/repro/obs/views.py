@@ -488,6 +488,45 @@ class ViewCatalog:
             apply(instance_id, event)
         self.cursors[instance_id] = seq + 1
 
+    def apply_events(self, instance_id: str, start_seq: int,
+                     events) -> None:
+        """Fold a contiguous event slice with ONE cursor advance per event
+        batch instead of one guarded :meth:`apply_event` call per event.
+
+        The same idempotence contract as :meth:`apply_event`: an
+        already-folded prefix (re-delivery) is skipped, a gap between the
+        cursor and the slice start raises. The cursor is committed to the
+        last event actually folded even if a view raises mid-slice, so a
+        retried delivery never double-folds.
+        """
+        cursor = self.cursors.get(instance_id, 0)
+        end = start_seq + len(events)
+        if end <= cursor:
+            return  # whole slice already folded (idempotent re-delivery)
+        if start_seq > cursor:
+            raise StoreError(
+                f"view catalog missed events for {instance_id!r}: "
+                f"got seq {start_seq}, expected {cursor}"
+            )
+        handlers_by_kind = self._handlers
+        applied = cursor
+        try:
+            for event in (events[cursor - start_seq:]
+                          if cursor > start_seq else events):
+                kind = event["type"]
+                handlers = handlers_by_kind.get(kind)
+                if handlers is None:
+                    handlers = handlers_by_kind[kind] = [
+                        view.apply for view in self.views
+                        if view.interests is None or kind in view.interests
+                    ]
+                for apply in handlers:
+                    apply(instance_id, event)
+                applied += 1
+        finally:
+            if applied != cursor:
+                self.cursors[instance_id] = applied
+
     def in_sync(self, store, instance_id: str) -> bool:
         return (self.cursors.get(instance_id, 0)
                 == store.instances.event_count(instance_id))

@@ -21,6 +21,7 @@ mechanism the data spaces are built on.
 from __future__ import annotations
 
 import os
+import time
 from typing import Any, Dict, Iterator, List, Tuple
 
 from ..errors import ReproError, StoreError
@@ -76,11 +77,18 @@ class Transaction:
         self._ops.append(("del", key, None))
 
     def commit(self) -> None:
-        """Apply all queued operations as one durable WAL record."""
+        """Apply all queued operations as one durable WAL record.
+
+        ``_done`` is set only on *success*: a commit that raises (an
+        injected crash window, a disk error) leaves the transaction open,
+        so the caller can retry the commit or abort it cleanly instead of
+        being stuck with a batch that claims to be finished but may never
+        have been applied.
+        """
         if self._done:
             raise StoreError("transaction already finished")
-        self._done = True
         self._store._commit_batch(self._ops)
+        self._done = True
 
     def abort(self) -> None:
         """Discard the queued operations without touching the store."""
@@ -116,17 +124,68 @@ class KVStore:
         byte-identical to a full-log replay. Costs the disk the
         truncation would have reclaimed; meant for chaos campaigns and
         tests, not production stores.
+    sync_policy:
+        When a commit becomes *acked* (guaranteed to survive a crash):
+
+        * ``"per-commit"`` (default) — every commit is written and
+          fsynced before it returns: acked immediately;
+        * ``"group"`` — commits are applied to the in-memory state but
+          buffered; :meth:`flush` (explicit, or automatic once
+          ``group_max_pending`` commits are buffered) writes the whole
+          batch as one WAL write plus one fsync. A commit is acked only
+          once a flush covers it;
+        * ``"interval"`` — like ``"group"``, but a commit also triggers
+          a flush when at least ``sync_interval`` seconds (``clock``
+          time) have passed since the last one.
+
+        Under ``"group"``/``"interval"`` a crash loses at most the
+        unflushed suffix — never anything a completed :meth:`flush`
+        covered. :meth:`checkpoint` and :meth:`close` flush first, so
+        checkpoints and graceful shutdowns never lose buffered commits.
+    group_max_pending:
+        Buffered-commit cap for the batching policies; the cap bounds
+        the crash-loss window for ``"interval"`` too.
+    sync_interval:
+        Seconds between automatic flushes under ``"interval"``.
+    clock:
+        Injectable monotonic clock for ``"interval"`` (tests pass a fake;
+        defaults to :func:`time.monotonic`).
     """
+
+    SYNC_POLICIES = ("per-commit", "group", "interval")
 
     def __init__(self, path: str = MEMORY, *,
                  segment_records: int = DEFAULT_SEGMENT_RECORDS,
                  segment_bytes: int = DEFAULT_SEGMENT_BYTES,
-                 retain_history: bool = False):
+                 retain_history: bool = False,
+                 sync_policy: str = "per-commit",
+                 group_max_pending: int = 64,
+                 sync_interval: float = 0.05,
+                 clock=None):
+        if sync_policy not in self.SYNC_POLICIES:
+            raise StoreError(f"unknown sync policy {sync_policy!r}")
         self.path = path
         self._options = {
             "segment_records": segment_records,
             "segment_bytes": segment_bytes,
             "retain_history": retain_history,
+            "sync_policy": sync_policy,
+            "group_max_pending": group_max_pending,
+            "sync_interval": sync_interval,
+        }
+        self._sync_policy = sync_policy
+        self._group_max_pending = max(1, int(group_max_pending))
+        self._sync_interval = float(sync_interval)
+        self._clock = clock if clock is not None else time.monotonic
+        #: encoded-but-unflushed commit records (group/interval policies):
+        #: applied to the live state, not yet in the WAL. A crash loses
+        #: exactly this buffer.
+        self._pending: List[bytes] = []
+        self._last_sync = self._clock()
+        #: commit/sync accounting for profiling (see bench_observe).
+        self.stats: Dict[str, int] = {
+            "commits": 0, "syncs": 0, "group_flushes": 0,
+            "flushed_commits": 0, "max_group": 0,
         }
         if path == MEMORY:
             self._wal = MemoryWAL(
@@ -208,6 +267,14 @@ class KVStore:
         survivor = KVStore.__new__(KVStore)
         survivor.path = MEMORY
         survivor._options = dict(self._options)
+        survivor._sync_policy = self._sync_policy
+        survivor._group_max_pending = self._group_max_pending
+        survivor._sync_interval = self._sync_interval
+        survivor._clock = self._clock
+        # Buffered commits never reached the WAL: the crash loses them.
+        survivor._pending = []
+        survivor._last_sync = survivor._clock()
+        survivor.stats = {key: 0 for key in self.stats}
         survivor._wal = self._wal.simulate_crash()
         survivor._snapshot = self._snapshot
         survivor._state = {}
@@ -221,22 +288,71 @@ class KVStore:
         if not ops:
             return
         record = [[op, key, value] for op, key, value in ops]
-        self._wal.append(codec.encode(record))
-        # Crash here: the record is appended but unsynced — a real crash
-        # loses it (MemoryWAL.simulate_crash drops the unsynced suffix).
-        fire("kvstore.commit.pre-sync", ops=len(record))
-        self._wal.sync()
-        # Crash here: the record is durable but was never applied to the
-        # in-memory state — recovery must replay it.
-        fire("kvstore.commit.post-sync", ops=len(record))
+        self.stats["commits"] += 1
+        if self._sync_policy == "per-commit":
+            self._wal.append(codec.encode(record))
+            # Crash here: the record is appended but unsynced — a real
+            # crash loses it (MemoryWAL.simulate_crash drops the unsynced
+            # suffix).
+            fire("kvstore.commit.pre-sync", ops=len(record))
+            self._wal.sync()
+            self.stats["syncs"] += 1
+            # Crash here: the record is durable but was never applied to
+            # the in-memory state — recovery must replay it.
+            fire("kvstore.commit.post-sync", ops=len(record))
+            self._apply_batch(record)
+            return
+        # Group/interval: the commit is applied to the live state and
+        # buffered; it reaches the WAL only when flush() writes the whole
+        # batch. Until then it is unacked — a crash loses it.
+        self._pending.append(codec.encode(record))
         self._apply_batch(record)
+        if len(self._pending) >= self._group_max_pending:
+            self.flush()
+        elif (self._sync_policy == "interval"
+              and self._clock() - self._last_sync >= self._sync_interval):
+            self.flush()
+
+    def flush(self) -> int:
+        """Write and fsync every buffered commit as one group (no-op when
+        nothing is pending). Returns the number of commits acked.
+
+        This is the durability boundary of the batching policies: every
+        commit buffered before the flush is acked once it returns — and
+        nothing is acked before. The ``store.group_commit.pre_sync`` /
+        ``post_sync`` fault points bracket the group write+fsync, so chaos
+        campaigns can kill the process on either side of the boundary.
+        """
+        if not self._pending:
+            return 0
+        count = len(self._pending)
+        # Crash here: the batch never reached the WAL — every buffered
+        # commit is lost, everything previously flushed survives.
+        fire("store.group_commit.pre_sync", commits=count)
+        self._wal.append_many(self._pending)
+        self._wal.sync()
+        self._pending = []
+        self._last_sync = self._clock()
+        self.stats["syncs"] += 1
+        self.stats["group_flushes"] += 1
+        self.stats["flushed_commits"] += count
+        if count > self.stats["max_group"]:
+            self.stats["max_group"] = count
+        # Crash here: the whole batch is durable — recovery replays it.
+        fire("store.group_commit.post_sync", commits=count)
+        return count
+
+    @property
+    def pending_commits(self) -> int:
+        """Number of buffered (applied but unacked) commits."""
+        return len(self._pending)
 
     def put(self, key: str, value: Any) -> None:
-        """Durably set ``key`` to ``value``."""
+        """Set ``key`` to ``value`` (acked per the store's sync policy)."""
         self._commit_batch([("put", key, value)])
 
     def delete(self, key: str) -> None:
-        """Durably remove ``key`` (no error if absent)."""
+        """Remove ``key`` if present (acked per the store's sync policy)."""
         self._commit_batch([("del", key, None)])
 
     def transaction(self) -> Transaction:
@@ -256,6 +372,10 @@ class KVStore:
         each window.
         """
         fire("store.checkpoint.begin")
+        # Buffered group commits are already folded into self._state; the
+        # snapshot is about to capture them, so they must be in the log at
+        # a position the snapshot covers.
+        self.flush()
         self._wal.sync()
         position = self._wal.position()
         self._snapshot.save({
@@ -283,10 +403,16 @@ class KVStore:
         applied would show as a false diff.
         """
         problems: List[str] = []
+        # Buffered group commits are folded into the live state but not in
+        # the WAL yet; both reconstructions must append them or a pending
+        # buffer would read as divergence.
+        pending = [codec.decode(record) for record in self._pending]
         try:
             replayed, position = self._load_snapshot_state()
             for record in self._wal.records_from(position):
                 self._apply_ops_into(replayed, codec.decode(record), problems)
+            for record in pending:
+                self._apply_ops_into(replayed, record, problems)
         except ReproError as exc:
             return [f"WAL replay failed: {type(exc).__name__}: {exc}"]
         if replayed != self._state:
@@ -310,6 +436,8 @@ class KVStore:
                 full: Dict[str, Any] = {}
                 for record in self._wal.full_records():
                     self._apply_ops_into(full, codec.decode(record), problems)
+                for record in pending:
+                    self._apply_ops_into(full, record, problems)
             except ReproError as exc:
                 problems.append(
                     f"full-log replay failed: {type(exc).__name__}: {exc}"
@@ -372,5 +500,11 @@ class KVStore:
         return self._wal.position()
 
     def close(self) -> None:
-        """Close the WAL's backing file handles."""
+        """Flush buffered commits, then close the WAL's file handles.
+
+        A *graceful* shutdown acks everything; only crashes lose the
+        pending buffer (use :meth:`simulate_crash`, or simply never call
+        ``close()``, to model that).
+        """
+        self.flush()
         self._wal.close()

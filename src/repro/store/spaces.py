@@ -75,22 +75,34 @@ class InstanceSpace:
 
     def __init__(self, kv: KVStore):
         self._kv = kv
-        #: append subscribers, called ``fn(instance_id, seq, event)`` after
-        #: each durable append (post-commit, in append order). Observability
-        #: hooks live here; subscribers must not append events themselves.
+        #: append subscribers as ``(callback, batch)`` pairs. ``callback``
+        #: is called ``fn(instance_id, seq, event)`` after each durable
+        #: append (post-commit, in append order); a subscriber may also
+        #: register a ``batch`` form ``fn(instance_id, start_seq, events)``
+        #: that receives a contiguous slice per :meth:`append_events`
+        #: commit. Observability hooks live here; subscribers must not
+        #: append events themselves.
         self._subscribers: List[Any] = []
 
     # -- subscriptions -----------------------------------------------------
 
-    def subscribe(self, callback) -> None:
-        """Register a post-commit append callback (idempotent)."""
-        if callback not in self._subscribers:
-            self._subscribers.append(callback)
+    def subscribe(self, callback, batch=None) -> None:
+        """Register a post-commit append callback (idempotent).
+
+        ``batch``, if given, is preferred for multi-event commits: one
+        call per contiguous event slice instead of one per event.
+        """
+        for index, (existing, _batch) in enumerate(self._subscribers):
+            if existing == callback:
+                self._subscribers[index] = (callback, batch)
+                return
+        self._subscribers.append((callback, batch))
 
     def unsubscribe(self, callback) -> None:
         """Remove a previously registered append callback."""
-        if callback in self._subscribers:
-            self._subscribers.remove(callback)
+        self._subscribers = [
+            entry for entry in self._subscribers if entry[0] != callback
+        ]
 
     # -- metadata ---------------------------------------------------------
 
@@ -133,9 +145,58 @@ class InstanceSpace:
         with self._kv.transaction() as txn:
             txn.put(_seq_key(f"{self.PREFIX}{instance_id}/event/", seq), event)
             txn.put(seq_key, seq + 1)
-        for callback in self._subscribers:
-            callback(instance_id, seq, event)
+        self._notify(instance_id, seq, (event,))
         return seq
+
+    def append_events(self, instance_id: str,
+                      events: List[Dict[str, Any]]) -> int:
+        """Append a batch of events in ONE transaction (one WAL record).
+
+        The whole slice commits atomically at consecutive sequence
+        numbers, then subscribers are notified once per contiguous slice
+        (batch subscribers get a single call; per-event subscribers get
+        one call per event, in order). Returns the first sequence number
+        of the slice.
+        """
+        events = list(events)
+        seq_key = f"{self.PREFIX}{instance_id}/next_seq"
+        start = self._kv.get(seq_key)
+        if start is None:
+            raise StoreError(f"unknown instance {instance_id!r}")
+        if not events:
+            return start
+        prefix = f"{self.PREFIX}{instance_id}/event/"
+        with self._kv.transaction() as txn:
+            for offset, event in enumerate(events):
+                txn.put(_seq_key(prefix, start + offset), event)
+            txn.put(seq_key, start + len(events))
+        self._notify(instance_id, start, events)
+        return start
+
+    def _notify(self, instance_id: str, start_seq: int, events) -> None:
+        """Deliver a committed slice to every subscriber, isolated.
+
+        The events are already durable when this runs, so one raising
+        subscriber must not starve the others (their views would silently
+        diverge from the log) nor make the caller believe the append
+        failed and retry a double-append. Every subscriber gets the
+        slice; the first failure is re-raised once, after delivery.
+        """
+        failure = None
+        for callback, batch in self._subscribers:
+            try:
+                if batch is not None and len(events) > 1:
+                    batch(instance_id, start_seq, events)
+                else:
+                    seq = start_seq
+                    for event in events:
+                        callback(instance_id, seq, event)
+                        seq += 1
+            except Exception as exc:  # deliver to all, re-raise the first
+                if failure is None:
+                    failure = exc
+        if failure is not None:
+            raise failure
 
     def events(self, instance_id: str) -> Iterator[Dict[str, Any]]:
         """Yield the instance's events in append order."""
@@ -243,10 +304,12 @@ class OperaStore:
     """All four spaces over one KV store (one WAL, one recovery unit).
 
     Keyword options (``segment_records``, ``segment_bytes``,
-    ``retain_history``) are forwarded to the underlying
+    ``retain_history``, ``sync_policy``, ``group_max_pending``,
+    ``sync_interval``) are forwarded to the underlying
     :class:`~repro.store.kvstore.KVStore` and survive
     :meth:`simulate_crash`/:meth:`reopen`, so a chaos campaign configured
-    for retained history keeps it across every recovery generation.
+    for retained history or group commit keeps both across every
+    recovery generation.
     """
 
     def __init__(self, path: str = MEMORY, **kv_options: Any):
@@ -261,6 +324,10 @@ class OperaStore:
     def checkpoint(self) -> None:
         """Checkpoint the KV store: snapshot state, truncate covered log."""
         self.kv.checkpoint()
+
+    def flush(self) -> int:
+        """Ack buffered group commits (one write+fsync); see KVStore.flush."""
+        return self.kv.flush()
 
     def simulate_crash(self) -> "OperaStore":
         """Crash-and-recover an in-memory store (synced prefix survives)."""

@@ -143,6 +143,28 @@ class FileWAL:
             raise
         self._file.write(record)
 
+    def append_many(self, payloads: List[bytes]) -> None:
+        """Append a batch of records in one combined write (group commit).
+
+        The whole batch goes to the OS as a single buffer, so a crash can
+        only tear inside one record of the batch — earlier records of the
+        batch are complete prefixes, exactly as if appended one by one.
+        """
+        frames: List[bytes] = []
+        for payload in payloads:
+            record = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+            try:
+                fire("wal.append", nbytes=len(payload))
+            except InjectedCrash as crash:
+                if crash.torn_fraction is not None:
+                    cut = max(1, int(len(record) * crash.torn_fraction))
+                    self._file.write(b"".join(frames) + record[:cut])
+                    self._file.flush()
+                raise
+            frames.append(record)
+        if frames:
+            self._file.write(b"".join(frames))
+
     def sync(self) -> None:
         """Flush and fsync appended records to stable storage."""
         self._file.flush()
@@ -464,6 +486,42 @@ class SegmentedWAL:
                 or self._active_bytes >= self.max_segment_bytes):
             self._rotate()
 
+    def append_many(self, payloads: List[bytes]) -> None:
+        """Append a batch of records, one combined write per segment.
+
+        Frames are buffered and handed to the OS in a single ``write()``
+        per segment; a rotation threshold crossed mid-batch flushes the
+        buffered frames into the sealing segment first, so the on-disk
+        layout is identical to appending the records one at a time.
+        """
+        frames: List[bytes] = []
+
+        def flush_frames() -> None:
+            """Write the buffered frames as one combined buffer."""
+            if frames:
+                self._file.write(b"".join(frames))
+                del frames[:]
+
+        for payload in payloads:
+            record = (_HEADER.pack(len(payload), zlib.crc32(payload))
+                      + payload)
+            try:
+                fire("wal.append", nbytes=len(payload))
+            except InjectedCrash as crash:
+                if crash.torn_fraction is not None:
+                    cut = max(1, int(len(record) * crash.torn_fraction))
+                    self._file.write(b"".join(frames) + record[:cut])
+                    self._file.flush()
+                raise
+            frames.append(record)
+            self._active_records += 1
+            self._active_bytes += len(record)
+            if (self._active_records >= self.max_segment_records
+                    or self._active_bytes >= self.max_segment_bytes):
+                flush_frames()
+                self._rotate()
+        flush_frames()
+
     def _rotate(self) -> None:
         """Seal the active segment and start a new one (crash-safe).
 
@@ -662,6 +720,11 @@ class MemoryWAL:
                 and self._seg_records >= self.max_segment_records):
             self._seg_records = 0
             fire("store.rotate", records=self.max_segment_records)
+
+    def append_many(self, payloads: List[bytes]) -> None:
+        """Append a batch of records (memory has no write to combine)."""
+        for payload in payloads:
+            self.append(payload)
 
     def sync(self) -> None:
         """Mark all appended records as durable."""

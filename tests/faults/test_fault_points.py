@@ -80,8 +80,10 @@ class TestRegistry:
 #: crash points a plain single-activity run passes through. Excluded:
 #: recovery.replay (needs a recovery), obs.view.checkpoint and the
 #: store.checkpoint.* family (a tiny run never crosses the checkpoint
-#: interval), and store.rotate (a tiny run never fills a segment) — all
-#: have dedicated tests below.
+#: interval), store.rotate (a tiny run never fills a segment), and the
+#: store.group_commit.* pair (only fire under grouped sync policies;
+#: covered in tests/store/test_group_commit.py) — all have dedicated
+#: tests.
 ENGINE_CRASH_POINTS = [
     point for point, kinds in CATALOG.items()
     if "crash" in kinds
@@ -90,7 +92,9 @@ ENGINE_CRASH_POINTS = [
                       "store.checkpoint.begin",
                       "store.checkpoint.post-snapshot",
                       "store.checkpoint.truncate",
-                      "store.checkpoint.post-truncate")
+                      "store.checkpoint.post-truncate",
+                      "store.group_commit.pre_sync",
+                      "store.group_commit.post_sync")
 ]
 
 

@@ -76,6 +76,56 @@ class TestCursorDiscipline:
             hub.views.apply_event("pi-1", count + 3, ev.instance_started(0.0))
 
 
+class TestBatchApplication:
+    def test_batched_appends_build_identical_views(self):
+        """Folding a contiguous slice per commit (the group-commit hot
+        path) must produce byte-identical view state to one-at-a-time."""
+        events = _event_stream()
+        per_event_hub = ObservabilityHub()
+        _store_with(events, hub=per_event_hub)
+
+        batch_hub = ObservabilityHub()
+        store = OperaStore()
+        batch_hub.attach(store)
+        store.instances.create("pi-1", {})
+        for i in range(0, len(events), 7):
+            store.instances.append_events("pi-1", events[i:i + 7])
+        assert _view_dumps(batch_hub) == _view_dumps(per_event_hub)
+        assert batch_hub.views.in_sync(store, "pi-1")
+
+    def test_redelivered_slice_is_skipped(self):
+        hub = ObservabilityHub()
+        store = _store_with(_event_stream(10), hub=hub)
+        before = _view_dumps(hub)
+        events = list(store.instances.events("pi-1"))
+        hub.views.apply_events("pi-1", 0, events)  # full overlap: no-op
+        assert _view_dumps(hub) == before
+
+    def test_partially_redelivered_slice_applies_only_the_suffix(self):
+        events = _event_stream(10)
+        hub = ObservabilityHub()
+        store = _store_with(events[:4], hub=hub)
+        # slice [2, len): events 2..3 already folded, the rest is fresh
+        hub.views.apply_events("pi-1", 2, events[2:])
+        assert hub.views.cursors["pi-1"] == len(events)
+        reference = ObservabilityHub()
+        _store_with(events, hub=reference, instance_id="pi-1")
+        assert _view_dumps(hub) == _view_dumps(reference)
+
+    def test_batch_gap_raises(self):
+        hub = ObservabilityHub()
+        _store_with(_event_stream(5), hub=hub)
+        with pytest.raises(StoreError):
+            hub.views.apply_events("pi-1", 999, [ev.instance_started(0.0)])
+
+    def test_empty_slice_is_noop(self):
+        hub = ObservabilityHub()
+        store = _store_with(_event_stream(5), hub=hub)
+        cursor = hub.views.cursors["pi-1"]
+        hub.views.apply_events("pi-1", cursor, [])
+        assert hub.views.cursors["pi-1"] == cursor
+
+
 class TestCheckpointRecovery:
     def test_bind_catches_up_from_scratch(self):
         # No checkpoint at all: bind replays the whole log.

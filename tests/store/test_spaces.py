@@ -90,6 +90,115 @@ class TestInstanceSpace:
         assert [e["n"] for e in store.instances.events("i")] == list(range(120))
 
 
+class TestAppendEvents:
+    def test_batch_append_is_one_transaction(self, store):
+        store.instances.create("i", {})
+        before = store.kv.wal_records
+        start = store.instances.append_events(
+            "i", [{"n": 0}, {"n": 1}, {"n": 2}]
+        )
+        assert start == 0
+        assert store.kv.wal_records == before + 1  # one WAL record
+        assert [e["n"] for e in store.instances.events("i")] == [0, 1, 2]
+        assert store.instances.event_count("i") == 3
+
+    def test_batch_append_continues_sequence(self, store):
+        store.instances.create("i", {})
+        store.instances.append_event("i", {"n": 0})
+        assert store.instances.append_events("i", [{"n": 1}, {"n": 2}]) == 1
+        assert store.instances.append_event("i", {"n": 3}) == 3
+        assert [e["n"] for e in store.instances.events("i")] == [0, 1, 2, 3]
+
+    def test_empty_batch_is_noop(self, store):
+        store.instances.create("i", {})
+        before = store.kv.wal_records
+        assert store.instances.append_events("i", []) == 0
+        assert store.kv.wal_records == before
+        assert store.instances.event_count("i") == 0
+
+    def test_batch_append_unknown_instance_raises(self, store):
+        with pytest.raises(StoreError):
+            store.instances.append_events("nope", [{}])
+
+    def test_batch_subscriber_gets_one_call_per_slice(self, store):
+        store.instances.create("i", {})
+        singles, batches = [], []
+        store.instances.subscribe(
+            lambda iid, seq, ev: singles.append((seq, ev["n"])),
+            batch=lambda iid, start, evs: batches.append(
+                (start, [e["n"] for e in evs])
+            ),
+        )
+        store.instances.append_events("i", [{"n": 0}, {"n": 1}])
+        store.instances.append_event("i", {"n": 2})
+        assert batches == [(0, [0, 1])]   # multi-event slice: batch form
+        assert singles == [(2, 2)]        # single event: per-event form
+
+    def test_subscriber_without_batch_form_gets_per_event_calls(self, store):
+        store.instances.create("i", {})
+        seen = []
+        store.instances.subscribe(
+            lambda iid, seq, ev: seen.append((seq, ev["n"]))
+        )
+        store.instances.append_events("i", [{"n": 0}, {"n": 1}])
+        assert seen == [(0, 0), (1, 1)]
+
+
+class TestSubscriberIsolation:
+    def test_failing_subscriber_does_not_starve_others(self, store):
+        """Regression: one raising subscriber must not prevent delivery
+        to the rest — their views would silently diverge from the log."""
+        store.instances.create("i", {})
+        seen_a, seen_c = [], []
+
+        def bad(iid, seq, event):
+            raise RuntimeError("subscriber bug")
+
+        store.instances.subscribe(lambda iid, seq, ev: seen_a.append(seq))
+        store.instances.subscribe(bad)
+        store.instances.subscribe(lambda iid, seq, ev: seen_c.append(seq))
+        with pytest.raises(RuntimeError, match="subscriber bug"):
+            store.instances.append_event("i", {"n": 0})
+        # every healthy subscriber saw the event, before the re-raise
+        assert seen_a == [0]
+        assert seen_c == [0]
+        # and the append itself committed — no double-append on retry
+        assert store.instances.event_count("i") == 1
+
+    def test_first_failure_wins_when_several_fail(self, store):
+        store.instances.create("i", {})
+
+        def first(iid, seq, event):
+            raise RuntimeError("first")
+
+        def second(iid, seq, event):
+            raise RuntimeError("second")
+
+        store.instances.subscribe(first)
+        store.instances.subscribe(second)
+        with pytest.raises(RuntimeError, match="first"):
+            store.instances.append_event("i", {"n": 0})
+
+    def test_resubscribe_replaces_in_place(self, store):
+        store.instances.create("i", {})
+        seen = []
+        callback = lambda iid, seq, ev: seen.append(seq)  # noqa: E731
+        store.instances.subscribe(callback)
+        store.instances.subscribe(callback)  # idempotent
+        store.instances.append_event("i", {"n": 0})
+        assert seen == [0]
+
+    def test_unsubscribe_stops_delivery(self, store):
+        store.instances.create("i", {})
+        seen = []
+        callback = lambda iid, seq, ev: seen.append(seq)  # noqa: E731
+        store.instances.subscribe(callback,
+                                  batch=lambda iid, s, evs: seen.append(s))
+        store.instances.unsubscribe(callback)
+        store.instances.append_events("i", [{"n": 0}, {"n": 1}])
+        assert seen == []
+
+
 class TestConfigurationSpace:
     def test_node_round_trip(self, store):
         store.configuration.save_node("n1", {"cpus": 2})

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Guard sustained event throughput against the committed baseline.
+
+CI's ``throughput-smoke`` job stashes the committed ``BENCH_observe.json``
+(the full-mode baseline), re-runs the bench in ``--smoke`` mode, and then
+calls this script to compare the fresh ``throughput`` section against the
+stashed one. The check fails if group-commit throughput — or the
+group-vs-per-commit speedup — regressed by more than ``--max-regression``
+(default 30%).
+
+Absolute events/second is noisy across runner generations, so the
+*speedup* (group ÷ per-commit on the same machine, same run) is the
+primary signal: it cancels the machine out. The absolute group rate is
+still checked, at the same tolerance, to catch a batching path that got
+uniformly slower.
+
+Usage::
+
+    python tools/check_throughput.py BASELINE.json FRESH.json \
+        [--max-regression 0.30]
+"""
+
+import argparse
+import json
+import sys
+
+
+def _load_throughput(path):
+    """Read the ``throughput`` section of a BENCH_observe.json file."""
+    with open(path) as fh:
+        data = json.load(fh)
+    section = data.get("throughput")
+    if not section:
+        raise SystemExit(f"{path}: no 'throughput' section — regenerate "
+                         f"with benchmarks/bench_observe.py")
+    return section
+
+
+def main(argv=None):
+    """Compare fresh throughput numbers against the committed baseline."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_observe.json")
+    parser.add_argument("fresh", help="freshly generated BENCH_observe.json")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="tolerated fractional drop (default 0.30)")
+    args = parser.parse_args(argv)
+
+    baseline = _load_throughput(args.baseline)
+    fresh = _load_throughput(args.fresh)
+    floor = 1.0 - args.max_regression
+
+    checks = [
+        ("speedup (group vs per-commit)",
+         baseline["speedup"], fresh["speedup"]),
+        ("group throughput (events/s)",
+         baseline["group_eps"], fresh["group_eps"]),
+    ]
+    failed = False
+    for label, base, now in checks:
+        ratio = now / max(base, 1e-9)
+        status = "ok" if ratio >= floor else "REGRESSED"
+        print(f"{label}: baseline {base:g}, fresh {now:g} "
+              f"({ratio:.2f}x of baseline) — {status}")
+        if ratio < floor:
+            failed = True
+    if failed:
+        print(f"\nthroughput regressed more than "
+              f"{args.max_regression:.0%} vs the committed baseline")
+        return 1
+    print("\nthroughput within tolerance of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
