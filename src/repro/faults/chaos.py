@@ -23,8 +23,9 @@ so a failing campaign replays bit-for-bit from its recorded plan.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..bio import DarwinEngine, DatabaseProfile
 from ..cluster import SimKernel, SimulatedCluster, uniform
@@ -65,6 +66,80 @@ WALL_HORIZON = 2_000_000.0
 MAX_EVENTS = 2_000_000
 
 
+@dataclass(frozen=True)
+class CampaignConfig:
+    """One configuration cell: every knob a campaign build can turn.
+
+    The defaults reproduce the classic campaign setup (group commit with
+    a small buffer, tight checkpoint/rotation thresholds, leases and
+    quarantine on). Sweeps derive cells via :func:`dataclasses.replace`,
+    and :meth:`label` gives each cell a stable human-readable key used in
+    journals, reports, and ``BENCH_chaos.json``.
+    """
+
+    nodes: int = 4
+    cpus: int = 2
+    granularity: int = 8
+    profile: str = "mixed"
+    checkpoint_interval: int = CHECKPOINT_INTERVAL
+    segment_records: int = SEGMENT_RECORDS
+    sync_policy: str = "group"
+    group_max_pending: int = 8
+    leases: Optional[Tuple[float, float]] = LEASES
+    quarantine: Optional[Tuple[int, float, float]] = QUARANTINE
+
+    def replace(self, **changes) -> "CampaignConfig":
+        """A copy of this config with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    def label(self) -> str:
+        """Stable short cell key, e.g. ``sync=group/8,ckpt=20,leases=on``."""
+        sync = self.sync_policy
+        if sync == "group":
+            sync = f"group/{self.group_max_pending}"
+        lease = ("off" if self.leases is None
+                 else f"{self.leases[0]:g}x{self.leases[1]:g}")
+        quar = "off" if self.quarantine is None else "on"
+        return (f"sync={sync},ckpt={self.checkpoint_interval},"
+                f"seg={self.segment_records},leases={lease},quar={quar},"
+                f"profile={self.profile}")
+
+    def to_dict(self) -> Dict:
+        """Serialize to a JSON-safe dict (tuples become lists)."""
+        data = dataclasses.asdict(self)
+        data["leases"] = list(self.leases) if self.leases else None
+        data["quarantine"] = (list(self.quarantine)
+                              if self.quarantine else None)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CampaignConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        kwargs = dict(data)
+        if kwargs.get("leases") is not None:
+            kwargs["leases"] = tuple(kwargs["leases"])
+        if kwargs.get("quarantine") is not None:
+            kwargs["quarantine"] = tuple(kwargs["quarantine"])
+        return cls(**kwargs)
+
+
+def _resolve_config(config: Optional[CampaignConfig] = None,
+                    nodes: Optional[int] = None,
+                    cpus: Optional[int] = None,
+                    granularity: Optional[int] = None,
+                    profile: Optional[str] = None) -> CampaignConfig:
+    """Fold legacy keyword overrides into a CampaignConfig."""
+    config = config or CampaignConfig()
+    overrides = {
+        key: value
+        for key, value in (("nodes", nodes), ("cpus", cpus),
+                           ("granularity", granularity),
+                           ("profile", profile))
+        if value is not None
+    }
+    return config.replace(**overrides) if overrides else config
+
+
 def default_darwin(size: int = 120) -> DarwinEngine:
     """The workload generator campaigns run (small modeled all-vs-all)."""
     profile = DatabaseProfile.synthetic("chaos", size, seed=5)
@@ -86,6 +161,9 @@ class CampaignResult:
     recoveries: int = 0
     wall: float = 0.0
     events: int = 0
+    #: total simulated seconds the server spent down (crash → recovered),
+    #: summed across every outage; the sweep's "recovery time" metric.
+    recovery_time: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -99,43 +177,54 @@ class CampaignResult:
         return sorted(names)
 
 
-def _build(darwin: DarwinEngine, kernel_seed: int, nodes: int, cpus: int,
-           granularity: int):
+def _build(darwin: DarwinEngine, kernel_seed: int,
+           config: Optional[CampaignConfig] = None,
+           nodes: Optional[int] = None, cpus: Optional[int] = None,
+           granularity: Optional[int] = None):
+    config = _resolve_config(config, nodes=nodes, cpus=cpus,
+                             granularity=granularity)
     kernel = SimKernel(seed=kernel_seed)
-    cluster = SimulatedCluster(kernel, uniform(nodes, cpus=cpus),
+    cluster = SimulatedCluster(kernel, uniform(config.nodes,
+                                               cpus=config.cpus),
                                execution_noise=0.0)
     server = BioOperaServer(
         seed=kernel_seed,
         # Retained history keeps truncated WAL segments around so the
         # invariant catalog can check snapshot+suffix recovery against a
         # full-log replay, byte for byte, after every checkpoint.
-        # Group commit (small batches) so every campaign exercises the
-        # coalesced write+fsync windows; the dispatcher's pre-submit
-        # barrier keeps node-visible work durable despite the buffering.
+        # Group commit by default (small batches) so every campaign
+        # exercises the coalesced write+fsync windows; the dispatcher's
+        # pre-submit barrier keeps node-visible work durable despite the
+        # buffering. Sweeps override any of these knobs per cell.
         store=OperaStore(retain_history=True,
-                         segment_records=SEGMENT_RECORDS,
-                         sync_policy="group",
-                         group_max_pending=8),
+                         segment_records=config.segment_records,
+                         sync_policy=config.sync_policy,
+                         group_max_pending=config.group_max_pending),
         observability=ObservabilityHub(
-            checkpoint_interval=CHECKPOINT_INTERVAL),
+            checkpoint_interval=config.checkpoint_interval),
     )
     server.attach_environment(cluster)
-    server.enable_quarantine(*QUARANTINE)
-    server.enable_leases(*LEASES)
+    if config.quarantine is not None:
+        server.enable_quarantine(*config.quarantine)
+    if config.leases is not None:
+        server.enable_leases(*config.leases)
     install_all_vs_all(server, darwin)
     instance_id = server.launch("all_vs_all", {
         "db_name": darwin.profile.name,
-        "granularity": granularity,
+        "granularity": config.granularity,
     })
     return kernel, cluster, server, instance_id
 
 
-def fault_free_baseline(darwin: DarwinEngine, nodes: int = 4, cpus: int = 2,
-                        granularity: int = 8) -> Dict:
+def fault_free_baseline(darwin: DarwinEngine, nodes: Optional[int] = None,
+                        cpus: Optional[int] = None,
+                        granularity: Optional[int] = None,
+                        config: Optional[CampaignConfig] = None) -> Dict:
     """Run the workload undisturbed; campaigns must match its outputs."""
+    config = _resolve_config(config, nodes=nodes, cpus=cpus,
+                             granularity=granularity)
     kernel, cluster, server, instance_id = _build(
-        darwin, kernel_seed=101, nodes=nodes, cpus=cpus,
-        granularity=granularity,
+        darwin, kernel_seed=101, config=config,
     )
     status = cluster.run_until_instance_done(instance_id)
     return {
@@ -147,7 +236,7 @@ def fault_free_baseline(darwin: DarwinEngine, nodes: int = 4, cpus: int = 2,
 
 def _schedule_plan(plan: FaultPlan, cluster: SimulatedCluster,
                    executed: set, result: CampaignResult,
-                   ensure_recovered) -> None:
+                   ensure_recovered, mark_down=lambda: None) -> None:
     """Translate the plan's scheduled disturbances into kernel events."""
     script = ScenarioScript(cluster)
 
@@ -276,6 +365,7 @@ def _schedule_plan(plan: FaultPlan, cluster: SimulatedCluster,
                 if cluster.server.up:
                     cluster.crash_server()
                     result.crashes += 1
+                    mark_down()
 
             script.at(time, "chaos: server crash",
                       noted(category, crash_server))
@@ -290,26 +380,52 @@ def _schedule_plan(plan: FaultPlan, cluster: SimulatedCluster,
 def run_campaign(seed: int, darwin: DarwinEngine,
                  baseline: Optional[Dict] = None,
                  plan: Optional[FaultPlan] = None,
-                 nodes: int = 4, cpus: int = 2,
-                 granularity: int = 8,
-                 profile: str = "mixed") -> CampaignResult:
-    """Run one seeded chaos campaign; returns its full accounting."""
+                 nodes: Optional[int] = None, cpus: Optional[int] = None,
+                 granularity: Optional[int] = None,
+                 profile: Optional[str] = None,
+                 config: Optional[CampaignConfig] = None,
+                 trace: Optional[Callable[[str], None]] = None,
+                 ) -> CampaignResult:
+    """Run one seeded chaos campaign; returns its full accounting.
+
+    ``trace`` (the ``--rerun`` repro mode) receives a line per injected
+    crash, per recovery, and per invariant-catalog entry (pass/fail).
+    """
+    config = _resolve_config(config, nodes=nodes, cpus=cpus,
+                             granularity=granularity, profile=profile)
     if baseline is None:
-        baseline = fault_free_baseline(darwin, nodes=nodes, cpus=cpus,
-                                       granularity=granularity)
+        baseline = fault_free_baseline(darwin, config=config)
     kernel, cluster, _server, instance_id = _build(
-        darwin, kernel_seed=900 + seed * 13, nodes=nodes, cpus=cpus,
-        granularity=granularity,
+        darwin, kernel_seed=900 + seed * 13, config=config,
     )
     if plan is None:
         plan = FaultPlan.generate(
             seed, sorted(cluster.nodes),
             horizon=max(120.0, baseline["wall"] * 1.5),
-            profile=profile,
+            profile=config.profile,
         )
     result = CampaignResult(seed=seed, plan=plan.to_dict())
     executed: set = set()
     recovery_rng = kernel.rng("chaos-recovery")
+    down = {"since": None}
+
+    def mark_down():
+        """Start the downtime clock (first crash of this outage)."""
+        if down["since"] is None:
+            down["since"] = kernel.now
+
+    def run_checks(server, label, **check_kw):
+        """Invariant catalog, flat or per-invariant when tracing."""
+        if trace is None:
+            return invariants.check_server(server, **check_kw)
+        problems: List[str] = []
+        for name, found in invariants.run_catalog(server, **check_kw):
+            marker = "FAIL" if found else "ok  "
+            trace(f"    {marker} {label}: {name}")
+            for problem in found:
+                trace(f"         - {problem}")
+            problems.extend(found)
+        return problems
 
     def ensure_recovered():
         """Restart the server from durable state if it is down."""
@@ -325,28 +441,40 @@ def run_campaign(seed: int, darwin: DarwinEngine,
                 store, current.registry, environment=cluster,
                 policy=current.dispatcher.policy, seed=current.seed,
                 observability=ObservabilityHub(
-                    checkpoint_interval=CHECKPOINT_INTERVAL),
+                    checkpoint_interval=config.checkpoint_interval),
                 leases=current.leases,
             )
-        except InjectedCrash:
+        except InjectedCrash as exc:
             # Recovery itself was killed; whatever half-recovered server
             # attach() left behind is down too. Try again from its store
             # (which holds everything the failed replay persisted).
             result.crashes += 1
             cluster.server.up = False
+            if trace is not None:
+                trace(f"[t={kernel.now:10.1f}] recovery killed at "
+                      f"{exc.point} (crash {result.crashes})")
             kernel.schedule(recovery_rng.uniform(30.0, 300.0),
                             ensure_recovered, label="chaos: re-recover")
             return
         for key, value in current.metrics.items():
             recovered.metrics[key] = recovered.metrics.get(key, 0) + value
-        recovered.enable_quarantine(*QUARANTINE)
+        if config.quarantine is not None:
+            recovered.enable_quarantine(*config.quarantine)
         result.recoveries += 1
+        if down["since"] is not None:
+            result.recovery_time += kernel.now - down["since"]
+            down["since"] = None
+        if trace is not None:
+            trace(f"[t={kernel.now:10.1f}] recovery {result.recoveries} "
+                  f"complete; checking invariants")
         result.violations.extend(
             f"after recovery {result.recoveries}: {problem}"
-            for problem in invariants.check_server(recovered)
+            for problem in run_checks(
+                recovered, f"recovery {result.recoveries}")
         )
 
-    _schedule_plan(plan, cluster, executed, result, ensure_recovered)
+    _schedule_plan(plan, cluster, executed, result, ensure_recovered,
+                   mark_down=mark_down)
     injector = FaultInjector(plan.actions)
     with installed(injector):
         while True:
@@ -361,9 +489,13 @@ def run_campaign(seed: int, darwin: DarwinEngine,
                 break
             try:
                 progressed = kernel.step()
-            except InjectedCrash:
+            except InjectedCrash as exc:
                 result.crashes += 1
                 cluster.server.up = False
+                mark_down()
+                if trace is not None:
+                    trace(f"[t={kernel.now:10.1f}] injected crash at "
+                          f"{exc.point} (crash {result.crashes})")
                 kernel.schedule(recovery_rng.uniform(30.0, 300.0),
                                 ensure_recovered, label="chaos: recover")
                 continue
@@ -377,8 +509,12 @@ def run_campaign(seed: int, darwin: DarwinEngine,
                 break
         final_live = cluster.server.instances.get(instance_id)
         result.status = final_live.status if final_live is not None else "lost"
-        result.violations.extend(invariants.check_server(
-            cluster.server, baseline_outputs=baseline["outputs"], final=True,
+        if trace is not None:
+            trace(f"[t={kernel.now:10.1f}] campaign over "
+                  f"(status={result.status}); final invariant catalog")
+        result.violations.extend(run_checks(
+            cluster.server, "final",
+            baseline_outputs=baseline["outputs"], final=True,
         ))
     result.fired = list(injector.fired)
     result.executed = sorted(executed)
@@ -389,14 +525,15 @@ def run_campaign(seed: int, darwin: DarwinEngine,
 
 def run_campaigns(seeds, darwin: Optional[DarwinEngine] = None,
                   baseline: Optional[Dict] = None,
-                  profile: str = "mixed",
+                  profile: Optional[str] = None,
+                  config: Optional[CampaignConfig] = None,
                   **build_kw) -> List[CampaignResult]:
     """Run many seeded campaigns against one shared baseline."""
     darwin = darwin or default_darwin()
+    config = _resolve_config(config, profile=profile, **build_kw)
     if baseline is None:
-        baseline = fault_free_baseline(darwin, **build_kw)
+        baseline = fault_free_baseline(darwin, config=config)
     return [
-        run_campaign(seed, darwin, baseline=baseline, profile=profile,
-                     **build_kw)
+        run_campaign(seed, darwin, baseline=baseline, config=config)
         for seed in seeds
     ]

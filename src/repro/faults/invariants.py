@@ -47,27 +47,49 @@ from ..core.engine.recovery import replay_instance, verify_log
 from ..store import codec
 
 
+def run_catalog(server, baseline_outputs: Optional[Dict] = None,
+                final: bool = False) -> List:
+    """Run the catalog invariant by invariant: ``(name, violations)`` pairs.
+
+    The per-invariant grouping is what the chaos CLI's ``--rerun`` repro
+    mode prints as a pass/fail trace; :func:`check_server` flattens the
+    same pairs into the single violation list campaigns record.
+    """
+    instance_ids = list(server.store.instances.instance_ids())
+
+    def each(check):
+        """Apply a per-instance check across every persisted instance."""
+        return [p for iid in instance_ids for p in check(server, iid)]
+
+    named = [
+        ("log-replayable/epoch-monotone", [
+            f"{iid}: {anomaly}"
+            for iid in instance_ids
+            for anomaly in verify_log(server.store, iid, server._resolver)
+        ]),
+        ("replay-equivalence", each(_check_replay_equivalence)),
+        ("exactly-once", each(_check_exactly_once)),
+        ("contiguous-log", each(_check_log_contiguity)),
+        ("view-equivalence", each(_check_view_equivalence)),
+        ("slot-consistency", _check_slot_consistency(server)),
+        ("leases", _check_leases(server)),
+        ("wal-integrity", [f"store: {p}" for p in server.store.kv.audit()]),
+    ]
+    if final:
+        named.append(("final-outputs", _check_final(server,
+                                                    baseline_outputs)))
+    return named
+
+
 def check_server(server, baseline_outputs: Optional[Dict] = None,
                  final: bool = False) -> List[str]:
     """Run the full invariant catalog; returns violations (ideally [])."""
-    problems: List[str] = []
-    for instance_id in server.store.instances.instance_ids():
-        problems += [
-            f"{instance_id}: {anomaly}"
-            for anomaly in verify_log(
-                server.store, instance_id, server._resolver
-            )
-        ]
-        problems += _check_replay_equivalence(server, instance_id)
-        problems += _check_exactly_once(server, instance_id)
-        problems += _check_log_contiguity(server, instance_id)
-        problems += _check_view_equivalence(server, instance_id)
-    problems += _check_slot_consistency(server)
-    problems += _check_leases(server)
-    problems += [f"store: {p}" for p in server.store.kv.audit()]
-    if final:
-        problems += _check_final(server, baseline_outputs)
-    return problems
+    return [
+        problem
+        for _name, problems in run_catalog(
+            server, baseline_outputs=baseline_outputs, final=final)
+        for problem in problems
+    ]
 
 
 def _check_replay_equivalence(server, instance_id: str) -> List[str]:

@@ -1,0 +1,142 @@
+"""Statistical sampling for chaos campaigns: Wilson intervals, stop rule.
+
+The fixed "48/50 survived" accounting of the original smoke loop says
+nothing about how much evidence those 50 seeds actually carry. Following
+the iterative-statistical-injection idea from DAVOS-style dependability
+benchmarking, the campaign engine instead keeps drawing seed batches
+until the *Wilson score interval* around each fault category's survival
+rate is tight enough: sampling stops once every engaged category's
+half-width drops below a target ``epsilon`` (or a run cap is hit, which
+the report then flags as unconverged).
+
+The Wilson interval is used instead of the normal (Wald) approximation
+because campaign survival rates sit near 1.0, exactly where Wald
+collapses to a zero-width interval after a clean batch; Wilson stays
+honest there ("35/35 survived" still spans ~0.90-1.0 at 95%).
+
+This module is pure (stdlib ``math`` only) so reports and tests can use
+it without importing the engine stack.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+#: two-sided z for the default 95% confidence level.
+Z_95 = 1.959963984540054
+
+
+def wilson(successes: int, trials: int, z: float = Z_95) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Returns ``(low, high)`` bounds in [0, 1]. With zero trials the
+    interval is the vacuous ``(0.0, 1.0)``.
+    """
+    if trials < 0 or successes < 0 or successes > trials:
+        raise ValueError(f"bad binomial counts {successes}/{trials}")
+    if trials == 0:
+        return (0.0, 1.0)
+    n = float(trials)
+    p = successes / n
+    z2 = z * z
+    denom = 1.0 + z2 / n
+    center = (p + z2 / (2.0 * n)) / denom
+    spread = (z / denom) * math.sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n))
+    # at p=0 (p=1) the exact lower (upper) bound is 0 (1); pin them so
+    # float noise never reports e.g. low=3e-18 for a zero-survival count
+    low = 0.0 if successes == 0 else max(0.0, center - spread)
+    high = 1.0 if successes == trials else min(1.0, center + spread)
+    return (low, high)
+
+
+def half_width(successes: int, trials: int, z: float = Z_95) -> float:
+    """Half the Wilson interval's width (the convergence criterion)."""
+    low, high = wilson(successes, trials, z)
+    return (high - low) / 2.0
+
+
+@dataclass
+class CategoryStats:
+    """Survival evidence for one fault category."""
+
+    category: str
+    engaged: int = 0
+    survived: int = 0
+
+    def observe(self, ok: bool) -> None:
+        """Fold in one campaign that engaged this category."""
+        self.engaged += 1
+        if ok:
+            self.survived += 1
+
+    @property
+    def rate(self) -> float:
+        """Point estimate of the survival rate (1.0 with no evidence)."""
+        return self.survived / self.engaged if self.engaged else 1.0
+
+    def interval(self, z: float = Z_95) -> Tuple[float, float]:
+        """Wilson confidence bounds on the survival rate."""
+        return wilson(self.survived, self.engaged, z)
+
+    def half_width(self, z: float = Z_95) -> float:
+        """Current Wilson half-width (1/2 with no evidence)."""
+        return half_width(self.survived, self.engaged, z)
+
+    def converged(self, epsilon: float, z: float = Z_95) -> bool:
+        """True once the half-width is within the target epsilon."""
+        return self.engaged > 0 and self.half_width(z) <= epsilon
+
+    def to_dict(self, z: float = Z_95) -> Dict:
+        """JSON-safe summary (`rate`, `ci_low`, `ci_high`, samples)."""
+        low, high = self.interval(z)
+        return {
+            "category": self.category,
+            "engaged": self.engaged,
+            "survived": self.survived,
+            "rate": round(self.rate, 6),
+            "ci_low": round(low, 6),
+            "ci_high": round(high, 6),
+            "half_width": round(self.half_width(z), 6),
+        }
+
+
+def aggregate(records: Iterable) -> Dict[str, CategoryStats]:
+    """Per-category survival stats over run records.
+
+    Accepts anything with ``categories`` (iterable of names) and ``ok``
+    (bool) — both :class:`~repro.faults.campaign.RunRecord` objects and
+    plain journal dicts.
+    """
+    stats: Dict[str, CategoryStats] = {}
+    for record in records:
+        if isinstance(record, dict):
+            categories, ok = record.get("categories", ()), record.get("ok")
+        else:
+            categories, ok = record.categories, record.ok
+        for category in categories:
+            entry = stats.get(category)
+            if entry is None:
+                entry = stats[category] = CategoryStats(category)
+            entry.observe(bool(ok))
+    return stats
+
+
+def unconverged(stats: Dict[str, CategoryStats], epsilon: float,
+                z: float = Z_95) -> List[str]:
+    """Categories whose Wilson half-width still exceeds epsilon."""
+    return sorted(
+        name for name, entry in stats.items()
+        if not entry.converged(epsilon, z)
+    )
+
+
+def converged(stats: Dict[str, CategoryStats], epsilon: float,
+              z: float = Z_95) -> bool:
+    """True when every observed category meets the epsilon target.
+
+    An empty stats dict is *not* converged — no batch has engaged any
+    fault yet, so there is no evidence to stop on.
+    """
+    return bool(stats) and not unconverged(stats, epsilon, z)

@@ -22,7 +22,8 @@ def test_split_brain_promotion_is_safe():
     darwin = chaos.default_darwin()
     baseline = chaos.fault_free_baseline(darwin)
     kernel, cluster, _server, instance_id = chaos._build(
-        darwin, kernel_seed=101, nodes=4, cpus=2, granularity=8,
+        darwin, kernel_seed=101,
+        config=chaos.CampaignConfig(nodes=4, cpus=2, granularity=8),
     )
     # fast monitor so promotion lands while the run is still in flight
     monitor = attach_standby(cluster, takeover_after=20.0,

@@ -1,0 +1,175 @@
+"""Campaign engine: parallel determinism, resume, hang reaping.
+
+These are the robustness guarantees of the *engine itself* (the tool
+every other dependability claim is validated through):
+
+* the same spec list produces byte-identical journals whatever the
+  worker-pool size (results are pure functions of seed × config);
+* a campaign killed mid-flight resumes from its journal without
+  re-running journaled seeds — including past a torn final line;
+* a hung run is reaped by the per-run timeout, classified ``hung`` with
+  its plan attached, and never stalls the pool;
+* statistical sampling stops on Wilson convergence and respects the
+  run cap.
+
+Real campaigns run in worker processes here, so this file is the
+slowest of the faults suite; budgets are kept small.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.faults import stats
+from repro.faults.campaign import (
+    CampaignEngine,
+    Journal,
+    JournalError,
+    RunSpec,
+    run_statistical,
+)
+from repro.faults.chaos import CampaignConfig
+
+CONFIG = CampaignConfig()
+META = {"suite": "test_campaign"}
+
+
+def _run(workers, specs, journal_path=None, **kw):
+    with CampaignEngine(workers=workers, timeout=120.0,
+                        journal_path=journal_path, journal_meta=META,
+                        **kw) as engine:
+        records = engine.run(specs)
+        counters = (engine.executed, engine.resumed, engine.hung)
+    return records, counters
+
+
+class TestParallelDeterminism:
+    SPECS = [RunSpec(seed, CONFIG) for seed in range(10)]
+
+    def test_pool_size_does_not_change_results_or_journal(self, tmp_path):
+        serial_journal = str(tmp_path / "serial.jsonl")
+        parallel_journal = str(tmp_path / "parallel.jsonl")
+        serial, _ = _run(1, self.SPECS, serial_journal)
+        parallel, _ = _run(3, self.SPECS, parallel_journal)
+        assert serial == parallel
+        with open(serial_journal, "rb") as fh:
+            serial_bytes = fh.read()
+        with open(parallel_journal, "rb") as fh:
+            parallel_bytes = fh.read()
+        assert serial_bytes == parallel_bytes
+        assert all(record["ok"] for record in serial)
+
+    def test_records_carry_the_dependability_metrics(self, tmp_path):
+        records, _ = _run(2, self.SPECS[:4])
+        for spec, record in zip(self.SPECS, records):
+            assert record["seed"] == spec.seed
+            assert record["cell"] == CONFIG.label()
+            for key in ("rel_throughput", "recovery_time", "wall",
+                        "crashes", "recoveries", "categories", "status"):
+                assert key in record
+            assert record["rel_throughput"] > 0
+
+
+class TestJournalResume:
+    SPECS = [RunSpec(seed, CONFIG) for seed in range(8)]
+
+    def _full_journal(self, tmp_path):
+        path = str(tmp_path / "full.jsonl")
+        records, _ = _run(2, self.SPECS, path)
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines(keepends=True)
+        return records, lines
+
+    def test_resume_skips_journaled_seeds(self, tmp_path):
+        records, lines = self._full_journal(tmp_path)
+        # simulate a campaign killed after journaling 5 of 8 runs
+        partial = str(tmp_path / "partial.jsonl")
+        with open(partial, "w", encoding="utf-8") as fh:
+            fh.writelines(lines[:6])  # header + 5 records
+        resumed_records, (executed, resumed, _hung) = _run(
+            2, self.SPECS, partial)
+        assert resumed == 5
+        assert executed == 3  # only the un-journaled tail ran
+        assert resumed_records == records
+        with open(partial, encoding="utf-8") as fh:
+            assert fh.read().splitlines(keepends=True) == lines
+
+    def test_resume_tolerates_a_torn_final_line(self, tmp_path):
+        records, lines = self._full_journal(tmp_path)
+        torn = str(tmp_path / "torn.jsonl")
+        with open(torn, "w", encoding="utf-8") as fh:
+            fh.writelines(lines[:4])
+            fh.write(lines[4][: len(lines[4]) // 2])  # crash mid-append
+        resumed_records, (executed, resumed, _hung) = _run(
+            2, self.SPECS, torn)
+        assert resumed == 3
+        assert executed == 5  # the torn record did not count
+        assert resumed_records == records
+
+    def test_meta_mismatch_is_rejected(self, tmp_path):
+        path = str(tmp_path / "other.jsonl")
+        Journal(path, {"suite": "someone-else"}).close()
+        with pytest.raises(JournalError):
+            Journal(path, META)
+
+    def test_spec_mismatch_is_rejected(self, tmp_path):
+        path = str(tmp_path / "mismatch.jsonl")
+        _run(1, self.SPECS[:2], path)
+        other = [RunSpec(seed + 100, CONFIG) for seed in range(2)]
+        with CampaignEngine(workers=1, journal_path=path,
+                            journal_meta=META) as engine:
+            with pytest.raises(JournalError):
+                engine.run(other)
+
+
+class TestHangReaping:
+    def test_hung_run_is_reaped_and_classified(self, tmp_path):
+        specs = [
+            RunSpec(0, CONFIG),
+            RunSpec(1, CONFIG, hang=True),
+            RunSpec(2, CONFIG),
+        ]
+        failing_dir = str(tmp_path / "failing_plans")
+        with CampaignEngine(workers=2, timeout=3.0,
+                            failing_dir=failing_dir) as engine:
+            records = engine.run(specs)
+            assert engine.hung == 1
+            # the pool survived the reap: it can run more work
+            more = engine.run([RunSpec(3, CONFIG)])
+        assert [record["status"] for record in records] \
+            == ["completed", "hung", "completed"]
+        hung = records[1]
+        assert not hung["ok"]
+        assert hung["plan"] is not None  # reproducible even though reaped
+        assert hung["categories"] and hung["categories"] != ["unknown"]
+        assert "wall-clock" in hung["violations"][0]
+        assert more[0]["ok"]
+        # the hung run's plan was dumped for triage
+        dumps = os.listdir(failing_dir)
+        assert len(dumps) == 1 and "seed0001" in dumps[0]
+        with open(os.path.join(failing_dir, dumps[0]),
+                  encoding="utf-8") as fh:
+            dumped = json.load(fh)
+        assert dumped["seed"] == 1
+        assert dumped["status"] == "hung"
+        assert dumped["plan"] == hung["plan"]
+
+
+class TestStatisticalSampling:
+    def test_stops_once_wilson_half_width_meets_epsilon(self):
+        with CampaignEngine(workers=2, timeout=120.0) as engine:
+            records = run_statistical(engine, CONFIG, epsilon=0.45,
+                                      batch=6, max_runs=60)
+        # a loose epsilon converges after few batches, far below the cap
+        assert 6 <= len(records) < 60
+        assert len(records) % 6 == 0  # whole batches
+        per_category = stats.aggregate(records)
+        assert stats.converged(per_category, 0.45)
+
+    def test_run_cap_bounds_an_unreachable_epsilon(self):
+        with CampaignEngine(workers=2, timeout=120.0) as engine:
+            records = run_statistical(engine, CONFIG, epsilon=0.001,
+                                      batch=4, max_runs=8)
+        assert len(records) == 8
+        assert not stats.converged(stats.aggregate(records), 0.001)

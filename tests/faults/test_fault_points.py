@@ -16,7 +16,9 @@ import pytest
 from repro.cluster import SimKernel, SimulatedCluster, uniform
 from repro.core.engine import BioOperaServer, ProgramRegistry, ProgramResult
 from repro.errors import ReproError
-from repro.faults.plan import FaultAction
+from repro.faults.plan import (
+    PROFILES, SCHEDULED_CATEGORIES, FaultAction, FaultPlan,
+)
 from repro.faults.points import (
     CATALOG, FaultInjector, InjectedCrash, active, fire, installed,
 )
@@ -96,6 +98,55 @@ ENGINE_CRASH_POINTS = [
                       "store.group_commit.pre_sync",
                       "store.group_commit.post_sync")
 ]
+
+
+class TestProfileCoverage:
+    """Fault-point coverage of the *campaign profiles themselves*: a
+    crash point that no profile ever arms is a window the campaigns
+    silently stopped testing. Adding a point to ``CATALOG`` without
+    teaching ``FaultPlan.generate`` to draw it fails here."""
+
+    NODES = [f"node{i:03d}" for i in range(1, 5)]
+    SAMPLE_SEEDS = 200
+
+    def _armed_by(self, profile):
+        armed = set()
+        scheduled = set()
+        for seed in range(self.SAMPLE_SEEDS):
+            plan = FaultPlan.generate(seed, self.NODES, profile=profile)
+            armed.update(action.point for action in plan.actions)
+            scheduled.update(fault.category for fault in plan.scheduled)
+        return armed, scheduled
+
+    def test_every_catalog_point_is_armed_by_at_least_one_profile(self):
+        armed_anywhere = set()
+        for profile in PROFILES:
+            armed, _ = self._armed_by(profile)
+            armed_anywhere |= armed
+        missing = set(CATALOG) - armed_anywhere
+        assert not missing, (
+            f"crash points never armed by any profile in PROFILES "
+            f"(campaigns cannot exercise them): {sorted(missing)}"
+        )
+
+    def test_every_scheduled_category_is_drawn_by_at_least_one_profile(self):
+        drawn_anywhere = set()
+        for profile in PROFILES:
+            _, scheduled = self._armed_by(profile)
+            drawn_anywhere |= scheduled
+        missing = set(SCHEDULED_CATEGORIES) - drawn_anywhere
+        assert not missing, (
+            f"scheduled disturbance categories no profile draws: "
+            f"{sorted(missing)}"
+        )
+
+    def test_profiles_only_arm_cataloged_points(self):
+        for profile in PROFILES:
+            armed, _ = self._armed_by(profile)
+            assert armed <= set(CATALOG), (
+                f"profile {profile} arms unknown points: "
+                f"{sorted(armed - set(CATALOG))}"
+            )
 
 
 class TestCrashWindows:

@@ -1,0 +1,130 @@
+"""Wilson intervals and the statistical stop rule.
+
+The campaign engine's convergence decisions ride entirely on this
+module, so the interval math is pinned against hand-computed values and
+the structural properties that make the stop rule sound: bounds stay in
+[0, 1], the interval always contains the point estimate, and the
+half-width shrinks monotonically with more evidence.
+"""
+
+import pytest
+
+from repro.faults import stats
+from repro.faults.stats import (
+    CategoryStats,
+    aggregate,
+    converged,
+    half_width,
+    unconverged,
+    wilson,
+)
+
+
+class TestWilson:
+    def test_no_evidence_is_the_vacuous_interval(self):
+        assert wilson(0, 0) == (0.0, 1.0)
+        assert half_width(0, 0) == 0.5
+
+    def test_bad_counts_are_rejected(self):
+        with pytest.raises(ValueError):
+            wilson(-1, 5)
+        with pytest.raises(ValueError):
+            wilson(6, 5)
+        with pytest.raises(ValueError):
+            wilson(0, -1)
+
+    def test_known_value_rule_of_three_neighborhood(self):
+        """0/10 at 95%: the Wilson upper bound is ~0.2775 (hand-computed;
+        the rule-of-three approximation 3/n = 0.3 is nearby)."""
+        low, high = wilson(0, 10)
+        assert low == 0.0
+        assert high == pytest.approx(0.27753, abs=1e-4)
+
+    def test_known_value_all_survived(self):
+        """35/35 at 95%: lower bound ~0.901 — the '48/50 survived'
+        honesty the fixed-count report never had."""
+        low, high = wilson(35, 35)
+        assert high == 1.0
+        assert low == pytest.approx(0.9007, abs=1e-3)
+
+    def test_symmetry_around_half(self):
+        low, high = wilson(50, 100)
+        assert low == pytest.approx(1.0 - high, abs=1e-12)
+        assert low < 0.5 < high
+
+    def test_interval_contains_the_point_estimate(self):
+        for trials in (1, 5, 20, 100):
+            for successes in range(trials + 1):
+                low, high = wilson(successes, trials)
+                assert 0.0 <= low <= successes / trials <= high <= 1.0
+
+    def test_half_width_shrinks_with_evidence(self):
+        widths = [half_width(n, n) for n in (5, 10, 20, 40, 80, 160)]
+        assert widths == sorted(widths, reverse=True)
+        assert all(w > 0 for w in widths)
+
+
+class TestCategoryStats:
+    def test_observe_and_rate(self):
+        entry = CategoryStats("node-crash")
+        assert entry.rate == 1.0  # no evidence yet
+        entry.observe(True)
+        entry.observe(True)
+        entry.observe(False)
+        assert entry.engaged == 3
+        assert entry.survived == 2
+        assert entry.rate == pytest.approx(2 / 3)
+
+    def test_converged_needs_evidence(self):
+        entry = CategoryStats("x")
+        assert not entry.converged(epsilon=0.5)  # zero engagements
+        for _ in range(40):
+            entry.observe(True)
+        assert entry.converged(epsilon=0.05)
+        assert not entry.converged(epsilon=0.01)
+
+    def test_to_dict_has_the_bench_fields(self):
+        entry = CategoryStats("partition", engaged=20, survived=19)
+        data = entry.to_dict()
+        assert set(data) == {"category", "engaged", "survived", "rate",
+                             "ci_low", "ci_high", "half_width"}
+        assert data["ci_low"] <= data["rate"] <= data["ci_high"]
+
+
+class TestAggregateAndStopRule:
+    RECORDS = [
+        {"categories": ["a", "b"], "ok": True},
+        {"categories": ["a"], "ok": False},
+        {"categories": ["b"], "ok": True},
+    ]
+
+    def test_aggregate_per_category(self):
+        per_category = aggregate(self.RECORDS)
+        assert per_category["a"].engaged == 2
+        assert per_category["a"].survived == 1
+        assert per_category["b"].engaged == 2
+        assert per_category["b"].survived == 2
+
+    def test_aggregate_accepts_result_objects(self):
+        class FakeResult:
+            categories = ["c"]
+            ok = True
+
+        per_category = aggregate([FakeResult(), FakeResult()])
+        assert per_category["c"].engaged == 2
+
+    def test_empty_evidence_is_not_converged(self):
+        assert not converged({}, epsilon=0.5)
+
+    def test_unconverged_names_the_loose_categories(self):
+        per_category = aggregate(
+            [{"categories": ["tight"], "ok": True}] * 200
+            + [{"categories": ["loose"], "ok": True}] * 3
+        )
+        loose = unconverged(per_category, epsilon=0.05)
+        assert loose == ["loose"]
+        assert not converged(per_category, epsilon=0.05)
+        assert converged(per_category, epsilon=0.45)
+
+    def test_z_is_the_95_percent_quantile(self):
+        assert stats.Z_95 == pytest.approx(1.959964, abs=1e-6)
