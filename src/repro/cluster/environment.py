@@ -50,9 +50,17 @@ class SimulatedCluster(ExecutionEnvironment):
         report_retry_base: Optional[float] = None,
         report_retry_cap: Optional[float] = None,
         report_retry_jitter: Optional[float] = None,
+        rng_namespace: str = "",
     ):
         self.kernel = kernel
-        self.network = Network(kernel, base_latency, jitter)
+        #: prefix for every kernel RNG stream this cluster draws from.
+        #: Sharded control planes run several clusters on one kernel;
+        #: namespacing keeps one shard's draws from perturbing another
+        #: shard's, so a crashed shard cannot change a healthy shard's
+        #: event times. "" preserves existing single-cluster seeds.
+        self.rng_namespace = rng_namespace
+        self.network = Network(kernel, base_latency, jitter,
+                               rng_namespace=rng_namespace)
         self.dispatch_overhead = dispatch_overhead
         self.detection_delay = detection_delay
         #: sigma of the mean-1 lognormal execution-time noise. Real runs
@@ -153,8 +161,12 @@ class SimulatedCluster(ExecutionEnvironment):
         sigma = self.execution_noise
         if sigma <= 0:
             return 1.0
-        rng = self.kernel.rng("execution-noise")
+        rng = self.rng("execution-noise")
         return rng.lognormvariate(-sigma * sigma / 2.0, sigma)
+
+    def rng(self, name: str):
+        """This cluster's namespaced kernel RNG stream ``name``."""
+        return self.kernel.rng(self.rng_namespace + name)
 
     def cancel(self, job_id: str) -> None:
         for node in self.nodes.values():
@@ -421,18 +433,19 @@ class SimulatedCluster(ExecutionEnvironment):
         if self.server is None:
             raise ClusterError("no server attached")
         old = self.server
+        # Lease and quarantine policy are NOT inherited from the dead
+        # process's in-memory object: recover() re-derives both from the
+        # durable store, which is the only state a shard-local recovery
+        # (or a recovery on another host) can rely on.
         self.server = BioOperaServer.recover(
             store if store is not None else old.store,
             old.registry, environment=self,
             policy=old.dispatcher.policy, seed=old.seed,
-            leases=old.leases,
         )
         # Cumulative counters survive the crash (they describe the run,
-        # not the server process), and so does the quarantine policy.
+        # not the server process).
         for key, value in old.metrics.items():
             self.server.metrics[key] = self.server.metrics.get(key, 0) + value
-        if old.quarantine is not None:
-            self.server.enable_quarantine(*old.quarantine)
         self.trace.record()
         return self.server
 

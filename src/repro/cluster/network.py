@@ -49,12 +49,19 @@ class Network:
     """Best-effort message fabric on the simulation kernel."""
 
     def __init__(self, kernel: SimKernel, base_latency: float = 0.05,
-                 jitter: float = 0.02):
+                 jitter: float = 0.02, rng_namespace: str = ""):
         self.kernel = kernel
         self.base_latency = base_latency
         self.jitter = jitter
         self.outage = False
-        self._rng = kernel.rng("network")
+        #: prefix for this fabric's kernel RNG streams. Two fabrics on
+        #: one kernel (a sharded control plane) must not share streams:
+        #: one shard's traffic would perturb another shard's latency
+        #: draws, and a crashed shard could change a healthy shard's
+        #: event times. The default "" keeps single-fabric runs
+        #: bit-identical to their pre-namespace seeds.
+        self.rng_namespace = rng_namespace
+        self._rng = kernel.rng(rng_namespace + "network")
         #: partition id -> list of (src set, dst set) directed cut rules.
         self._partitions: Dict[int, List[Tuple[FrozenSet[str],
                                                FrozenSet[str]]]] = {}
@@ -161,8 +168,9 @@ class Network:
         if self.is_cut(src, dst):
             self._count("messages_dropped", "net_messages_dropped")
             return False
-        if self._loss and (self.kernel.rng("network-loss").random()
-                           < self.loss_probability(src, dst)):
+        if self._loss and (
+                self.kernel.rng(self.rng_namespace + "network-loss").random()
+                < self.loss_probability(src, dst)):
             self._count("messages_dropped", "net_messages_dropped")
             return False
         delay = self.latency()
@@ -170,19 +178,18 @@ class Network:
             delay += directive.delay
         if directive is not None and directive.kind == "duplicate" or (
                 self.duplicate_rate > 0.0
-                and self.kernel.rng("network-dup").random()
-                < self.duplicate_rate):
+                and self.kernel.rng(self.rng_namespace + "network-dup")
+                .random() < self.duplicate_rate):
             self._count("messages_duplicated", "net_messages_duplicated")
             self.kernel.schedule(
                 self.latency(), self._deliver, fn, args, src, dst,
                 on_dropped, False, label=f"{label or 'msg'}#dup",
             )
+        reorder_rng = self.kernel.rng(self.rng_namespace + "network-reorder")
         if (self.reorder_rate > 0.0
-                and self.kernel.rng("network-reorder").random()
-                < self.reorder_rate):
+                and reorder_rng.random() < self.reorder_rate):
             self._count("messages_reordered", "net_messages_reordered")
-            delay += (self.kernel.rng("network-reorder").random()
-                      * self.reorder_extra)
+            delay += reorder_rng.random() * self.reorder_extra
         forced_drop = directive is not None and directive.kind == "drop"
         self.kernel.schedule(
             delay, self._deliver, fn, args, src, dst, on_dropped,

@@ -75,7 +75,7 @@ class PEC:
     def retry_delay(self, attempt: int) -> float:
         """Backoff before retry ``attempt`` (0-based), jitter included."""
         base = min(self.retry_cap, self.retry_base * (2.0 ** attempt))
-        jitter = self.cluster.kernel.rng("pec-retry").random()
+        jitter = self.cluster.rng("pec-retry").random()
         return base * (1.0 + self.retry_jitter * jitter)
 
     def max_retry_span(self) -> float:
@@ -223,7 +223,7 @@ class PEC:
         # span's report_delay is exactly the gap this stamp opens).
         self.cluster.note_job_finished(job_id)
         if (self.cluster.job_failure_rate > 0.0
-                and self.cluster.kernel.rng("io-errors").random()
+                and self.cluster.rng("io-errors").random()
                 < self.cluster.job_failure_rate):
             self._report_failure(job, "io-error", "file system instability")
             return

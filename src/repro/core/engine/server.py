@@ -68,6 +68,7 @@ class BioOperaServer:
         clock: Optional[Callable[[], float]] = None,
         seed: int = 0,
         observability: Any = None,
+        shard_index: Optional[int] = None,
     ):
         self.store = store or OperaStore()
         self.registry = registry or ProgramRegistry()
@@ -99,6 +100,28 @@ class BioOperaServer:
             self.store.configuration.setting("server_epoch", 0)
         ) + 1
         self.store.configuration.set_setting("server_epoch", self.epoch)
+        # Shard identity: in a sharded control plane each server owns a
+        # hash-range of instance ids and prefixes the ids it mints. The
+        # index is persisted in this server's own configuration space so
+        # a recovery re-derives it from the durable store instead of
+        # inheriting it from a sibling's in-memory object. ``None`` is
+        # the classic single-server deployment (no prefix).
+        durable_shard = self.store.configuration.setting("shard_index")
+        if shard_index is None:
+            shard_index = durable_shard
+        elif durable_shard is None:
+            self.store.configuration.set_setting("shard_index", shard_index)
+        elif int(durable_shard) != int(shard_index):
+            raise EngineError(
+                f"store belongs to shard {durable_shard}, not "
+                f"{shard_index}"
+            )
+        self.shard_index = None if shard_index is None else int(shard_index)
+        self.id_prefix = ("" if self.shard_index is None
+                          else f"s{self.shard_index:02d}-")
+        #: sharded deployments install a hook here so broadcast_signal
+        #: reaches every shard instead of only locally-owned instances.
+        self.broadcast_fanout: Optional[Callable[[str, str], None]] = None
         self.migration = None  # (min_rate, improvement) when enabled
         self.quarantine = None  # (threshold, window, probe_after) when on
         self.leases = None  # (base, factor) when enabled
@@ -193,20 +216,53 @@ class BioOperaServer:
     # ------------------------------------------------------------------
 
     def _next_instance_id(self) -> str:
-        existing = self.store.instances.instance_ids()
+        """Mint the next instance id from a durable O(1) counter.
+
+        The counter lives in the configuration space and is bumped
+        *before* the instance is created: a crash between the two burns a
+        serial (gaps are harmless), but two launches — even across a
+        crash+recovery — can never mint the same id. Shard servers
+        prefix their ids (``s03-pi-000042``), so no two shards' counters
+        can collide either.
+        """
+        serial = self.store.configuration.setting("instance_serial")
+        if serial is None:
+            serial = self._seed_instance_serial()
+        serial = int(serial) + 1
+        self.store.configuration.set_setting("instance_serial", serial)
+        return f"{self.id_prefix}pi-{serial:06d}"
+
+    def _seed_instance_serial(self) -> int:
+        """One-time adoption scan for stores that predate the counter:
+        the highest trailing serial of any ``pi-``-style id."""
         serial = 0
-        for instance_id in existing:
-            if instance_id.startswith("pi-"):
+        for instance_id in self.store.instances.instance_ids():
+            _head, sep, tail = instance_id.rpartition("pi-")
+            if sep:
                 try:
-                    serial = max(serial, int(instance_id[3:]))
+                    serial = max(serial, int(tail))
                 except ValueError:
                     continue
-        return f"pi-{serial + 1:06d}"
+        return serial
 
     def launch(self, template_name: str,
                inputs: Optional[Dict[str, Any]] = None,
-               instance_id: Optional[str] = None) -> str:
-        """Create, persist, start and navigate a new instance."""
+               instance_id: Optional[str] = None,
+               request_key: Optional[str] = None) -> str:
+        """Create, persist, start and navigate a new instance.
+
+        ``request_key`` makes the launch idempotent: a key that already
+        produced an instance returns that instance's id instead of
+        launching again. The key→id marker is written in the same store
+        transaction as the instance itself, so a broker redelivering a
+        launch after a shard failover can never double-launch.
+        """
+        if request_key is not None:
+            already = self.store.configuration.setting(
+                f"request/{request_key}"
+            )
+            if already is not None:
+                return already
         template, version = self.resolve_template(template_name, None)
         missing = [
             p.name for p in template.parameters
@@ -220,11 +276,17 @@ class BioOperaServer:
             )
         instance_id = instance_id or self._next_instance_id()
         instance = ProcessInstance(instance_id, self._resolver)
+        extra = None
+        if request_key is not None:
+            extra = {
+                self.store.configuration.setting_key(
+                    f"request/{request_key}"): instance_id,
+            }
         self.store.instances.create(instance_id, {
             "template_name": template_name,
             "version": version,
             "status": "created",
-        })
+        }, extra=extra)
         self.instances[instance_id] = instance
         now = self.clock()
         self.emit_batch(instance, [
@@ -332,8 +394,42 @@ class BioOperaServer:
         self.navigator.navigate(instance)
         self.dispatcher.pump()
 
+    def deliver_signal(self, instance_id: str, name: str,
+                       origin: str = "operator") -> bool:
+        """Idempotent signal delivery (the broker's redelivery path).
+
+        Unlike :meth:`raise_signal`, re-delivering a signal the instance
+        already carries — or delivering to a terminal instance — is a
+        harmless no-op instead of an error, so a request redelivered
+        after a shard failover never produces a second ``signal_raised``
+        event. Returns True when the signal was newly raised.
+        """
+        instance = self.instance(instance_id)
+        if instance.terminal or name in instance.signals:
+            return False
+        self.raise_signal(instance_id, name, origin)
+        return True
+
     def broadcast_signal(self, name: str, origin: str = "broadcast") -> None:
-        """Raise a signal in every live instance (inter-process events)."""
+        """Raise a signal in every live instance (inter-process events).
+
+        In a sharded deployment only a fraction of the instances live
+        here; the control plane installs :attr:`broadcast_fanout` so the
+        broadcast is routed through the broker to *every* shard instead
+        of silently reaching just the local ones.
+        """
+        if self.broadcast_fanout is not None:
+            self.broadcast_fanout(name, origin)
+            return
+        self._broadcast_local(name, origin)
+
+    def _broadcast_local(self, name: str, origin: str = "broadcast") -> None:
+        """Deliver a broadcast to locally-owned instances only.
+
+        Idempotent: instances already carrying the signal (a broker
+        redelivery after failover, or an earlier partial broadcast) are
+        skipped, so redelivery can never double-raise.
+        """
         for instance_id in sorted(self.instances):
             instance = self.instances[instance_id]
             if not instance.terminal and name not in instance.signals:
@@ -675,11 +771,17 @@ class BioOperaServer:
         to an asymmetric partition is re-dispatched even if no failure
         report ever arrives. Environments without a ``schedule`` hook
         never grant leases (nothing could ever expire them).
+
+        The policy is persisted in the configuration space so a recovery
+        (or a standby promotion) re-derives it from the durable store —
+        it must not depend on the dead server's in-memory object.
         """
         self.leases = (base, factor)
+        self.store.configuration.set_setting("lease_config", [base, factor])
 
     def disable_leases(self) -> None:
         self.leases = None
+        self.store.configuration.set_setting("lease_config", None)
         for job_id in list(self._leases):
             self._release_lease(job_id)
 
@@ -763,11 +865,18 @@ class BioOperaServer:
         ``schedule_probe`` — reports it healthy. Environments without probe
         support never quarantine: excluding a node with no way back would
         shrink the cluster permanently.
+
+        Like the lease policy, the configuration is persisted so recovery
+        re-derives it from the durable store.
         """
         self.quarantine = (threshold, window, probe_after)
+        self.store.configuration.set_setting(
+            "quarantine_config", [threshold, window, probe_after]
+        )
 
     def disable_quarantine(self) -> None:
         self.quarantine = None
+        self.store.configuration.set_setting("quarantine_config", None)
         self._node_failures.clear()
         for view in self.awareness.nodes():
             if view.quarantined:
@@ -976,7 +1085,24 @@ class BioOperaServer:
         ``server-recovery`` and re-scheduled, exactly as in the paper's
         event 2: "when the server recovers, [processes] are automatically
         resumed."
+
+        Everything recovery needs is re-derived from the durable store —
+        shard identity, the lease and quarantine policies, and (for
+        environment-less recoveries) a clock seeded past the newest
+        logged timestamp. Explicit ``clock``/``leases`` arguments still
+        win, for callers that manage those themselves.
         """
+        if clock is None and environment is None:
+            # The fallback StepClock must resume *after* the newest event
+            # time in the durable log, or the recovery emissions below
+            # would be stamped before events that precede them.
+            newest = 0.0
+            for instance_id in store.instances.instance_ids():
+                for event in store.instances.events(instance_id):
+                    time = event.get("time")
+                    if isinstance(time, (int, float)):
+                        newest = max(newest, float(time))
+            clock = StepClock(newest)
         # The hub attaches (and its views catch up from the durable log)
         # inside __init__, BEFORE the recovery emissions below — so the
         # views stay in lock-step with everything recovery appends.
@@ -984,8 +1110,13 @@ class BioOperaServer:
                      clock=clock, seed=seed, observability=observability)
         if environment is not None:
             server.attach_environment(environment)
+        if leases is None:
+            leases = store.configuration.setting("lease_config")
         if leases is not None:
             server.enable_leases(*leases)
+        durable_quarantine = store.configuration.setting("quarantine_config")
+        if durable_quarantine is not None:
+            server.enable_quarantine(*durable_quarantine)
         for node, config in store.configuration.nodes().items():
             if not server.awareness.has_node(node):
                 server.awareness.register(

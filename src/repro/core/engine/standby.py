@@ -115,15 +115,16 @@ class StandbyMonitor:
             # Two hubs checkpointing views into one store would corrupt
             # each other; the deposed primary's hub stops following.
             old.obs.detach()
+        # Lease and quarantine policy come from the durable store, not
+        # the deposed primary's in-memory object — a standby on another
+        # host only shares the store with the primary, so anything the
+        # replacement needs must be re-derivable from it.
         replacement = BioOperaServer.recover(
             old.store, old.registry,
             environment=self._environment,
             policy=old.dispatcher.policy,
             seed=old.seed,
-            leases=old.leases,
         )
-        if old.quarantine is not None:
-            replacement.enable_quarantine(*old.quarantine)
         # Cumulative run counters survive the failover.
         for key, value in old.metrics.items():
             replacement.metrics[key] = (

@@ -81,6 +81,9 @@ class CampaignConfig:
     cpus: int = 2
     granularity: int = 8
     profile: str = "mixed"
+    #: shard count for ``profile="shard"`` campaigns (ignored by the
+    #: single-server profiles, which is why label() only shows it there).
+    shards: int = 4
     checkpoint_interval: int = CHECKPOINT_INTERVAL
     segment_records: int = SEGMENT_RECORDS
     sync_policy: str = "group"
@@ -100,9 +103,12 @@ class CampaignConfig:
         lease = ("off" if self.leases is None
                  else f"{self.leases[0]:g}x{self.leases[1]:g}")
         quar = "off" if self.quarantine is None else "on"
-        return (f"sync={sync},ckpt={self.checkpoint_interval},"
+        cell = (f"sync={sync},ckpt={self.checkpoint_interval},"
                 f"seg={self.segment_records},leases={lease},quar={quar},"
                 f"profile={self.profile}")
+        if self.profile == "shard":
+            cell += f",shards={self.shards}"
+        return cell
 
     def to_dict(self) -> Dict:
         """Serialize to a JSON-safe dict (tuples become lists)."""
@@ -223,6 +229,12 @@ def fault_free_baseline(darwin: DarwinEngine, nodes: Optional[int] = None,
     """Run the workload undisturbed; campaigns must match its outputs."""
     config = _resolve_config(config, nodes=nodes, cpus=cpus,
                              granularity=granularity)
+    if config.profile == "shard":
+        # Imported lazily: shard_campaign imports this module's config
+        # and result types.
+        from .shard_campaign import shard_baseline
+
+        return shard_baseline(darwin, config)
     kernel, cluster, server, instance_id = _build(
         darwin, kernel_seed=101, config=config,
     )
@@ -393,6 +405,11 @@ def run_campaign(seed: int, darwin: DarwinEngine,
     """
     config = _resolve_config(config, nodes=nodes, cpus=cpus,
                              granularity=granularity, profile=profile)
+    if config.profile == "shard":
+        from .shard_campaign import run_shard_campaign
+
+        return run_shard_campaign(seed, darwin, baseline=baseline,
+                                  plan=plan, config=config, trace=trace)
     if baseline is None:
         baseline = fault_free_baseline(darwin, config=config)
     kernel, cluster, _server, instance_id = _build(

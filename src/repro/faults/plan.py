@@ -36,13 +36,18 @@ SCHEDULED_CATEGORIES = (
     "net-loss",
     "net-duplicate",
     "net-reorder",
+    "shard-crash",
+    "shard-partition",
+    "shard-node-crash",
 )
 
 #: plan profiles: ``mixed`` draws from every category; ``partition``
 #: draws only the network-fabric disturbances (partitions, loss,
 #: duplication, reordering, outages) plus server crashes — the
-#: split-brain/fencing stress mix.
-PROFILES = ("mixed", "partition")
+#: split-brain/fencing stress mix; ``shard`` targets one shard of a
+#: sharded control plane (crash, broker-link partition, node crash)
+#: and asserts the blast radius stays inside that shard.
+PROFILES = ("mixed", "partition", "shard")
 
 
 @dataclass
@@ -162,6 +167,37 @@ class FaultPlan:
         def when(lo: float = 0.05, hi: float = 0.75) -> float:
             """A seeded time inside the campaign horizon."""
             return round(rng.uniform(lo * horizon, hi * horizon), 3)
+
+        if profile == "shard":
+            # One victim shard takes every disturbance, so the campaign
+            # can require the *other* shards' event logs byte-identical
+            # to a fault-free twin. "victim" is a fraction; the shard
+            # campaign resolves it to ``int(victim * shards)`` so one
+            # plan replays against any plane size. A shard crash is
+            # always drawn (it is the profile's reason to exist); the
+            # broker-link partition and a node crash inside the victim's
+            # pool ride along probabilistically.
+            victim = round(rng.random(), 6)
+            scheduled.append(ScheduledFault("shard-crash", when(), {
+                "victim": victim,
+                "recovery_after": round(
+                    rng.uniform(0.1, 0.6) * horizon, 3),
+            }))
+            if rng.random() < 0.5:
+                scheduled.append(ScheduledFault("shard-partition", when(), {
+                    "victim": victim,
+                    "symmetric": rng.random() < 0.7,
+                    "duration": round(
+                        rng.uniform(0.15, 0.8) * horizon, 3),
+                }))
+            if rng.random() < 0.4:
+                scheduled.append(ScheduledFault("shard-node-crash", when(), {
+                    "victim": victim,
+                    "node": round(rng.random(), 6),
+                    "duration": round(
+                        rng.uniform(0.2, 1.5) * horizon, 3),
+                }))
+            return cls(seed=seed, scheduled=scheduled, actions=[])
 
         if mixed and rng.random() < 0.7:
             scheduled.append(ScheduledFault("node-crash", when(), {

@@ -1,0 +1,325 @@
+"""Chaos campaigns against the sharded control plane (``profile="shard"``).
+
+A shard campaign answers one question: **is the blast radius of a shard
+failure really one shard?** The workload spreads multi-tenant
+all-vs-all instances across every shard through the broker; the fault
+plan then crashes one victim shard (optionally also cutting its broker
+link and crashing one of its nodes) mid-run. Acceptance is stricter
+than the single-server campaigns:
+
+* the run must still complete every instance with outputs byte-identical
+  to the fault-free baseline (the classic invariant), and
+* every **non-victim** shard's durable event log must be byte-identical
+  — same events, same order, same timestamps — to a fault-free *twin*
+  run at the same kernel seed. A healthy shard is not allowed to even
+  *notice* the victim's failure.
+
+The twin comparison is what the per-shard RNG namespacing and the
+jitter-free control fabric buy: without them, a victim's redeliveries
+would perturb the shared random streams and shift healthy shards'
+timings, turning "no interference" into an unfalsifiable claim.
+
+Victim selection in a plan is a fraction (``int(victim * shards)``), so
+one serialized plan replays against any plane size.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional
+
+from ..bio import DarwinEngine
+from ..cluster import SimKernel
+from ..core.engine.library import ProgramRegistry
+from ..processes.activities import register_all_vs_all_programs
+from ..processes.all_vs_all import (build_align_chunk_template,
+                                    build_all_vs_all_template)
+from ..shard import ShardedControlPlane
+from . import invariants
+from .chaos import (MAX_EVENTS, WALL_HORIZON, CampaignConfig,
+                    CampaignResult)
+from .plan import FaultPlan
+
+#: tenants driving the campaign workload, and instances per tenant.
+TENANTS = 4
+INSTANCES_PER_TENANT = 2
+
+
+def _build_plane(darwin: DarwinEngine, kernel_seed: int,
+                 config: CampaignConfig):
+    """Assemble a fresh plane + kernel for one campaign run."""
+    registry = ProgramRegistry()
+    register_all_vs_all_programs(registry, darwin)
+    kernel = SimKernel(seed=kernel_seed)
+    plane = ShardedControlPlane(
+        kernel,
+        shards=config.shards,
+        nodes_per_shard=config.nodes,
+        cpus=config.cpus,
+        seed=kernel_seed,
+        registry=registry,
+        templates=[build_align_chunk_template(),
+                   build_all_vs_all_template()],
+        store_options=dict(
+            retain_history=True,
+            segment_records=config.segment_records,
+            sync_policy=config.sync_policy,
+            group_max_pending=config.group_max_pending,
+        ),
+        checkpoint_interval=config.checkpoint_interval,
+        leases=config.leases,
+        quarantine=config.quarantine,
+    )
+    return kernel, plane
+
+
+def _submit_workload(plane: ShardedControlPlane,
+                     darwin: DarwinEngine,
+                     config: CampaignConfig) -> List:
+    """Queue the multi-tenant launches; returns the launch requests."""
+    return [
+        plane.launch(f"tenant{tenant}", "all_vs_all", {
+            "db_name": darwin.profile.name,
+            "granularity": config.granularity,
+        })
+        for tenant in range(TENANTS)
+        for _ in range(INSTANCES_PER_TENANT)
+    ]
+
+
+def _workload_done(plane: ShardedControlPlane, requests: List) -> bool:
+    """Every launch acked and every minted instance terminal?"""
+    if any(request.status != "done" for request in requests):
+        return False
+    for request in requests:
+        shard = plane.shard_of(request.result)
+        if not shard.server.up:
+            return False
+        instance = shard.server.instances.get(request.result)
+        if instance is None or not instance.terminal:
+            return False
+    return True
+
+
+def _shard_logs(plane: ShardedControlPlane,
+                index: int) -> Dict[str, str]:
+    """One shard's durable event logs, canonically serialized."""
+    server = plane.shards[index].server
+    return {
+        instance_id: json.dumps(
+            list(server.store.instances.events(instance_id)),
+            sort_keys=True,
+        )
+        for instance_id in server.store.instances.instance_ids()
+    }
+
+
+def shard_baseline(darwin: DarwinEngine, config: CampaignConfig) -> Dict:
+    """Run the sharded workload undisturbed (the output oracle)."""
+    kernel, plane = _build_plane(darwin, kernel_seed=101, config=config)
+    requests = _submit_workload(plane, darwin, config)
+    plane.run_until(lambda: _workload_done(plane, requests),
+                    horizon=WALL_HORIZON, max_events=MAX_EVENTS)
+    outputs = {
+        request.result:
+            plane.instance(request.result).outputs
+        for request in requests
+    }
+    statuses = {plane.instance(r.result).status for r in requests}
+    return {
+        "status": ("completed" if statuses == {"completed"}
+                   else sorted(statuses)[0]),
+        "outputs": outputs,
+        "wall": kernel.now,
+    }
+
+
+def _fault_free_twin(darwin: DarwinEngine, kernel_seed: int,
+                     config: CampaignConfig) -> Dict[int, Dict[str, str]]:
+    """The same kernel seed, no faults: per-shard canonical logs."""
+    _kernel, plane = _build_plane(darwin, kernel_seed, config)
+    requests = _submit_workload(plane, darwin, config)
+    plane.run_until(lambda: _workload_done(plane, requests),
+                    horizon=WALL_HORIZON, max_events=MAX_EVENTS)
+    return {
+        index: _shard_logs(plane, index)
+        for index in range(config.shards)
+    }
+
+
+def run_shard_campaign(seed: int, darwin: DarwinEngine,
+                       baseline: Optional[Dict] = None,
+                       plan: Optional[FaultPlan] = None,
+                       config: Optional[CampaignConfig] = None,
+                       trace: Optional[Callable[[str], None]] = None,
+                       ) -> CampaignResult:
+    """Run one seeded shard campaign; returns its full accounting.
+
+    The victim shard is resolved from the plan; every other shard's
+    durable log must match a fault-free twin run byte for byte, and the
+    final outputs must match the (seed-independent) baseline.
+    """
+    config = config or CampaignConfig(profile="shard")
+    if baseline is None:
+        baseline = shard_baseline(darwin, config)
+    kernel_seed = 900 + seed * 13
+    if plan is None:
+        plan = FaultPlan.generate(
+            seed, [f"s{i:02d}" for i in range(config.shards)],
+            horizon=max(120.0, baseline["wall"] * 1.5),
+            profile="shard",
+        )
+    result = CampaignResult(seed=seed, plan=plan.to_dict())
+    twin_logs = _fault_free_twin(darwin, kernel_seed, config)
+    kernel, plane = _build_plane(darwin, kernel_seed, config)
+    requests = _submit_workload(plane, darwin, config)
+    executed: set = set()
+    victims: set = set()
+    down = {"since": None}
+
+    def resolve_victim(fraction: float) -> int:
+        """Map a plan's victim fraction onto a shard index."""
+        return min(config.shards - 1, int(fraction * config.shards))
+
+    def crash_victim(index: int) -> None:
+        """Scheduled shard crash (idempotent if already down)."""
+        if not plane.shards[index].server.up:
+            return
+        executed.add("shard-crash")
+        victims.add(index)
+        plane.crash_shard(index)
+        result.crashes += 1
+        if down["since"] is None:
+            down["since"] = kernel.now
+        if trace is not None:
+            trace(f"[t={kernel.now:10.1f}] shard {index} crashed")
+
+    def recover_victim(index: int) -> None:
+        """Scheduled shard failover + post-recovery invariant check."""
+        if plane.shards[index].server.up:
+            return
+        recovered = plane.recover_shard(index)
+        result.recoveries += 1
+        if down["since"] is not None:
+            result.recovery_time += kernel.now - down["since"]
+            down["since"] = None
+        if trace is not None:
+            trace(f"[t={kernel.now:10.1f}] shard {index} recovered "
+                  f"(epoch {recovered.epoch}); checking invariants")
+        result.violations.extend(
+            f"shard {index} after recovery: {problem}"
+            for problem in invariants.check_server(recovered)
+        )
+
+    for fault in plan.scheduled:
+        category, time, params = fault.category, fault.time, fault.params
+        if category == "shard-crash":
+            victim = resolve_victim(params["victim"])
+            kernel.schedule(time, crash_victim, victim,
+                            label=f"chaos: crash shard {victim}")
+            kernel.schedule(time + params["recovery_after"],
+                            recover_victim, victim,
+                            label=f"chaos: recover shard {victim}")
+        elif category == "shard-partition":
+            victim = resolve_victim(params["victim"])
+            handle: Dict[str, int] = {}
+
+            def cut(index=victim, symmetric=params.get("symmetric", True),
+                    handle=handle):
+                """Open the broker↔victim partition."""
+                executed.add("shard-partition")
+                victims.add(index)
+                handle["id"] = plane.partition_shard(
+                    index, symmetric=bool(symmetric))
+
+            def heal(handle=handle):
+                """Heal the broker↔victim partition."""
+                pid = handle.pop("id", None)
+                if pid is not None:
+                    plane.heal(pid)
+
+            kernel.schedule(time, cut,
+                            label=f"chaos: partition shard {victim}")
+            kernel.schedule(time + params["duration"], heal,
+                            label="chaos: partition heals")
+        elif category == "shard-node-crash":
+            victim = resolve_victim(params["victim"])
+            cluster = plane.shards[victim].cluster
+            names = sorted(cluster.nodes)
+            node = names[min(len(names) - 1,
+                             int(params["node"] * len(names)))]
+
+            def crash_node(cluster=cluster, node=node, index=victim):
+                """Crash one node inside the victim shard's pool."""
+                if cluster.nodes[node].up:
+                    executed.add("shard-node-crash")
+                    victims.add(index)
+                    cluster.crash_node(node)
+
+            def restore_node(cluster=cluster, node=node):
+                """Restore the victim shard's crashed node."""
+                if not cluster.nodes[node].up:
+                    cluster.restore_node(node)
+
+            kernel.schedule(time, crash_node,
+                            label=f"chaos: crash {node}")
+            kernel.schedule(time + params["duration"], restore_node,
+                            label=f"chaos: restore {node}")
+        else:
+            result.violations.append(
+                f"plan contains unknown category {category!r}"
+            )
+
+    while True:
+        if _workload_done(plane, requests):
+            break
+        if (kernel.now > WALL_HORIZON
+                or kernel.events_processed > MAX_EVENTS):
+            result.violations.append(
+                f"wedged: no completion by t={kernel.now:.0f} after "
+                f"{kernel.events_processed} events"
+            )
+            break
+        if not kernel.step():
+            if _workload_done(plane, requests):
+                break
+            result.violations.append(
+                "wedged: event queue drained before completion"
+            )
+            break
+
+    statuses = {
+        plane.shard_of(r.result).server.instances[r.result].status
+        for r in requests
+        if r.status == "done"
+        and r.result in plane.shard_of(r.result).server.instances
+    }
+    if any(r.status != "done" for r in requests):
+        result.status = "lost"
+    else:
+        result.status = ("completed" if statuses == {"completed"}
+                         else sorted(statuses)[0])
+
+    # Classic invariants + baseline outputs, per shard.
+    for index in range(config.shards):
+        result.violations.extend(
+            f"shard {index} final: {problem}"
+            for problem in invariants.check_server(
+                plane.shards[index].server,
+                baseline_outputs=baseline["outputs"], final=True,
+            )
+        )
+    # The shard-campaign-specific invariant: non-victim shards must not
+    # have noticed anything — logs byte-identical to the twin run.
+    for index in range(config.shards):
+        if index in victims:
+            continue
+        if _shard_logs(plane, index) != twin_logs[index]:
+            result.violations.append(
+                f"shard {index} (non-victim) diverged from its "
+                f"fault-free twin log"
+            )
+    result.executed = sorted(executed)
+    result.wall = kernel.now
+    result.events = kernel.events_processed
+    return result

@@ -1,0 +1,48 @@
+"""Cross-shard observability merges and fairness math.
+
+Every shard runs its own :class:`~repro.obs.ObservabilityHub`; the
+sharded console and the multi-tenant bench need plane-wide answers.
+These helpers are pure functions over per-shard snapshots — no shared
+mutable state, so they are safe to call while shards keep running.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+
+def merge_counter_snapshots(snapshots: Iterable[Dict[str, float]]
+                            ) -> Dict[str, float]:
+    """Sum per-shard counter dicts into one plane-wide counter dict."""
+    total: Dict[str, float] = {}
+    for counters in snapshots:
+        for name, value in counters.items():
+            total[name] = total.get(name, 0) + value
+    return dict(sorted(total.items()))
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index over per-tenant allocations.
+
+    ``(Σx)² / (n · Σx²)`` — 1.0 when every tenant gets the same share,
+    approaching ``1/n`` as one tenant takes everything. The bench's
+    fairness acceptance gate (≥ 0.9 across 8 tenants) is computed with
+    this over per-tenant completed-request throughput.
+    """
+    xs = [float(v) for v in values]
+    if not xs:
+        return 1.0
+    square_of_sum = sum(xs) ** 2
+    sum_of_squares = sum(x * x for x in xs)
+    if sum_of_squares == 0.0:
+        return 1.0
+    return square_of_sum / (len(xs) * sum_of_squares)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 1]) of ``values``."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    return ordered[rank]

@@ -1,0 +1,295 @@
+"""Broker layer: per-tenant FIFO intake, fair draining, reliable dispatch.
+
+The broker is the front door of the sharded control plane. Tenants
+submit launch/signal/broadcast requests; the broker queues them **per
+tenant, per target shard** and drains the queues round-robin with at
+most one request in flight per shard. That pair of choices is the whole
+fairness mechanism: a noisy tenant can deepen only its *own* queue, and
+a quiet tenant's next request (which re-enters the ring at the front)
+waits at most the request currently in flight — never behind the noisy
+tenant's backlog, and never even behind its next queued request.
+
+Reliability is broker-side redelivery over idempotent shard operations:
+
+* every request travels the epoch-stamped network fabric and is acked
+  by the shard only after the operation's effects are durably flushed;
+* an un-acked request is re-sent after ``redeliver_after`` seconds (and
+  immediately when a crashed shard comes back);
+* acks carry the shard's fencing epoch; the broker tracks the highest
+  epoch seen per shard and drops acks from deposed incarnations;
+* the shard-side operations (``launch`` with a request key,
+  ``deliver_signal``, local broadcast) are idempotent, so a request the
+  shard executed but whose ack was lost in the failover is harmless to
+  redeliver.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional
+
+from ..cluster.network import Network
+from ..cluster.simulation import SimKernel
+from ..errors import EngineError
+
+#: network endpoint name of the broker.
+BROKER = "broker"
+
+
+def shard_endpoint(index: int) -> str:
+    """Network endpoint name of shard ``index`` (``shard03``)."""
+    return f"shard{index:02d}"
+
+
+class Request:
+    """One tenant request travelling broker → shard → ack."""
+
+    __slots__ = ("request_id", "tenant", "kind", "payload", "shard",
+                 "submitted_at", "completed_at", "status", "result",
+                 "attempts")
+
+    def __init__(self, request_id: str, tenant: str, kind: str,
+                 payload: Dict[str, Any], shard: int):
+        self.request_id = request_id
+        self.tenant = tenant
+        #: "launch" | "signal" | "broadcast" (see Shard.execute).
+        self.kind = kind
+        self.payload = payload
+        self.shard = shard
+        self.submitted_at = 0.0
+        self.completed_at = 0.0
+        self.status = "queued"  # queued | in-flight | done
+        self.result: Any = None
+        self.attempts = 0
+
+    @property
+    def latency(self) -> float:
+        """Submit→ack seconds (meaningful once ``status == "done"``)."""
+        return self.completed_at - self.submitted_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Request({self.request_id!r}, tenant={self.tenant!r}, "
+                f"kind={self.kind!r}, shard={self.shard}, "
+                f"status={self.status!r})")
+
+
+class ShardBroker:
+    """Per-tenant queues drained fairly into per-shard dispatch."""
+
+    def __init__(self, kernel: SimKernel, network: Network, shards: int,
+                 service_time: float = 0.004,
+                 redeliver_after: float = 30.0):
+        self.kernel = kernel
+        self.network = network
+        self.shards = shards
+        #: seconds a shard spends servicing one request. With one
+        #: request in flight per shard this serializes each shard's
+        #: control work — the model of one server process's CPU — so
+        #: plane throughput scales with the shard count.
+        self.service_time = service_time
+        self.redeliver_after = redeliver_after
+        #: shard -> callable(Request) -> (epoch, result) | None.
+        #: Installed by the control plane; returning None (shard down)
+        #: suppresses the ack so redelivery takes over.
+        self.executors: Dict[int, Callable[[Request],
+                                           Optional[tuple]]] = {}
+        # Per-shard intake: tenant -> FIFO, plus the round-robin ring of
+        # tenants that currently have queued work.
+        self._queues: List[Dict[str, deque]] = [{} for _ in range(shards)]
+        self._rings: List[deque] = [deque() for _ in range(shards)]
+        self._ring_members: List[set] = [set() for _ in range(shards)]
+        self._in_flight: List[Optional[Request]] = [None] * shards
+        self._up = [True] * shards
+        #: highest fencing epoch seen in any ack, per shard.
+        self.highest_epoch_seen = [0] * shards
+        self.stale_acks_rejected = 0
+        self.duplicate_acks_ignored = 0
+        self.redeliveries = 0
+        self.submitted = 0
+        self.completed = 0
+        self.tenant_completed: Dict[str, int] = {}
+        self.tenant_latencies: Dict[str, List[float]] = {}
+        #: optional hook called with each request as its ack lands.
+        self.on_complete: Optional[Callable[[Request], None]] = None
+
+    # ------------------------------------------------------------------
+    # Intake
+    # ------------------------------------------------------------------
+
+    def submit(self, request: Request) -> Request:
+        """Queue a tenant request for its target shard."""
+        if not 0 <= request.shard < self.shards:
+            raise EngineError(f"no shard {request.shard}")
+        request.submitted_at = self.kernel.now
+        self.submitted += 1
+        queues = self._queues[request.shard]
+        queue = queues.get(request.tenant)
+        if queue is None:
+            queue = queues[request.tenant] = deque()
+        queue.append(request)
+        members = self._ring_members[request.shard]
+        if request.tenant not in members:
+            # A tenant re-entering the ring (its queue just went
+            # empty→non-empty) joins at the FRONT. A backlogged tenant
+            # re-enters at the back on every dispatch, so this never
+            # starves anyone — but it bounds a light tenant's wait to
+            # less than one full service cycle, which is what keeps its
+            # p99 under 2x its quiet baseline no matter how hard a
+            # noisy tenant floods its own queue.
+            members.add(request.tenant)
+            self._rings[request.shard].appendleft(request.tenant)
+        self._maybe_dispatch(request.shard)
+        return request
+
+    def pending(self) -> int:
+        """Requests submitted but not yet acked, across all shards."""
+        return self.submitted - self.completed
+
+    def queue_depth(self, shard: int, tenant: Optional[str] = None) -> int:
+        """Queued (not yet dispatched) requests for a shard or tenant."""
+        queues = self._queues[shard]
+        if tenant is not None:
+            queue = queues.get(tenant)
+            return len(queue) if queue is not None else 0
+        return sum(len(queue) for queue in queues.values())
+
+    # ------------------------------------------------------------------
+    # Dispatch (one in flight per shard, round-robin across tenants)
+    # ------------------------------------------------------------------
+
+    def _maybe_dispatch(self, shard: int) -> None:
+        if self._in_flight[shard] is not None or not self._up[shard]:
+            return
+        ring = self._rings[shard]
+        if not ring:
+            return
+        tenant = ring.popleft()
+        queue = self._queues[shard][tenant]
+        request = queue.popleft()
+        if queue:
+            ring.append(tenant)  # back of the ring: round-robin
+        else:
+            self._ring_members[shard].discard(tenant)
+        self._in_flight[shard] = request
+        request.status = "in-flight"
+        self._send(request)
+
+    def _send(self, request: Request) -> None:
+        request.attempts += 1
+        shard = request.shard
+        self.network.send(
+            self._deliver, request,
+            label=f"req:{request.request_id}",
+            src=BROKER, dst=shard_endpoint(shard),
+        )
+        self.kernel.schedule(
+            self.redeliver_after, self._check_redeliver, request,
+            request.attempts, label=f"redeliver:{request.request_id}",
+        )
+
+    def _deliver(self, request: Request) -> None:
+        # The request reached the shard; servicing it occupies the shard
+        # for service_time before the ack can leave.
+        self.kernel.schedule(
+            self.service_time, self._service, request,
+            label=f"service:{request.request_id}",
+        )
+
+    def _service(self, request: Request) -> None:
+        executor = self.executors.get(request.shard)
+        if executor is None:
+            return
+        outcome = executor(request)
+        if outcome is None:
+            # Shard is down (or mid-recovery): no ack. The redelivery
+            # timer — or shard_up() — will re-send the request.
+            return
+        epoch, result = outcome
+        self.network.send(
+            self._ack, request, epoch, result,
+            label=f"ack:{request.request_id}",
+            src=shard_endpoint(request.shard), dst=BROKER,
+        )
+
+    def _ack(self, request: Request, epoch: int, result: Any) -> None:
+        shard = request.shard
+        if epoch < self.highest_epoch_seen[shard]:
+            # Ack from a deposed incarnation of the shard server.
+            self.stale_acks_rejected += 1
+            return
+        self.highest_epoch_seen[shard] = epoch
+        if request.status == "done":
+            # A redelivered request acked twice; idempotent shard ops
+            # make the extra execution harmless, and this the dedup.
+            self.duplicate_acks_ignored += 1
+            return
+        request.status = "done"
+        request.result = result
+        request.completed_at = self.kernel.now
+        self.completed += 1
+        self.tenant_completed[request.tenant] = (
+            self.tenant_completed.get(request.tenant, 0) + 1
+        )
+        self.tenant_latencies.setdefault(request.tenant, []).append(
+            request.latency
+        )
+        if self._in_flight[shard] is request:
+            self._in_flight[shard] = None
+        if self.on_complete is not None:
+            self.on_complete(request)
+        self._maybe_dispatch(shard)
+
+    def _check_redeliver(self, request: Request, attempt: int) -> None:
+        if request.status == "done" or request.attempts != attempt:
+            return  # acked, or a newer send already owns the timer
+        if self._in_flight[request.shard] is not request:
+            return
+        if not self._up[request.shard]:
+            return  # shard_up() will re-send when it returns
+        self.redeliveries += 1
+        self._send(request)
+
+    # ------------------------------------------------------------------
+    # Shard availability (driven by the control plane)
+    # ------------------------------------------------------------------
+
+    def shard_down(self, shard: int) -> None:
+        """The shard crashed; hold its traffic until :meth:`shard_up`."""
+        self._up[shard] = False
+
+    def shard_up(self, shard: int) -> None:
+        """The shard recovered: redeliver in-flight work, resume intake."""
+        self._up[shard] = True
+        request = self._in_flight[shard]
+        if request is not None and request.status != "done":
+            self.redeliveries += 1
+            self._send(request)
+        else:
+            self._maybe_dispatch(shard)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def tenant_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant completed count and mean/max ack latency."""
+        stats: Dict[str, Dict[str, float]] = {}
+        for tenant, latencies in sorted(self.tenant_latencies.items()):
+            stats[tenant] = {
+                "completed": self.tenant_completed.get(tenant, 0),
+                "mean_latency": sum(latencies) / len(latencies),
+                "max_latency": max(latencies),
+            }
+        return stats
+
+    def health(self) -> Dict[str, int]:
+        """Counter snapshot for consoles and tests."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "pending": self.pending(),
+            "redeliveries": self.redeliveries,
+            "stale_acks_rejected": self.stale_acks_rejected,
+            "duplicate_acks_ignored": self.duplicate_acks_ignored,
+            "shards_up": sum(1 for up in self._up if up),
+        }

@@ -1,0 +1,155 @@
+"""Cross-shard operator console: fan out per-shard queries and merge.
+
+Section 3.4's monitor assumes one server owns every instance; on a
+sharded plane an operator question like "list my instances" spans N
+servers. :class:`ShardedConsole` keeps the
+:class:`~repro.core.engine.operator_console.OperatorConsole` query
+vocabulary but answers it plane-wide: instance-scoped calls route to
+the owning shard, plane-scoped calls fan out to every shard's console
+and merge the rows (ids are globally unique by shard prefix, so merging
+is concatenation, never reconciliation).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..core.engine.operator_console import OperatorConsole
+from ..obs.merge import merge_counter_snapshots
+from .plane import ShardedControlPlane
+
+
+class ShardedConsole:
+    """Operator view over every shard of a control plane."""
+
+    def __init__(self, plane: ShardedControlPlane):
+        self.plane = plane
+
+    def _console(self, instance_id: str) -> OperatorConsole:
+        return OperatorConsole(self.plane.shard_of(instance_id).server)
+
+    def _consoles(self) -> List[OperatorConsole]:
+        return [OperatorConsole(shard.server)
+                for shard in self.plane.shards]
+
+    # ------------------------------------------------------------------
+    # Control (routed to the owning shard)
+    # ------------------------------------------------------------------
+
+    def stop(self, instance_id: str, reason: str = "operator stop") -> None:
+        """Suspend one instance, wherever it lives."""
+        self._console(instance_id).stop(instance_id, reason)
+
+    def resume(self, instance_id: str) -> None:
+        """Resume a suspended instance, wherever it lives."""
+        self._console(instance_id).resume(instance_id)
+
+    def abort(self, instance_id: str,
+              reason: str = "operator abort") -> None:
+        """Abort one instance, wherever it lives."""
+        self._console(instance_id).abort(instance_id, reason)
+
+    def restart_task(self, instance_id: str, task_path: str) -> None:
+        """Re-run one task of an instance, wherever it lives."""
+        self._console(instance_id).restart_task(instance_id, task_path)
+
+    def change_parameter(self, instance_id: str, name: str,
+                         value: Any) -> None:
+        """Edit a whiteboard item, wherever the instance lives."""
+        self._console(instance_id).change_parameter(instance_id, name,
+                                                    value)
+
+    # ------------------------------------------------------------------
+    # Instance-scoped queries (routed)
+    # ------------------------------------------------------------------
+
+    def instance_detail(self, instance_id: str) -> Dict[str, Any]:
+        """Statistics + whiteboard + outputs from the owning shard."""
+        detail = self._console(instance_id).instance_detail(instance_id)
+        detail["shard"] = self.plane.router.shard_of(instance_id)
+        return detail
+
+    def running_tasks(self, instance_id: str) -> List[Dict[str, Any]]:
+        """Dispatched tasks of one instance, from its owning shard."""
+        return self._console(instance_id).running_tasks(instance_id)
+
+    def failed_tasks(self, instance_id: str) -> List[Dict[str, Any]]:
+        """Failed tasks of one instance, from its owning shard."""
+        return self._console(instance_id).failed_tasks(instance_id)
+
+    def intermediate_results(self, instance_id: str,
+                             prefix: str = "") -> Dict[str, Any]:
+        """Completed-task outputs of one instance (owning shard)."""
+        return self._console(instance_id).intermediate_results(
+            instance_id, prefix)
+
+    # ------------------------------------------------------------------
+    # Plane-scoped queries (fan out, merge)
+    # ------------------------------------------------------------------
+
+    def list_instances(self) -> List[Dict[str, Any]]:
+        """Every shard's instances, tagged with their shard index."""
+        rows: List[Dict[str, Any]] = []
+        for shard, console in zip(self.plane.shards, self._consoles()):
+            for row in console.list_instances():
+                row["shard"] = shard.index
+                rows.append(row)
+        return sorted(rows, key=lambda r: r["instance_id"])
+
+    def cluster_state(self) -> List[Dict[str, Any]]:
+        """Node rows from every shard's private pool, shard-tagged."""
+        rows: List[Dict[str, Any]] = []
+        for shard, console in zip(self.plane.shards, self._consoles()):
+            for row in console.cluster_state():
+                row["shard"] = shard.index
+                rows.append(row)
+        return sorted(rows, key=lambda r: r["node"])
+
+    def queue_depth(self) -> Dict[str, int]:
+        """Broker backlog plus each shard's dispatcher queue."""
+        depths = {
+            f"shard{shard.index:02d}":
+                OperatorConsole(shard.server).queue_depth()
+            for shard in self.plane.shards
+        }
+        depths["broker"] = self.plane.broker.pending()
+        return depths
+
+    def network_health(self) -> Dict[str, Any]:
+        """Control-fabric counters plus per-shard fabric/fencing health."""
+        return {
+            "control": dict(self.plane.control.health()),
+            "broker": self.plane.broker.health(),
+            "shards": {
+                f"shard{shard.index:02d}":
+                    OperatorConsole(shard.server).network_health()
+                for shard in self.plane.shards
+            },
+        }
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Plane-wide counters (summed) plus the per-shard snapshots."""
+        per_shard = {
+            f"shard{shard.index:02d}":
+                OperatorConsole(shard.server).metrics_snapshot()
+            for shard in self.plane.shards
+        }
+        return {
+            "total_counters": merge_counter_snapshots(
+                snapshot.get("counters", {})
+                for snapshot in per_shard.values()
+            ),
+            "shards": per_shard,
+        }
+
+    def trace_summary(self, instance_id: Optional[str] = None
+                      ) -> Dict[str, Any]:
+        """Span summary: one shard's when instance-scoped, else merged."""
+        if instance_id is not None:
+            return self._console(instance_id).trace_summary(instance_id)
+        merged: Dict[str, Any] = {}
+        for console in self._consoles():
+            for key, value in console.trace_summary().items():
+                if isinstance(value, (int, float)):
+                    merged[key] = merged.get(key, 0) + value
+        return merged

@@ -1,0 +1,313 @@
+"""The assembled sharded control plane: broker + router + N shards.
+
+Each :class:`Shard` is a complete, independent BioOpera deployment on
+the shared simulation kernel: its own
+:class:`~repro.cluster.environment.SimulatedCluster` node pool, its own
+:class:`~repro.store.spaces.OperaStore` (segmented WAL, checkpoints),
+its own :class:`~repro.obs.ObservabilityHub`, and a
+:class:`~repro.core.engine.server.BioOperaServer` that persists its
+shard index and prefixes every id it mints. The only things shards
+share are the kernel, the program registry (pure code), and the
+control-plane network that carries broker traffic.
+
+Isolation is deliberate and total:
+
+* every cluster's RNG streams are namespaced (``shard03/network``,
+  ``shard03/execution-noise``, …), so one shard's traffic — or its
+  crash — cannot perturb another shard's random draws;
+* each shard recovers from *its own* durable store (PR 5 bounded
+  recovery) under *its own* fencing epoch (PR 4), so a failover deposes
+  exactly one shard;
+* the broker's redelivery plus the shard operations' idempotency
+  (request-keyed launches, :meth:`deliver_signal`) make a mid-crash
+  request safe to replay.
+
+The chaos ``shard`` profile leans on all three: it crashes one shard
+mid-campaign and requires the surviving shards' event logs to be
+byte-identical to a fault-free twin run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..cluster import SimKernel, SimulatedCluster, uniform
+from ..cluster.network import Network
+from ..core.engine.server import BioOperaServer
+from ..core.engine.library import ProgramRegistry
+from ..core.model.process import ProcessTemplate
+from ..errors import EngineError
+from ..obs import ObservabilityHub
+from ..store.kvstore import MEMORY
+from ..store.spaces import OperaStore
+from .broker import Request, ShardBroker
+from .router import ShardRouter
+
+
+class Shard:
+    """One shard: server + store + obs hub + private node pool."""
+
+    def __init__(self, kernel: SimKernel, index: int,
+                 registry: ProgramRegistry,
+                 templates: Sequence[ProcessTemplate],
+                 nodes: int = 2, cpus: int = 2, seed: int = 0,
+                 store_options: Optional[Dict[str, Any]] = None,
+                 checkpoint_interval: int = 50,
+                 leases: Optional[Tuple[float, float]] = None,
+                 quarantine: Optional[Tuple[int, float, float]] = None,
+                 dispatch_overhead: float = 2.0):
+        self.index = index
+        self.kernel = kernel
+        self.checkpoint_interval = checkpoint_interval
+        self.cluster = SimulatedCluster(
+            kernel,
+            uniform(nodes, cpus=cpus, prefix=f"s{index:02d}-n"),
+            execution_noise=0.0,
+            dispatch_overhead=dispatch_overhead,
+            rng_namespace=f"shard{index:02d}/",
+        )
+        self.store = OperaStore(**(store_options or {}))
+        self.server = BioOperaServer(
+            store=self.store, registry=registry, seed=seed,
+            shard_index=index,
+            observability=ObservabilityHub(
+                checkpoint_interval=checkpoint_interval),
+        )
+        self.server.attach_environment(self.cluster)
+        if leases is not None:
+            self.server.enable_leases(*leases)
+        if quarantine is not None:
+            self.server.enable_quarantine(*quarantine)
+        for template in templates:
+            self.server.define_template(template)
+
+    @property
+    def up(self) -> bool:
+        """Is this shard's server process alive?"""
+        return self.server.up
+
+    def execute(self, request: Request) -> Optional[tuple]:
+        """Run one broker request; ack only after a durable flush.
+
+        Returns ``(epoch, result)`` for the ack, or None while the
+        shard is down (no ack → the broker redelivers). Every operation
+        is idempotent, so a redelivery after a lost ack is harmless:
+        launches are keyed by request id, signal/broadcast delivery
+        skips signals an instance already carries.
+        """
+        server = self.server
+        if not server.up:
+            return None
+        payload = request.payload
+        if request.kind == "launch":
+            result = server.launch(
+                payload["template"], payload.get("inputs"),
+                request_key=request.request_id,
+            )
+        elif request.kind == "signal":
+            result = server.deliver_signal(
+                payload["instance_id"], payload["name"],
+                payload.get("origin", "operator"),
+            )
+        elif request.kind == "broadcast":
+            server._broadcast_local(payload["name"],
+                                    payload.get("origin", "broadcast"))
+            result = True
+        else:
+            raise EngineError(f"unknown request kind {request.kind!r}")
+        # Durability before visibility: the broker must never see an
+        # ack for effects a shard crash could still lose.
+        self.store.flush()
+        return server.epoch, result
+
+    def crash(self) -> None:
+        """Kill the shard's server process (durable store survives)."""
+        self.cluster.crash_server()
+
+    def recover(self) -> BioOperaServer:
+        """Shard-local failover from this shard's own durable store.
+
+        Unsynced records die with the process (``simulate_crash``);
+        everything else — shard identity, instance logs, lease and
+        quarantine config, the fencing epoch — is re-derived from the
+        surviving store. Nothing is inherited from any sibling shard.
+        """
+        old = self.server
+        store = old.store
+        if store.kv.path == MEMORY:
+            store = store.simulate_crash()
+        if old.obs is not None:
+            old.obs.detach()
+        # Fresh hub for the replacement (recover() builds one by
+        # default); the cluster re-derives policy from the store.
+        self.cluster.server = old  # recover_server recovers *from* this
+        server = self.cluster.recover_server(store=store)
+        self.store = server.store
+        self.server = server
+        return server
+
+
+class ShardedControlPlane:
+    """Broker-fronted plane of N independent server shards."""
+
+    def __init__(self, kernel: SimKernel, shards: int = 4,
+                 nodes_per_shard: int = 2, cpus: int = 2, seed: int = 0,
+                 registry: Optional[ProgramRegistry] = None,
+                 templates: Sequence[ProcessTemplate] = (),
+                 service_time: float = 0.004,
+                 control_latency: float = 0.002,
+                 redeliver_after: float = 30.0,
+                 store_options: Optional[Dict[str, Any]] = None,
+                 checkpoint_interval: int = 50,
+                 leases: Optional[Tuple[float, float]] = None,
+                 quarantine: Optional[Tuple[int, float, float]] = None,
+                 dispatch_overhead: float = 2.0):
+        self.kernel = kernel
+        self.registry = registry or ProgramRegistry()
+        self.router = ShardRouter(shards)
+        # The control fabric (tenants↔broker↔shards) is separate from
+        # every shard's node fabric, with zero jitter and its own RNG
+        # namespace: deterministic transport, so a fault in one shard
+        # cannot shift another shard's message timing.
+        self.control = Network(kernel, base_latency=control_latency,
+                               jitter=0.0, rng_namespace="control/")
+        self.broker = ShardBroker(kernel, self.control, shards,
+                                  service_time=service_time,
+                                  redeliver_after=redeliver_after)
+        self.shards: List[Shard] = []
+        for index in range(shards):
+            shard = Shard(
+                kernel, index, self.registry, templates,
+                nodes=nodes_per_shard, cpus=cpus, seed=seed + index,
+                store_options=store_options,
+                checkpoint_interval=checkpoint_interval,
+                leases=leases, quarantine=quarantine,
+                dispatch_overhead=dispatch_overhead,
+            )
+            self.broker.executors[index] = shard.execute
+            shard.server.broadcast_fanout = self._fanout_broadcast
+            self.shards.append(shard)
+        self._request_seq = 0
+
+    # ------------------------------------------------------------------
+    # Tenant-facing API (everything goes through the broker)
+    # ------------------------------------------------------------------
+
+    def _next_request_id(self, tenant: str) -> str:
+        self._request_seq += 1
+        return f"{tenant}/r{self._request_seq:07d}"
+
+    def launch(self, tenant: str, template: str,
+               inputs: Optional[Dict[str, Any]] = None) -> Request:
+        """Queue a launch; the minted id arrives in ``request.result``.
+
+        New launches hash-route by request id, which is what spreads a
+        tenant's instances across the whole plane.
+        """
+        request_id = self._next_request_id(tenant)
+        return self.broker.submit(Request(
+            request_id, tenant, "launch",
+            {"template": template, "inputs": dict(inputs or {})},
+            self.router.hash_route(request_id),
+        ))
+
+    def signal(self, tenant: str, instance_id: str, name: str,
+               origin: str = "operator") -> Request:
+        """Queue a signal for whichever shard owns ``instance_id``."""
+        return self.broker.submit(Request(
+            self._next_request_id(tenant), tenant, "signal",
+            {"instance_id": instance_id, "name": name, "origin": origin},
+            self.router.shard_of(instance_id),
+        ))
+
+    def broadcast_signal(self, name: str,
+                         origin: str = "broadcast") -> List[Request]:
+        """Fan a broadcast out to *every* shard through the broker."""
+        return self._fanout_broadcast(name, origin)
+
+    def _fanout_broadcast(self, name: str, origin: str) -> List[Request]:
+        # Installed as every shard server's broadcast_fanout hook, so a
+        # broadcast raised *on* one shard still reaches all of them.
+        return [
+            self.broker.submit(Request(
+                self._next_request_id("system"), "system", "broadcast",
+                {"name": name, "origin": origin}, index,
+            ))
+            for index in range(len(self.shards))
+        ]
+
+    # ------------------------------------------------------------------
+    # Ownership & lookup
+    # ------------------------------------------------------------------
+
+    def shard_of(self, instance_id: str) -> Shard:
+        """The shard object owning ``instance_id``."""
+        return self.shards[self.router.shard_of(instance_id)]
+
+    def instance(self, instance_id: str):
+        """Cross-shard instance lookup (routed, not scanned)."""
+        return self.shard_of(instance_id).server.instance(instance_id)
+
+    def all_instances(self) -> Dict[str, Any]:
+        """instance_id -> instance across every shard (sorted ids)."""
+        merged: Dict[str, Any] = {}
+        for shard in self.shards:
+            merged.update(shard.server.instances)
+        return dict(sorted(merged.items()))
+
+    # ------------------------------------------------------------------
+    # Failure & failover (one shard at a time, others undisturbed)
+    # ------------------------------------------------------------------
+
+    def crash_shard(self, index: int) -> None:
+        """Crash one shard's server; the broker holds its traffic."""
+        self.shards[index].crash()
+        self.broker.shard_down(index)
+
+    def recover_shard(self, index: int) -> BioOperaServer:
+        """Fail one shard over from its own store and resume traffic."""
+        shard = self.shards[index]
+        server = shard.recover()
+        # The fanout hook lives on the dead process's object; a
+        # recovered server must get its own or broadcasts silently
+        # degrade to local-only (the bug broadcast routing fixes).
+        server.broadcast_fanout = self._fanout_broadcast
+        self.broker.executors[index] = shard.execute
+        self.broker.shard_up(index)
+        return server
+
+    def partition_shard(self, index: int, symmetric: bool = True) -> int:
+        """Cut the broker↔shard links; heal with :meth:`heal`."""
+        from .broker import BROKER, shard_endpoint
+
+        return self.control.partition({BROKER},
+                                      {shard_endpoint(index)},
+                                      symmetric=symmetric)
+
+    def heal(self, partition_id: int) -> None:
+        """Heal a :meth:`partition_shard` cut."""
+        self.control.heal(partition_id)
+
+    # ------------------------------------------------------------------
+    # Driving the simulation
+    # ------------------------------------------------------------------
+
+    def run_until(self, predicate, horizon: float = 10_000_000.0,
+                  max_events: int = 50_000_000) -> None:
+        """Step the kernel until ``predicate()`` holds (or fail loudly)."""
+        while not predicate():
+            if self.kernel.now > horizon:
+                raise EngineError(
+                    f"horizon {horizon} reached with condition unmet")
+            if self.kernel.events_processed > max_events:
+                raise EngineError("event budget exhausted (wedged?)")
+            if not self.kernel.step():
+                if predicate():
+                    return
+                raise EngineError(
+                    "event queue drained with condition unmet (wedged?)")
+
+    def drain_requests(self, horizon: float = 10_000_000.0) -> None:
+        """Run until every submitted broker request has been acked."""
+        self.run_until(lambda: self.broker.pending() == 0,
+                       horizon=horizon)

@@ -1,0 +1,69 @@
+"""Instance-id → shard routing.
+
+Every layer of the sharded control plane — broker intake, cross-shard
+signal forwarding, merged console queries — needs one consistent answer
+to "which shard owns this id?". The rule is prefix-first:
+
+* ids minted by a shard server carry its prefix (``s03-pi-000042``) and
+  route to that shard *by construction*, for as long as the shard
+  exists — growing the plane never re-homes an existing instance;
+* everything else (tenant request keys, legacy unprefixed ids) routes
+  by a **stable** hash (CRC-32, not Python's per-process randomized
+  ``hash()``) modulo the shard count.
+
+The hash route is therefore the only part that moves when shards are
+added, which is exactly the rebalance caveat ``docs/sharding.md``
+documents: new *requests* spread over the grown plane immediately,
+while existing prefixed instances stay put.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional
+
+from ..errors import EngineError
+
+
+class ShardRouter:
+    """Maps instance ids (and request keys) onto ``shards`` shards."""
+
+    def __init__(self, shards: int):
+        if shards < 1:
+            raise EngineError(f"need at least one shard, got {shards}")
+        self.shards = shards
+
+    @staticmethod
+    def prefix(index: int) -> str:
+        """The id prefix shard ``index`` mints with (``s03-``)."""
+        return f"s{index:02d}-"
+
+    @staticmethod
+    def parse_prefix(instance_id: str) -> Optional[int]:
+        """The shard index encoded in ``instance_id``, or None."""
+        if (len(instance_id) >= 4 and instance_id[0] == "s"
+                and instance_id[3] == "-" and instance_id[1:3].isdigit()):
+            return int(instance_id[1:3])
+        return None
+
+    def hash_route(self, key: str) -> int:
+        """Stable hash placement for keys that carry no shard prefix."""
+        return zlib.crc32(key.encode("utf-8")) % self.shards
+
+    def shard_of(self, instance_id: str) -> int:
+        """The shard that owns ``instance_id`` — always exactly one.
+
+        A prefixed id belongs to the minting shard. A prefix pointing
+        past the current shard count (an id minted by a plane that has
+        since *shrunk* — see the rebalance caveats in docs/sharding.md)
+        falls back to the hash route so the id still resolves to exactly
+        one live shard.
+        """
+        owner = self.parse_prefix(instance_id)
+        if owner is not None and owner < self.shards:
+            return owner
+        return self.hash_route(instance_id)
+
+    def grown(self, shards: int) -> "ShardRouter":
+        """A router for a plane grown (or shrunk) to ``shards`` shards."""
+        return ShardRouter(shards)

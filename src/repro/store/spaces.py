@@ -106,14 +106,24 @@ class InstanceSpace:
 
     # -- metadata ---------------------------------------------------------
 
-    def create(self, instance_id: str, meta: Dict[str, Any]) -> None:
-        """Register a new instance with an empty event log."""
+    def create(self, instance_id: str, meta: Dict[str, Any],
+               extra: Optional[Dict[str, Any]] = None) -> None:
+        """Register a new instance with an empty event log.
+
+        ``extra`` maps full KV keys to values written in the *same*
+        transaction as the instance metadata — the sharded broker uses it
+        for request-dedup markers, so "the instance exists" and "this
+        request id produced it" become durable atomically (a crash leaves
+        both or neither).
+        """
         key = f"{self.PREFIX}{instance_id}/meta"
         if key in self._kv:
             raise StoreError(f"instance {instance_id!r} already exists")
         with self._kv.transaction() as txn:
             txn.put(key, meta)
             txn.put(f"{self.PREFIX}{instance_id}/next_seq", 0)
+            for extra_key, value in (extra or {}).items():
+                txn.put(extra_key, value)
 
     def meta(self, instance_id: str) -> Optional[Dict[str, Any]]:
         """The instance's metadata dict, or ``None`` if unknown."""
@@ -258,6 +268,10 @@ class ConfigurationSpace:
     def set_setting(self, name: str, value: Any) -> None:
         """Store a named cluster-wide setting."""
         self._kv.put(f"{self.PREFIX}setting/{name}", value)
+
+    def setting_key(self, name: str) -> str:
+        """Full KV key of a named setting (for cross-space transactions)."""
+        return f"{self.PREFIX}setting/{name}"
 
     def setting(self, name: str, default: Any = None) -> Any:
         """Read a named setting, with a default."""

@@ -18,7 +18,8 @@ every category across the generated plans.
 import pytest
 
 from repro.faults import chaos
-from repro.faults.plan import SCHEDULED_CATEGORIES, FaultAction, FaultPlan
+from repro.faults.plan import (PROFILES, SCHEDULED_CATEGORIES, FaultAction,
+                               FaultPlan)
 from repro.faults.points import CATALOG
 
 
@@ -50,12 +51,17 @@ class TestPlanGeneration:
                 == plan.to_dict()
 
     def test_generated_plans_span_every_category(self):
-        """Across 50 seeds the generator must exercise every scheduled
-        disturbance category and every crash point in the catalog."""
+        """Across 50 seeds (unioned over every profile) the generator
+        must exercise every scheduled disturbance category and every
+        crash point in the catalog; the shard-* categories only come
+        from the shard profile, everything else from mixed."""
         nodes = ["node001", "node002", "node003", "node004"]
         covered = set()
-        for seed in range(50):
-            covered.update(FaultPlan.generate(seed, nodes).categories())
+        for profile in PROFILES:
+            for seed in range(50):
+                covered.update(
+                    FaultPlan.generate(seed, nodes,
+                                       profile=profile).categories())
         assert covered >= set(SCHEDULED_CATEGORIES)
         assert covered >= {f"point:{point}" for point in CATALOG}
 

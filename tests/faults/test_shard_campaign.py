@@ -1,0 +1,74 @@
+"""Shard-profile chaos campaigns: blast radius of a shard failure.
+
+Small batch for tier 1; the statistical acceptance run lives in
+``benchmarks/chaos_run.py --profile shard``.
+"""
+
+import pytest
+
+from repro.faults import chaos
+from repro.faults.plan import FaultPlan
+
+
+@pytest.fixture(scope="module")
+def darwin():
+    return chaos.default_darwin()
+
+
+@pytest.fixture(scope="module")
+def config():
+    return chaos.CampaignConfig(profile="shard", granularity=4, nodes=2)
+
+
+@pytest.fixture(scope="module")
+def baseline(darwin, config):
+    result = chaos.fault_free_baseline(darwin, config=config)
+    assert result["status"] == "completed"
+    return result
+
+
+class TestShardPlans:
+    def test_shard_profile_draws_only_shard_faults(self):
+        shards = [f"s{i:02d}" for i in range(4)]
+        allowed = {"shard-crash", "shard-partition", "shard-node-crash"}
+        covered = set()
+        for seed in range(30):
+            plan = FaultPlan.generate(seed, shards, profile="shard")
+            categories = set(plan.categories())
+            assert categories <= allowed
+            assert "shard-crash" in categories
+            covered.update(categories)
+        assert covered == allowed
+
+    def test_one_victim_per_plan(self):
+        """Blast radius one: every scheduled fault in a plan aims at
+        the same victim fraction."""
+        shards = [f"s{i:02d}" for i in range(4)]
+        for seed in range(30):
+            plan = FaultPlan.generate(seed, shards, profile="shard")
+            victims = {fault.params["victim"]
+                       for fault in plan.scheduled}
+            assert len(victims) == 1
+
+
+class TestShardCampaigns:
+    def test_same_seed_reproduces_identically(self, darwin, config,
+                                              baseline):
+        first = chaos.run_campaign(1, darwin, baseline=baseline,
+                                   config=config)
+        second = chaos.run_campaign(1, darwin, baseline=baseline,
+                                    config=config)
+        assert first.ok, first.violations[:3]
+        assert first.plan == second.plan
+        assert (first.status, first.wall, first.events,
+                first.executed) == \
+               (second.status, second.wall, second.events,
+                second.executed)
+
+    def test_small_batch_survives(self, darwin, config, baseline):
+        results = [chaos.run_campaign(seed, darwin, baseline=baseline,
+                                      config=config)
+                   for seed in range(3)]
+        bad = [r for r in results if not r.ok]
+        assert not bad, [(r.seed, r.status, r.violations[:2])
+                        for r in bad]

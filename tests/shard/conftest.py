@@ -1,0 +1,47 @@
+"""Shared helpers for the sharded control-plane tests."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.cluster import SimKernel
+from repro.core.engine import ProgramRegistry, ProgramResult
+from repro.core.ocr.parser import parse_ocr
+from repro.shard import ShardedControlPlane
+
+JOB_OCR = """
+PROCESS job
+  DESCRIPTION "One unit of tenant work"
+  INPUT cost DEFAULT 0.5
+  OUTPUT receipt = Work.receipt
+
+  ACTIVITY Work
+    PROGRAM t.work
+    IN cost = wb.cost
+  END
+END
+"""
+
+
+def job_registry() -> ProgramRegistry:
+    """Registry with a single costed no-op job program."""
+    registry = ProgramRegistry()
+
+    def work(inputs: Dict[str, Any], ctx) -> ProgramResult:
+        return ProgramResult({"receipt": "ok"},
+                             cost=float(inputs.get("cost", 0.5)))
+
+    registry.register("t.work", work)
+    return registry
+
+
+def make_plane(shards: int, seed: int = 7,
+               **kwargs) -> Tuple[SimKernel, ShardedControlPlane]:
+    """A kernel + plane running the simple costed job template."""
+    kernel = SimKernel(seed=seed)
+    kwargs.setdefault("dispatch_overhead", 0.05)
+    plane = ShardedControlPlane(
+        kernel, shards=shards, registry=job_registry(),
+        templates=[parse_ocr(JOB_OCR)], **kwargs,
+    )
+    return kernel, plane

@@ -1,0 +1,120 @@
+"""Plane-level behavior: id minting, broadcasts, merged console."""
+
+import re
+
+import repro.store.spaces as spaces
+from repro.shard import ShardedConsole
+
+from .conftest import make_plane
+
+ID_PATTERN = re.compile(r"^s(\d{2})-pi-(\d{6})$")
+
+
+class TestIdMinting:
+    def test_two_shards_1k_launches_disjoint_ids_no_rescans(
+            self, monkeypatch):
+        """2 shards x 1000 launches: every id is shard-prefixed and
+        unique, per-shard serials are contiguous, and the id counter
+        never rescans the instance space (the old O(n) cost)."""
+        scans = {"count": 0}
+        original = spaces.InstanceSpace.instance_ids
+
+        def counting(self):
+            scans["count"] += 1
+            return original(self)
+
+        monkeypatch.setattr(spaces.InstanceSpace, "instance_ids",
+                            counting)
+        kernel, plane = make_plane(shards=2, seed=13)
+        requests = [
+            plane.launch(f"tenant{i % 4}", "job", {"cost": 0.1})
+            for i in range(10)
+        ]
+        plane.drain_requests(horizon=1e6)
+        # setup scans: hub catch-up + one-time serial seeding per shard
+        after_warmup = scans["count"]
+        requests += [
+            plane.launch(f"tenant{i % 4}", "job", {"cost": 0.1})
+            for i in range(990)
+        ]
+        plane.drain_requests(horizon=1e6)
+        ids = [request.result for request in requests]
+        assert len(set(ids)) == 1000
+        per_shard = {0: [], 1: []}
+        for instance_id in ids:
+            match = ID_PATTERN.match(instance_id)
+            assert match, instance_id
+            per_shard[int(match.group(1))].append(int(match.group(2)))
+        # both shards minted, serials contiguous from 1 within a shard
+        for shard, serials in per_shard.items():
+            assert serials, f"shard {shard} minted nothing"
+            assert sorted(serials) == list(range(1, len(serials) + 1))
+        # the serial counter is durable: after the one-time seeding no
+        # launch ever rescans the instance space — launch cost is O(1)
+        assert scans["count"] == after_warmup, (
+            f"{scans['count'] - after_warmup} rescans across 990 launches")
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_instances_on_every_shard(self):
+        kernel, plane = make_plane(shards=4, seed=9)
+        requests = [plane.launch(f"tenant{i % 4}", "job",
+                                 {"cost": 10_000.0})
+                    for i in range(16)]
+        plane.drain_requests(horizon=1e6)
+        assert {plane.router.parse_prefix(r.result)
+                for r in requests} == {0, 1, 2, 3}
+        plane.broadcast_signal("checkpoint-now")
+        plane.drain_requests(horizon=1e6)
+        for request in requests:
+            instance = plane.instance(request.result)
+            assert "checkpoint-now" in instance.signals, request.result
+
+    def test_server_raised_broadcast_fans_out_plane_wide(self):
+        """broadcast_signal raised *on one shard's server* still reaches
+        instances owned by every other shard (the fanout-hook bugfix)."""
+        kernel, plane = make_plane(shards=3, seed=9)
+        requests = [plane.launch("t", "job", {"cost": 10_000.0})
+                    for _ in range(9)]
+        plane.drain_requests(horizon=1e6)
+        plane.shards[1].server.broadcast_signal("drain")
+        plane.drain_requests(horizon=1e6)
+        signalled = sum(
+            1 for request in requests
+            if "drain" in plane.instance(request.result).signals
+        )
+        assert signalled == 9
+
+
+class TestMergedConsole:
+    def test_console_routes_and_merges(self):
+        kernel, plane = make_plane(shards=2, seed=21)
+        requests = [plane.launch(f"tenant{i % 2}", "job", {"cost": 0.1})
+                    for i in range(8)]
+        plane.drain_requests(horizon=1e6)
+        plane.run_until(
+            lambda: all(plane.instance(r.result).terminal
+                        for r in requests),
+            horizon=1e6,
+        )
+        console = ShardedConsole(plane)
+        rows = console.list_instances()
+        assert len(rows) == 8
+        assert {row["shard"] for row in rows} == {0, 1}
+        assert rows == sorted(rows, key=lambda row: row["instance_id"])
+        detail = console.instance_detail(requests[0].result)
+        assert detail["shard"] == plane.router.shard_of(
+            requests[0].result)
+        depths = console.queue_depth()
+        assert set(depths) == {"shard00", "shard01", "broker"}
+        health = console.network_health()
+        assert health["broker"]["shards_up"] == 2
+        snapshot = console.metrics_snapshot()
+        assert len(snapshot["shards"]) == 2
+        per_shard = [
+            shard_snapshot["counters"].get("events_appended", 0)
+            for shard_snapshot in snapshot["shards"].values()
+        ]
+        assert all(count > 0 for count in per_shard)
+        assert (snapshot["total_counters"]["events_appended"]
+                == sum(per_shard))

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Gate CI on the multi-tenant sharding bench's three promises.
+
+CI's ``multitenant-smoke`` job runs ``benchmarks/bench_multitenant.py
+--smoke`` and then calls this script against the fresh
+``BENCH_multitenant.json``. The gate fails (exit 1) if any of the
+bench's headline properties regressed:
+
+* **scaling** — launch+dispatch throughput speedup of the comparison
+  plane vs a single shard dropped below ``--min-speedup``. The smoke
+  cell compares 4 shards vs 1 (floor 2.0); the full bench compares 8
+  vs 1 (floor 2.5, the acceptance bar);
+* **fairness** — Jain's index over per-tenant throughput at the
+  comparison plane size fell below ``--min-jain``;
+* **flat launch cost** — real per-launch cost in the last tenth of the
+  run exceeded ``--max-launch-ratio`` times the first tenth (an O(n)
+  id-minting regression shows up here long before it shows up in sim
+  throughput).
+
+Usage::
+
+    python tools/check_multitenant.py BENCH_multitenant.json \
+        [--min-speedup 2.0] [--min-jain 0.9] [--max-launch-ratio 2.5]
+"""
+
+import argparse
+import json
+
+
+def main(argv=None):
+    """Check a BENCH_multitenant.json against the CI floors."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="BENCH_multitenant.json to check")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="throughput floor, comparison vs 1 shard")
+    parser.add_argument("--min-jain", type=float, default=0.9,
+                        help="fairness floor at the comparison size")
+    parser.add_argument("--max-launch-ratio", type=float, default=2.5,
+                        help="last-vs-first block launch cost ceiling")
+    args = parser.parse_args(argv)
+
+    with open(args.report) as fh:
+        report = json.load(fh)
+    if report.get("bench") != "multitenant":
+        raise SystemExit(f"{args.report}: not a multitenant bench report")
+
+    checks = [
+        ("speedup vs single shard", report["speedup_vs_single"],
+         args.min_speedup, "min"),
+        ("jain fairness", report["jain_fairness"], args.min_jain, "min"),
+        ("launch cost ratio", report["launch_cost_ratio"],
+         args.max_launch_ratio, "max"),
+    ]
+    failed = False
+    for label, value, bound, kind in checks:
+        ok = value >= bound if kind == "min" else value <= bound
+        mark = "ok  " if ok else "FAIL"
+        op = ">=" if kind == "min" else "<="
+        print(f"  {mark}  {label}: {value:.3f} (need {op} {bound})")
+        failed = failed or not ok
+
+    comparison = report["speedup_comparison_shards"]
+    print(f"  info  comparison plane: {comparison} shards, "
+          f"{report['instances']} instances, "
+          f"{report['tenants']} tenants, concurrent peak "
+          f"{report['concurrent_peak']}")
+    if failed:
+        raise SystemExit(1)
+    print("multitenant gate: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    main()
