@@ -1,0 +1,258 @@
+"""Shard drain & live-migration benchmark.
+
+Loads a 4-shard plane with ~1k live instances, lets the run reach a
+steady state, then drains one loaded shard mid-flight and measures what
+a topology change costs while the plane keeps executing:
+
+* **migration throughput** — instances moved per real (Python) second
+  of the drain, plus the total event count copied across shards;
+* **per-move cost** — p50/p99 real milliseconds per five-phase
+  ``migrate_instance`` (journal, export, staged import, commit,
+  activate);
+* **per-instance pause** — p50/p99 *simulated* seconds by which a
+  migrated instance finishes later than in a same-seed twin run with no
+  drain (quiesced in-flight work is cancelled and re-driven on the new
+  shard, so the pause is re-done work, not lost work);
+* **bystander dip** — how much the never-migrated instances on the
+  surviving shards slow down versus the twin (they absorb the drained
+  shard's load).
+
+Writes ``BENCH_migration.json``. ``--smoke`` (120 instances) keeps the
+CI job under a minute.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cluster import SimKernel  # noqa: E402
+from repro.core.engine.library import (  # noqa: E402
+    ProgramRegistry,
+    ProgramResult,
+)
+from repro.core.ocr.parser import parse_ocr  # noqa: E402
+from repro.obs.merge import percentile  # noqa: E402
+from repro.shard import ShardedControlPlane  # noqa: E402
+from repro.shard.migrate import migration_invariants  # noqa: E402
+
+JOB_OCR = """
+PROCESS mig_job
+  DESCRIPTION "One unit of tenant work riding out a shard drain"
+  INPUT cost DEFAULT 1.0
+  OUTPUT receipt = Work.receipt
+
+  ACTIVITY Work
+    PROGRAM bench.work
+    IN cost = wb.cost
+  END
+END
+"""
+
+
+def build_registry() -> ProgramRegistry:
+    """Program registry with the bench's single costed no-op."""
+    registry = ProgramRegistry()
+
+    def work(inputs: Dict[str, Any], ctx) -> ProgramResult:
+        """Occupy a node CPU for the requested cost, return a receipt."""
+        return ProgramResult({"receipt": "ok"},
+                             cost=float(inputs.get("cost", 1.0)))
+
+    registry.register("bench.work", work,
+                      "bench: costed no-op tenant job")
+    return registry
+
+
+def run_cell(drain: bool, instances: int, shards: int, cost: float,
+             tenants: int, seed: int) -> Dict[str, Any]:
+    """One run: launch the burst, optionally drain shard 0 mid-flight.
+
+    Both the drained run and its twin use the same kernel seed, so
+    request ids, shard assignment, and fault-free completion times are
+    identical — any per-instance delta is the drain's doing.
+    """
+    kernel = SimKernel(seed=seed)
+    plane = ShardedControlPlane(
+        kernel,
+        shards=shards,
+        seed=seed,
+        registry=build_registry(),
+        templates=[parse_ocr(JOB_OCR)],
+        dispatch_overhead=0.05,
+        checkpoint_interval=1_000_000,
+    )
+    requests = [
+        plane.launch(f"tenant{i % tenants}", "mig_job", {"cost": cost})
+        for i in range(instances)
+    ]
+    plane.drain_requests(horizon=1e9)
+
+    # Run to roughly 30% of the estimated makespan so the victim shard
+    # is loaded — live logs, in-flight activities — when the drain hits.
+    capacity = sum(
+        sum(node.cpus for node in shard.cluster.nodes.values())
+        for shard in plane.shards
+    )
+    drain_at = 0.3 * instances * cost / max(1, capacity)
+    kernel.run(until=drain_at)
+
+    drain_stats: Dict[str, Any] = {}
+    if drain:
+        move_costs: List[float] = []
+        migrate = plane.migrator.migrate_instance
+
+        def timed(old_id, target, **kwargs):
+            """Meter one five-phase move in real (Python) time."""
+            start = time.perf_counter()
+            new_id = migrate(old_id, target, **kwargs)
+            move_costs.append(time.perf_counter() - start)
+            return new_id
+
+        plane.migrator.migrate_instance = timed
+        wall_start = time.perf_counter()
+        moved = plane.drain_shard(0)
+        drain_wall = time.perf_counter() - wall_start
+        plane.migrator.migrate_instance = migrate
+        events_moved = sum(entry["events"]
+                           for entry in plane.migrator.completed)
+        drain_stats = {
+            "moved": len(moved),
+            "drain_wall_s": round(drain_wall, 4),
+            "moves_per_wall_s": round(len(moved) / drain_wall, 2),
+            "events_copied": events_moved,
+            "move_cost_p50_ms": round(
+                1e3 * percentile(move_costs, 0.50), 4),
+            "move_cost_p99_ms": round(
+                1e3 * percentile(move_costs, 0.99), 4),
+            "moved_ids": sorted(moved),
+        }
+
+    # Drive to completion in event chunks; a per-step all-requests scan
+    # would make the driver quadratic in the burst size.
+    remaining = {request.result for request in requests}
+    while remaining:
+        stepped = False
+        for _ in range(5000):
+            if not kernel.step():
+                break
+            stepped = True
+        remaining = {instance_id for instance_id in remaining
+                     if not plane.instance(instance_id).terminal}
+        if remaining and not stepped:
+            raise RuntimeError(
+                f"event queue drained with {len(remaining)} instances "
+                f"still open")
+
+    def finished_at(instance_id: str) -> float:
+        """Sim time of the final event on the instance's current home."""
+        owner, final_id = plane.resolve_instance(instance_id)
+        space = plane.shards[owner].store.instances
+        last = space.event_count(final_id) - 1
+        for _seq, event in space.events_from(final_id, last):
+            return float(event["time"])
+        return 0.0
+
+    finish = {request.result: finished_at(request.result)
+              for request in requests}
+    completed = sum(
+        1 for request in requests
+        if plane.instance(request.result).status == "completed"
+    )
+    return {
+        "drain": drain,
+        "drain_at_sim_s": round(drain_at, 3),
+        "completed": completed,
+        "makespan_sim_s": round(max(finish.values()), 3),
+        "migration_clean": migration_invariants(plane) == [],
+        "finish": finish,
+        **drain_stats,
+    }
+
+
+def main(argv=None) -> int:
+    """CLI entry point; writes the bench JSON and prints a summary."""
+    parser = argparse.ArgumentParser(
+        description="shard drain & live-migration benchmark")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: 120 instances")
+    parser.add_argument("--instances", type=int, default=1000)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--tenants", type=int, default=4)
+    parser.add_argument("--cost", type=float, default=30.0,
+                        help="costed seconds per job (long enough that "
+                             "the drain catches instances mid-flight)")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--out", type=str, default="BENCH_migration.json")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.instances = 120
+
+    twin = run_cell(False, args.instances, args.shards, args.cost,
+                    args.tenants, args.seed)
+    drained = run_cell(True, args.instances, args.shards, args.cost,
+                       args.tenants, args.seed)
+    assert drained["migration_clean"], "migration invariants violated"
+    assert drained["completed"] == args.instances, "instances lost"
+
+    moved_ids = set(drained.pop("moved_ids"))
+    twin_finish = twin.pop("finish")
+    drain_finish = drained.pop("finish")
+    pauses = [drain_finish[iid] - twin_finish[iid] for iid in moved_ids]
+    bystander = [drain_finish[iid] - twin_finish[iid]
+                 for iid in twin_finish if iid not in moved_ids]
+    bystander_makespan = max(
+        (drain_finish[iid] for iid in drain_finish
+         if iid not in moved_ids), default=0.0)
+    twin_bystander_makespan = max(
+        (twin_finish[iid] for iid in twin_finish
+         if iid not in moved_ids), default=0.0)
+
+    report = {
+        "bench": "migration",
+        "instances": args.instances,
+        "shards": args.shards,
+        "tenants": args.tenants,
+        "job_cost_s": args.cost,
+        "seed": args.seed,
+        "smoke": bool(args.smoke),
+        "moved": drained["moved"],
+        "moves_per_wall_s": drained["moves_per_wall_s"],
+        "events_copied": drained["events_copied"],
+        "move_cost_p50_ms": drained["move_cost_p50_ms"],
+        "move_cost_p99_ms": drained["move_cost_p99_ms"],
+        "pause_p50_sim_s": round(percentile(pauses, 0.50), 3),
+        "pause_p99_sim_s": round(percentile(pauses, 0.99), 3),
+        "bystander_delay_p99_sim_s": round(
+            percentile(bystander, 0.99), 3),
+        "bystander_makespan_ratio": round(
+            bystander_makespan / max(1e-9, twin_bystander_makespan), 4),
+        "twin": twin,
+        "drained": drained,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"drained {drained['moved']} instances "
+          f"({drained['events_copied']} events) in "
+          f"{drained['drain_wall_s']}s wall: "
+          f"{drained['moves_per_wall_s']} moves/s")
+    print(f"per-move cost p50={drained['move_cost_p50_ms']}ms "
+          f"p99={drained['move_cost_p99_ms']}ms; migrated-instance "
+          f"pause p50={report['pause_p50_sim_s']}s "
+          f"p99={report['pause_p99_sim_s']}s (sim)")
+    print(f"bystander delay p99={report['bystander_delay_p99_sim_s']}s; "
+          f"bystander makespan ratio="
+          f"{report['bystander_makespan_ratio']} "
+          f"(drained vs no-drain twin)")
+    print(f"written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,7 +4,8 @@ Usage::
 
     PYTHONPATH=src python benchmarks/chaos_run.py
         [--seeds N | --epsilon E] [--workers W] [--timeout T]
-        [--profile mixed|partition] [--sweep] [--journal PATH] [--fresh]
+        [--profile mixed|partition|shard|rebalance] [--sweep]
+        [--journal PATH] [--fresh]
         [--bench-out PATH] [--rerun PLAN.json]
 
 Three modes, all driven through :mod:`repro.faults.campaign`:
@@ -89,8 +90,11 @@ def parse_args(argv):
     parser.add_argument("--cpus", type=int, default=2)
     parser.add_argument("--granularity", type=int, default=8)
     parser.add_argument("--profile", choices=PROFILES, default="mixed",
-                        help="fault mix: every category (mixed) or the "
-                             "network-fabric stress set (partition)")
+                        help="fault mix: every category (mixed), the "
+                             "network-fabric stress set (partition), "
+                             "one-victim shard failures (shard), or "
+                             "drain/grow with migration-window crashes "
+                             "(rebalance)")
     parser.add_argument("--sweep", action="store_true",
                         help="also run the committed 8-cell factorial "
                              "configuration sweep (CRN seed set)")

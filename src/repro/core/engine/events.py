@@ -52,6 +52,7 @@ INFRASTRUCTURE_REASONS = frozenset({
     "io-error",
     "migrated",
     "lease-expired",
+    "shard-migration",
 })
 
 #: Failure reasons attributable to the reporting node itself (as opposed

@@ -130,6 +130,10 @@ class BioOperaServer:
         self._lease_keys: Dict[str, str] = {}  # job key -> holder job_id
         self._node_failures: Dict[str, List[float]] = {}
         self.instances: Dict[str, ProcessInstance] = {}
+        #: instance ids quiesced for shard migration: dispatch is gated
+        #: off and instance-scoped requests are deferred (the broker's
+        #: redelivery retries them) until the move commits or rolls back.
+        self.migrating: set = set()
         self._template_cache: Dict[Tuple[str, int], ProcessTemplate] = {}
         self.metrics: Dict[str, int] = {
             "jobs_dispatched": 0,
@@ -286,6 +290,7 @@ class BioOperaServer:
             "template_name": template_name,
             "version": version,
             "status": "created",
+            "request_key": request_key,
         }, extra=extra)
         self.instances[instance_id] = instance
         now = self.clock()
@@ -507,6 +512,8 @@ class BioOperaServer:
         if instance is None:
             return False
         if instance.terminal:
+            return False
+        if instance_id in self.migrating:
             return False
         return instance.status == RUNNING
 
@@ -1123,7 +1130,20 @@ class BioOperaServer:
                     node, config["cpus"], config.get("speed", 1.0),
                     tuple(config.get("tags", ())),
                 )
+        # Instances staged by an interrupted shard migration import are
+        # NOT this shard's to run yet: the migrator's resume either
+        # activates them (source committed) or deletes them (source
+        # still owns the instance). Replaying them here would double-run
+        # their in-flight work.
+        staged = {
+            name.split("/", 1)[1]
+            for name, record in
+            store.configuration.settings("migrate_in/").items()
+            if isinstance(record, dict) and record.get("phase") == "staged"
+        }
         for instance_id in store.instances.instance_ids():
+            if instance_id in staged:
+                continue
             # Crash during recovery replay itself: the next recovery must
             # start over from the same durable log and still succeed.
             fire("recovery.replay", instance=instance_id)
@@ -1144,6 +1164,82 @@ class BioOperaServer:
                 server.navigator.navigate(instance)
         server.dispatcher.pump()
         return server
+
+    # ------------------------------------------------------------------
+    # Shard migration support (driven by repro.shard.migrate)
+    # ------------------------------------------------------------------
+
+    def quiesce_for_migration(self, instance_id: str) -> None:
+        """Freeze an instance for migration WITHOUT touching its log.
+
+        In-flight jobs are cancelled on the nodes and dropped from the
+        dispatcher, but — unlike :meth:`finalize_abort` — no event is
+        emitted: the exported log must stay byte-identical to what the
+        source shard persisted, and the *target* shard re-drives the
+        cancelled work through the ordinary kill-and-restart path after
+        adoption.
+        """
+        self.migrating.add(instance_id)
+        if self.environment is not None:
+            for job_id in self.dispatcher.inflight_for_instance(instance_id):
+                self.environment.cancel(job_id)
+        self.dispatcher.drop_instance(instance_id)
+
+    def complete_migration(self, instance_id: str) -> None:
+        """Forget an instance whose migration committed (log tombstoned)."""
+        self.migrating.discard(instance_id)
+        self.instances.pop(instance_id, None)
+
+    def abandon_migration(self, instance_id: str) -> None:
+        """Roll back a quiesce: the instance stays on this shard.
+
+        Work cancelled by the quiesce is re-driven through the
+        infrastructure retry path (reason ``shard-migration``), exactly
+        like recovery re-drives dispatched-but-unreported tasks.
+        """
+        self.migrating.discard(instance_id)
+        instance = self.instances.get(instance_id)
+        if instance is None or instance.terminal:
+            return
+        self.emit_batch(instance, [
+            ev.task_failed(state.path, "shard-migration", state.node,
+                           state.attempts, self.clock())
+            for state in instance.dispatched_states()
+        ])
+        self.navigator.navigate(instance)
+        self.dispatcher.pump()
+
+    def adopt_epoch(self, epoch: int) -> None:
+        """Raise this server's fencing epoch to at least ``epoch``.
+
+        Imported events carry the source shard's epochs; the per-log
+        epoch-monotonicity invariant requires everything this server
+        emits afterwards to be stamped no lower.
+        """
+        if int(epoch) > self.epoch:
+            self.epoch = int(epoch)
+            self.store.configuration.set_setting("server_epoch", self.epoch)
+
+    def adopt_instance(self, instance_id: str) -> str:
+        """Activate an imported instance: replay its log, re-drive work.
+
+        The imported copy's dispatched-but-unreported tasks (quiesced on
+        the source shard) are failed with the infrastructure reason
+        ``shard-migration`` and re-scheduled here — the PEC
+        retransmission path, applied across shards.
+        """
+        instance = ProcessInstance(instance_id, self._resolver)
+        instance.replay(self.store.instances.events(instance_id))
+        self.instances[instance_id] = instance
+        if not instance.terminal:
+            self.emit_batch(instance, [
+                ev.task_failed(state.path, "shard-migration", state.node,
+                               state.attempts, self.clock())
+                for state in instance.dispatched_states()
+            ])
+            self.navigator.navigate(instance)
+            self.dispatcher.pump()
+        return instance_id
 
     # ------------------------------------------------------------------
     # Reporting

@@ -76,6 +76,16 @@ class UnknownInstanceError(EngineError):
     """An operation referred to a process instance the server does not know."""
 
 
+class UnknownShardError(EngineError):
+    """An instance id names a shard that is not part of the plane.
+
+    Raised instead of silently hash-routing a prefixed id whose owner
+    shard was removed (shrink) or never existed — callers with access to
+    forwarding records (``ShardedControlPlane.resolve_instance``) can
+    chase a migrated id before surfacing this to the operator.
+    """
+
+
 class UnknownTemplateError(EngineError):
     """An operation referred to a template not present in the template space."""
 

@@ -106,7 +106,7 @@ class CampaignConfig:
         cell = (f"sync={sync},ckpt={self.checkpoint_interval},"
                 f"seg={self.segment_records},leases={lease},quar={quar},"
                 f"profile={self.profile}")
-        if self.profile == "shard":
+        if self.profile in ("shard", "rebalance"):
             cell += f",shards={self.shards}"
         return cell
 
@@ -229,7 +229,7 @@ def fault_free_baseline(darwin: DarwinEngine, nodes: Optional[int] = None,
     """Run the workload undisturbed; campaigns must match its outputs."""
     config = _resolve_config(config, nodes=nodes, cpus=cpus,
                              granularity=granularity)
-    if config.profile == "shard":
+    if config.profile in ("shard", "rebalance"):
         # Imported lazily: shard_campaign imports this module's config
         # and result types.
         from .shard_campaign import shard_baseline
@@ -405,7 +405,7 @@ def run_campaign(seed: int, darwin: DarwinEngine,
     """
     config = _resolve_config(config, nodes=nodes, cpus=cpus,
                              granularity=granularity, profile=profile)
-    if config.profile == "shard":
+    if config.profile in ("shard", "rebalance"):
         from .shard_campaign import run_shard_campaign
 
         return run_shard_campaign(seed, darwin, baseline=baseline,

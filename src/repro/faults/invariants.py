@@ -55,7 +55,19 @@ def run_catalog(server, baseline_outputs: Optional[Dict] = None,
     mode prints as a pass/fail trace; :func:`check_server` flattens the
     same pairs into the single violation list campaigns record.
     """
-    instance_ids = list(server.store.instances.instance_ids())
+    staged = {
+        name.split("/", 1)[1]
+        for name, record in
+        server.store.configuration.settings("migrate_in/").items()
+        if isinstance(record, dict) and record.get("phase") == "staged"
+    }
+    # Staged migration imports are durable but deliberately not adopted
+    # (recovery skips them the same way); they are judged by
+    # migration_invariants, not the per-server catalog.
+    instance_ids = [
+        iid for iid in server.store.instances.instance_ids()
+        if iid not in staged
+    ]
 
     def each(check):
         """Apply a per-instance check across every persisted instance."""

@@ -39,6 +39,8 @@ SCHEDULED_CATEGORIES = (
     "shard-crash",
     "shard-partition",
     "shard-node-crash",
+    "shard-drain",
+    "shard-grow",
 )
 
 #: plan profiles: ``mixed`` draws from every category; ``partition``
@@ -46,8 +48,11 @@ SCHEDULED_CATEGORIES = (
 #: duplication, reordering, outages) plus server crashes — the
 #: split-brain/fencing stress mix; ``shard`` targets one shard of a
 #: sharded control plane (crash, broker-link partition, node crash)
-#: and asserts the blast radius stays inside that shard.
-PROFILES = ("mixed", "partition", "shard")
+#: and asserts the blast radius stays inside that shard; ``rebalance``
+#: drains one shard mid-campaign (optionally growing the plane first),
+#: arming crashes inside the migration protocol's journaled windows, and
+#: asserts no instance loses a byte across the move.
+PROFILES = ("mixed", "partition", "shard", "rebalance")
 
 
 @dataclass
@@ -198,6 +203,36 @@ class FaultPlan:
                         rng.uniform(0.2, 1.5) * horizon, 3),
                 }))
             return cls(seed=seed, scheduled=scheduled, actions=[])
+
+        if profile == "rebalance":
+            # One shard is always drained mid-campaign ("victim" and
+            # "target" are fractions the campaign resolves against the
+            # plane size, like the shard profile); the plane may grow
+            # first so drained instances can land on a fresh shard. The
+            # dependability content is the armed crashes inside the
+            # migration protocol's journaled windows — prepare/export/
+            # commit crash the source shard, import/activate the target.
+            victim = round(rng.random(), 6)
+            if rng.random() < 0.5:
+                scheduled.append(ScheduledFault("shard-grow", when(
+                    0.05, 0.5), {"count": 1}))
+            scheduled.append(ScheduledFault("shard-drain", when(
+                0.15, 0.6), {"victim": victim}))
+            if rng.random() < 0.35:
+                scheduled.append(ScheduledFault("shard-crash", when(
+                    0.6, 0.85), {
+                    "victim": round(rng.random(), 6),
+                    "recovery_after": round(
+                        rng.uniform(0.05, 0.3) * horizon, 3),
+                }))
+            actions = []
+            for point in ("shard.migrate.prepare", "shard.migrate.export",
+                          "shard.migrate.import", "shard.migrate.commit",
+                          "shard.migrate.activate"):
+                if rng.random() < 0.45:
+                    actions.append(FaultAction(
+                        point, "crash", at_hit=rng.randint(1, 3)))
+            return cls(seed=seed, scheduled=scheduled, actions=actions)
 
         if mixed and rng.random() < 0.7:
             scheduled.append(ScheduledFault("node-crash", when(), {

@@ -57,6 +57,13 @@ CATALOG: Dict[str, tuple] = {
     "recovery.replay": ("crash",),
     # observability layer
     "obs.view.checkpoint": ("crash",),
+    # shard migration windows (rebalance profile). prepare/export/commit
+    # crash the SOURCE shard mid-move; import/activate crash the TARGET.
+    "shard.migrate.prepare": ("crash",),
+    "shard.migrate.export": ("crash",),
+    "shard.migrate.import": ("crash",),
+    "shard.migrate.commit": ("crash",),
+    "shard.migrate.activate": ("crash",),
     # cluster layer
     "network.deliver": MESSAGE_KINDS,
     "pec.report": MESSAGE_KINDS,

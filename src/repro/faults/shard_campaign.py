@@ -21,6 +21,19 @@ timings, turning "no interference" into an unfalsifiable claim.
 
 Victim selection in a plan is a fraction (``int(victim * shards)``), so
 one serialized plan replays against any plane size.
+
+The ``rebalance`` profile reuses the same harness but disturbs the
+*topology*: the plane may grow mid-campaign, one shard is always drained
+(live-migrating its instances to router-picked siblings, then retiring),
+and the plan arms crashes inside the migration protocol's journaled
+windows (``shard.migrate.*`` — prepare/export/commit kill the source
+shard, import/activate the target). Acceptance adds the migration
+invariants (:func:`repro.shard.migration_invariants`: no half-moves, all
+forwards resolve, copied logs digest-identical) and a per-request output
+check against the baseline — exactly-once outcomes even when the
+instance changed its id mid-flight. The twin comparison still applies,
+to shards that were neither drained, grown, crashed, nor a migration
+source/target.
 """
 
 from __future__ import annotations
@@ -31,14 +44,16 @@ from typing import Callable, Dict, List, Optional
 from ..bio import DarwinEngine
 from ..cluster import SimKernel
 from ..core.engine.library import ProgramRegistry
+from ..errors import EngineError
 from ..processes.activities import register_all_vs_all_programs
 from ..processes.all_vs_all import (build_align_chunk_template,
                                     build_all_vs_all_template)
-from ..shard import ShardedControlPlane
+from ..shard import ShardedControlPlane, migration_invariants
 from . import invariants
 from .chaos import (MAX_EVENTS, WALL_HORIZON, CampaignConfig,
                     CampaignResult)
 from .plan import FaultPlan
+from .points import FaultInjector, InjectedCrash, installed
 
 #: tenants driving the campaign workload, and instances per tenant.
 TENANTS = 4
@@ -88,14 +103,23 @@ def _submit_workload(plane: ShardedControlPlane,
 
 
 def _workload_done(plane: ShardedControlPlane, requests: List) -> bool:
-    """Every launch acked and every minted instance terminal?"""
+    """Every launch acked and every minted instance terminal?
+
+    Forward-chasing: a drained instance counts once its *migrated* copy
+    is terminal on its new home. An id that cannot be resolved yet (a
+    move in flight, its home crashed) simply means "not done".
+    """
     if any(request.status != "done" for request in requests):
         return False
     for request in requests:
-        shard = plane.shard_of(request.result)
+        try:
+            owner, final_id = plane.resolve_instance(request.result)
+        except EngineError:
+            return False
+        shard = plane.shards[owner]
         if not shard.server.up:
             return False
-        instance = shard.server.instances.get(request.result)
+        instance = shard.server.instances.get(final_id)
         if instance is None or not instance.terminal:
             return False
     return True
@@ -130,6 +154,12 @@ def shard_baseline(darwin: DarwinEngine, config: CampaignConfig) -> Dict:
         "status": ("completed" if statuses == {"completed"}
                    else sorted(statuses)[0]),
         "outputs": outputs,
+        # Keyed by request id, which survives migration re-prefixing —
+        # the rebalance profile's exactly-once-across-the-move oracle.
+        "outputs_by_request": {
+            request.request_id: plane.instance(request.result).outputs
+            for request in requests
+        },
         "wall": kernel.now,
     }
 
@@ -167,7 +197,7 @@ def run_shard_campaign(seed: int, darwin: DarwinEngine,
         plan = FaultPlan.generate(
             seed, [f"s{i:02d}" for i in range(config.shards)],
             horizon=max(120.0, baseline["wall"] * 1.5),
-            profile="shard",
+            profile=config.profile,
         )
     result = CampaignResult(seed=seed, plan=plan.to_dict())
     twin_logs = _fault_free_twin(darwin, kernel_seed, config)
@@ -175,7 +205,13 @@ def run_shard_campaign(seed: int, darwin: DarwinEngine,
     requests = _submit_workload(plane, darwin, config)
     executed: set = set()
     victims: set = set()
+    #: shards whose timeline the campaign itself perturbed (drained,
+    #: grown, crashed, or party to a migration) — exempt from the
+    #: byte-identical twin comparison.
+    participants: set = set()
     down = {"since": None}
+    drain_state: Dict[str, Optional[int]] = {"victim": None}
+    recovery_rng = kernel.rng("chaos-recovery")
 
     def resolve_victim(fraction: float) -> int:
         """Map a plan's victim fraction onto a shard index."""
@@ -183,7 +219,8 @@ def run_shard_campaign(seed: int, darwin: DarwinEngine,
 
     def crash_victim(index: int) -> None:
         """Scheduled shard crash (idempotent if already down)."""
-        if not plane.shards[index].server.up:
+        shard = plane.shards[index]
+        if shard.retired or not shard.server.up:
             return
         executed.add("shard-crash")
         victims.add(index)
@@ -196,7 +233,7 @@ def run_shard_campaign(seed: int, darwin: DarwinEngine,
 
     def recover_victim(index: int) -> None:
         """Scheduled shard failover + post-recovery invariant check."""
-        if plane.shards[index].server.up:
+        if plane.shards[index].retired or plane.shards[index].server.up:
             return
         recovered = plane.recover_shard(index)
         result.recoveries += 1
@@ -210,6 +247,38 @@ def run_shard_campaign(seed: int, darwin: DarwinEngine,
             f"shard {index} after recovery: {problem}"
             for problem in invariants.check_server(recovered)
         )
+
+    def do_grow(count: int) -> None:
+        """Scheduled plane growth; new launches hash onto the fresh
+        shards (the campaign's are already minted, so growth mainly
+        widens the drain's target pool)."""
+        executed.add("shard-grow")
+        added = plane.grow(count)
+        participants.update(added)
+        if trace is not None:
+            trace(f"[t={kernel.now:10.1f}] plane grew: shards {added}")
+
+    def ensure_drained() -> None:
+        """Scheduled drain; re-entered after every mid-drain crash.
+
+        A drain interrupted by an injected ``shard.migrate.*`` crash
+        left the victim un-retired; once the crashed party recovers
+        (``recover_shard`` runs ``migrator.resume()``), calling
+        ``drain_shard`` again finishes the remaining moves.
+        """
+        index = drain_state["victim"]
+        if index is None or plane.shards[index].retired:
+            return
+        if not plane.shards[index].server.up:
+            kernel.schedule(30.0, ensure_drained,
+                            label="chaos: drain awaits recovery")
+            return
+        executed.add("shard-drain")
+        participants.add(index)
+        moved = plane.drain_shard(index)
+        if trace is not None:
+            trace(f"[t={kernel.now:10.1f}] shard {index} drained and "
+                  f"retired ({len(moved)} instance(s) moved)")
 
     for fault in plan.scheduled:
         category, time, params = fault.category, fault.time, fault.params
@@ -265,58 +334,152 @@ def run_shard_campaign(seed: int, darwin: DarwinEngine,
                             label=f"chaos: crash {node}")
             kernel.schedule(time + params["duration"], restore_node,
                             label=f"chaos: restore {node}")
+        elif category == "shard-drain":
+            victim = resolve_victim(params["victim"])
+            drain_state["victim"] = victim
+            kernel.schedule(time, ensure_drained,
+                            label=f"chaos: drain shard {victim}")
+        elif category == "shard-grow":
+            kernel.schedule(time, do_grow,
+                            int(params.get("count", 1)),
+                            label="chaos: grow plane")
         else:
             result.violations.append(
                 f"plan contains unknown category {category!r}"
             )
 
-    while True:
-        if _workload_done(plane, requests):
-            break
-        if (kernel.now > WALL_HORIZON
-                or kernel.events_processed > MAX_EVENTS):
-            result.violations.append(
-                f"wedged: no completion by t={kernel.now:.0f} after "
-                f"{kernel.events_processed} events"
-            )
-            break
-        if not kernel.step():
+    injector = FaultInjector(plan.actions)
+    with installed(injector):
+        while True:
             if _workload_done(plane, requests):
                 break
-            result.violations.append(
-                "wedged: event queue drained before completion"
-            )
-            break
+            if (kernel.now > WALL_HORIZON
+                    or kernel.events_processed > MAX_EVENTS):
+                result.violations.append(
+                    f"wedged: no completion by t={kernel.now:.0f} after "
+                    f"{kernel.events_processed} events"
+                )
+                break
+            try:
+                progressed = kernel.step()
+            except InjectedCrash as exc:
+                # A shard.migrate.* window fired mid-drain. The protocol
+                # convention: prepare/export/commit windows kill the
+                # SOURCE shard, import/activate the TARGET — whichever
+                # party's durable state the phase was mutating.
+                result.crashes += 1
+                current = plane.migrator.current or {}
+                side = ("target" if exc.point.rsplit(".", 1)[-1]
+                        in ("import", "activate") else "source")
+                index = current.get(side, drain_state["victim"])
+                participants.update(
+                    i for i in (current.get("source"),
+                                current.get("target"))
+                    if i is not None)
+                if trace is not None:
+                    trace(f"[t={kernel.now:10.1f}] injected crash at "
+                          f"{exc.point} (crash {result.crashes}): "
+                          f"shard {index} down")
+                if index is None:
+                    continue
+                shard = plane.shards[index]
+                victims.add(index)
+                if not shard.retired and shard.server.up:
+                    plane.crash_shard(index)
+                    if down["since"] is None:
+                        down["since"] = kernel.now
+                delay = recovery_rng.uniform(20.0, 120.0)
+                kernel.schedule(delay, recover_victim, index,
+                                label=f"chaos: recover shard {index}")
+                kernel.schedule(delay + 1.0, ensure_drained,
+                                label="chaos: resume drain")
+                continue
+            if not progressed:
+                if _workload_done(plane, requests):
+                    break
+                result.violations.append(
+                    "wedged: event queue drained before completion"
+                )
+                break
+    result.fired = list(injector.fired)
 
-    statuses = {
-        plane.shard_of(r.result).server.instances[r.result].status
-        for r in requests
-        if r.status == "done"
-        and r.result in plane.shard_of(r.result).server.instances
-    }
-    if any(r.status != "done" for r in requests):
+    statuses = set()
+    lost = any(r.status != "done" for r in requests)
+    for request in requests:
+        if request.status != "done":
+            continue
+        try:
+            owner, final_id = plane.resolve_instance(request.result)
+        except EngineError:
+            lost = True
+            continue
+        instance = plane.shards[owner].server.instances.get(final_id)
+        if instance is None:
+            lost = True
+        else:
+            statuses.add(instance.status)
+    if lost:
         result.status = "lost"
     else:
         result.status = ("completed" if statuses == {"completed"}
                          else sorted(statuses)[0])
 
-    # Classic invariants + baseline outputs, per shard.
-    for index in range(config.shards):
+    # Classic invariants + baseline outputs, per live shard (grown
+    # shards included; a drained shard's empty, retired store is judged
+    # by the migration invariants instead).
+    for shard in plane.shards:
+        if shard.retired:
+            continue
         result.violations.extend(
-            f"shard {index} final: {problem}"
+            f"shard {shard.index} final: {problem}"
             for problem in invariants.check_server(
-                plane.shards[index].server,
+                shard.server,
                 baseline_outputs=baseline["outputs"], final=True,
             )
         )
-    # The shard-campaign-specific invariant: non-victim shards must not
-    # have noticed anything — logs byte-identical to the twin run.
+    # Migration protocol end-state: no half-moves, every forward
+    # resolves, every copied log digest-identical to its source. A
+    # no-op for campaigns that never migrated.
+    result.violations.extend(
+        f"migration: {problem}"
+        for problem in migration_invariants(plane)
+    )
+    # Exactly-once outcomes across the move: per *request* (the handle
+    # that survives re-prefixing), outputs must match the fault-free
+    # baseline even when the instance changed id and shard mid-flight.
+    by_request = baseline.get("outputs_by_request") or {}
+    for request in requests:
+        expected = by_request.get(request.request_id)
+        if expected is None or request.status != "done":
+            continue
+        try:
+            owner, final_id = plane.resolve_instance(request.result)
+            outputs = plane.shards[owner].server.instances[final_id].outputs
+        except (EngineError, KeyError):
+            result.violations.append(
+                f"{request.request_id}: result {request.result!r} "
+                f"unresolvable at campaign end"
+            )
+            continue
+        if (json.dumps(outputs, sort_keys=True)
+                != json.dumps(expected, sort_keys=True)):
+            result.violations.append(
+                f"{request.request_id}: outputs diverged from the "
+                f"fault-free baseline across the move"
+            )
+    # The blast-radius invariant: shards that were neither disturbed
+    # nor party to a migration must not have noticed anything — logs
+    # byte-identical to the twin run.
+    for move in plane.migrator.completed:
+        participants.add(move["source"])
+        participants.add(move["target"])
+    participants.update(victims)
     for index in range(config.shards):
-        if index in victims:
+        if index in participants:
             continue
         if _shard_logs(plane, index) != twin_logs[index]:
             result.violations.append(
-                f"shard {index} (non-victim) diverged from its "
+                f"shard {index} (non-participant) diverged from its "
                 f"fault-free twin log"
             )
     result.executed = sorted(executed)

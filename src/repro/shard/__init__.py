@@ -21,21 +21,28 @@ Three layers:
   without deposing the others.
 
 :mod:`~repro.shard.console` merges per-shard operator consoles into a
-single cross-shard view.
+single cross-shard view, and :mod:`~repro.shard.migrate` moves live
+instances between shards (journaled five-phase protocol with durable
+forwarding), which is what makes drain/shrink (:meth:`drain_shard`) and
+grow first-class topology operations.
 """
 
-from .broker import BROKER, Request, ShardBroker, shard_endpoint
+from .broker import BROKER, Forwarded, Request, ShardBroker, shard_endpoint
 from .console import ShardedConsole
+from .migrate import ShardMigrator, migration_invariants
 from .plane import Shard, ShardedControlPlane
 from .router import ShardRouter
 
 __all__ = [
     "BROKER",
+    "Forwarded",
     "Request",
     "Shard",
     "ShardBroker",
+    "ShardMigrator",
     "ShardRouter",
     "ShardedConsole",
     "ShardedControlPlane",
+    "migration_invariants",
     "shard_endpoint",
 ]

@@ -41,6 +41,24 @@ def shard_endpoint(index: int) -> str:
     return f"shard{index:02d}"
 
 
+class Forwarded:
+    """A shard's answer to a request for an instance it migrated away.
+
+    Carries the forwarding record's destination; the broker re-routes
+    the request to the new owner (via the plane's resolve hook) instead
+    of acking it. This is what lets a tenant keep using a stale id
+    across a drain: the request route-chases, it never errors.
+    """
+
+    __slots__ = ("to",)
+
+    def __init__(self, to: str):
+        self.to = to
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Forwarded(to={self.to!r})"
+
+
 class Request:
     """One tenant request travelling broker → shard → ack."""
 
@@ -100,17 +118,25 @@ class ShardBroker:
         self._ring_members: List[set] = [set() for _ in range(shards)]
         self._in_flight: List[Optional[Request]] = [None] * shards
         self._up = [True] * shards
+        self._retired = [False] * shards
         #: highest fencing epoch seen in any ack, per shard.
         self.highest_epoch_seen = [0] * shards
         self.stale_acks_rejected = 0
         self.duplicate_acks_ignored = 0
         self.redeliveries = 0
+        self.forwarded = 0
+        self.unroutable = 0
         self.submitted = 0
         self.completed = 0
         self.tenant_completed: Dict[str, int] = {}
         self.tenant_latencies: Dict[str, List[float]] = {}
         #: optional hook called with each request as its ack lands.
         self.on_complete: Optional[Callable[[Request], None]] = None
+        #: optional hook(request, Forwarded) -> new shard index | None,
+        #: installed by the control plane; rewrites the request payload
+        #: to the forwarding destination so it can be re-queued there.
+        self.reroute: Optional[Callable[[Request, Forwarded],
+                                        Optional[int]]] = None
 
     # ------------------------------------------------------------------
     # Intake
@@ -118,10 +144,22 @@ class ShardBroker:
 
     def submit(self, request: Request) -> Request:
         """Queue a tenant request for its target shard."""
-        if not 0 <= request.shard < self.shards:
-            raise EngineError(f"no shard {request.shard}")
         request.submitted_at = self.kernel.now
         self.submitted += 1
+        return self._enqueue(request)
+
+    def _enqueue(self, request: Request) -> Request:
+        """Queue (or re-queue after forwarding/retirement) a request.
+
+        Unlike :meth:`submit` this does NOT count a new submission —
+        a re-queued request is still the same pending unit of work, or
+        ``pending()`` would never drain back to zero.
+        """
+        if not 0 <= request.shard < self.shards:
+            raise EngineError(f"no shard {request.shard}")
+        if self._retired[request.shard]:
+            raise EngineError(f"shard {request.shard} is retired")
+        request.status = "queued"
         queues = self._queues[request.shard]
         queue = queues.get(request.tenant)
         if queue is None:
@@ -201,10 +239,17 @@ class ShardBroker:
             return
         outcome = executor(request)
         if outcome is None:
-            # Shard is down (or mid-recovery): no ack. The redelivery
-            # timer — or shard_up() — will re-send the request.
+            # Shard is down (or mid-recovery/mid-migration): no ack. The
+            # redelivery timer — or shard_up() — will re-send it.
             return
         epoch, result = outcome
+        if isinstance(result, Forwarded):
+            self.network.send(
+                self._forward_ack, request, epoch, result,
+                label=f"fwd:{request.request_id}",
+                src=shard_endpoint(request.shard), dst=BROKER,
+            )
+            return
         self.network.send(
             self._ack, request, epoch, result,
             label=f"ack:{request.request_id}",
@@ -239,6 +284,63 @@ class ShardBroker:
             self.on_complete(request)
         self._maybe_dispatch(shard)
 
+    def _forward_ack(self, request: Request, epoch: int,
+                     forwarded: Forwarded) -> None:
+        """The shard says "migrated away" — chase, don't complete.
+
+        Epoch- and duplicate-guarded like a normal ack; then the plane's
+        reroute hook rewrites the payload to the forwarding destination
+        and the request re-enters that shard's queue (same submission,
+        not a new one).
+        """
+        shard = request.shard
+        if epoch < self.highest_epoch_seen[shard]:
+            self.stale_acks_rejected += 1
+            return
+        self.highest_epoch_seen[shard] = epoch
+        if request.status == "done":
+            self.duplicate_acks_ignored += 1
+            return
+        self.forwarded += 1
+        if self._in_flight[shard] is request:
+            self._in_flight[shard] = None
+        new_shard = (None if self.reroute is None
+                     else self.reroute(request, forwarded))
+        if new_shard is None:
+            # Unresolvable (no plane hook, or the chain dead-ends):
+            # complete with no result rather than spin forever.
+            self.unroutable += 1
+            self.complete_local(request, None)
+        else:
+            request.shard = new_shard
+            self._enqueue(request)
+        self._maybe_dispatch(shard)
+
+    def complete_local(self, request: Request, result: Any) -> None:
+        """Administratively complete a request outside the ack path.
+
+        Used when resettling a retired shard's queue: the work is
+        provably already done (a durable dedup marker exists) or has
+        nowhere left to go, so no shard will ever ack it.
+        """
+        if request.status == "done":
+            return
+        request.status = "done"
+        request.result = result
+        request.completed_at = self.kernel.now
+        self.completed += 1
+        self.tenant_completed[request.tenant] = (
+            self.tenant_completed.get(request.tenant, 0) + 1
+        )
+        self.tenant_latencies.setdefault(request.tenant, []).append(
+            request.latency
+        )
+        shard = request.shard
+        if 0 <= shard < self.shards and self._in_flight[shard] is request:
+            self._in_flight[shard] = None
+        if self.on_complete is not None:
+            self.on_complete(request)
+
     def _check_redeliver(self, request: Request, attempt: int) -> None:
         if request.status == "done" or request.attempts != attempt:
             return  # acked, or a newer send already owns the timer
@@ -259,6 +361,8 @@ class ShardBroker:
 
     def shard_up(self, shard: int) -> None:
         """The shard recovered: redeliver in-flight work, resume intake."""
+        if self._retired[shard]:
+            raise EngineError(f"shard {shard} is retired")
         self._up[shard] = True
         request = self._in_flight[shard]
         if request is not None and request.status != "done":
@@ -268,8 +372,73 @@ class ShardBroker:
             self._maybe_dispatch(shard)
 
     # ------------------------------------------------------------------
+    # Topology change (drain/grow, driven by the control plane)
+    # ------------------------------------------------------------------
+
+    def add_shard(self) -> int:
+        """Extend the plane by one shard slot; returns its index."""
+        index = self.shards
+        self.shards += 1
+        self._queues.append({})
+        self._rings.append(deque())
+        self._ring_members.append(set())
+        self._in_flight.append(None)
+        self._up.append(True)
+        self._retired.append(False)
+        self.highest_epoch_seen.append(0)
+        return index
+
+    def retire_shard(self, shard: int) -> List[Request]:
+        """Permanently stop dispatching to ``shard``.
+
+        Returns every un-acked request it still held (the in-flight one
+        first, then queued work in deterministic tenant order) for the
+        control plane to resettle — re-routed, or completed from the
+        retired store's durable dedup markers.
+        """
+        self._retired[shard] = True
+        self._up[shard] = False
+        extracted: List[Request] = []
+        in_flight = self._in_flight[shard]
+        if in_flight is not None and in_flight.status != "done":
+            extracted.append(in_flight)
+        self._in_flight[shard] = None
+        for tenant in sorted(self._queues[shard]):
+            extracted.extend(self._queues[shard][tenant])
+        self._queues[shard] = {}
+        self._rings[shard].clear()
+        self._ring_members[shard] = set()
+        for request in extracted:
+            request.status = "queued"
+        return extracted
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
+
+    def shard_queue_stats(self) -> Dict[int, Dict[str, Any]]:
+        """Per-shard backlog: depth (queued + in flight), age of the
+        oldest pending request, and availability — the numbers an
+        operator reads to pick a drain target."""
+        stats: Dict[int, Dict[str, Any]] = {}
+        now = self.kernel.now
+        for shard in range(self.shards):
+            pending = [request
+                       for queue in self._queues[shard].values()
+                       for request in queue]
+            in_flight = self._in_flight[shard]
+            if in_flight is not None and in_flight.status != "done":
+                pending.append(in_flight)
+            oldest = min((request.submitted_at for request in pending),
+                         default=None)
+            stats[shard] = {
+                "depth": len(pending),
+                "oldest_pending_age_s": (
+                    0.0 if oldest is None else round(now - oldest, 6)),
+                "up": self._up[shard],
+                "retired": self._retired[shard],
+            }
+        return stats
 
     def tenant_stats(self) -> Dict[str, Dict[str, float]]:
         """Per-tenant completed count and mean/max ack latency."""
@@ -289,7 +458,10 @@ class ShardBroker:
             "completed": self.completed,
             "pending": self.pending(),
             "redeliveries": self.redeliveries,
+            "forwarded": self.forwarded,
+            "unroutable": self.unroutable,
             "stale_acks_rejected": self.stale_acks_rejected,
             "duplicate_acks_ignored": self.duplicate_acks_ignored,
             "shards_up": sum(1 for up in self._up if up),
+            "shards_retired": sum(1 for retired in self._retired if retired),
         }

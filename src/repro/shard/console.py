@@ -5,14 +5,17 @@ sharded plane an operator question like "list my instances" spans N
 servers. :class:`ShardedConsole` keeps the
 :class:`~repro.core.engine.operator_console.OperatorConsole` query
 vocabulary but answers it plane-wide: instance-scoped calls route to
-the owning shard, plane-scoped calls fan out to every shard's console
-and merge the rows (ids are globally unique by shard prefix, so merging
-is concatenation, never reconciliation).
+the owning shard — chasing forwarding records when the instance was
+migrated, so a stale id keeps working — plane-scoped calls fan out to
+every live shard's console and merge the rows (ids are globally unique
+by shard prefix, so merging is concatenation, never reconciliation).
+Topology operations (:meth:`drain_shard`, :meth:`grow`) pass through to
+the plane; ``docs/sharding.md`` is the runbook.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.engine.operator_console import OperatorConsole
 from ..obs.merge import merge_counter_snapshots
@@ -25,105 +28,151 @@ class ShardedConsole:
     def __init__(self, plane: ShardedControlPlane):
         self.plane = plane
 
-    def _console(self, instance_id: str) -> OperatorConsole:
-        return OperatorConsole(self.plane.shard_of(instance_id).server)
+    def _locate(self, instance_id: str) -> Tuple[OperatorConsole, str]:
+        """Console of the instance's *current* home plus its final id
+        (forwarding records chased for migrated instances)."""
+        owner, final_id = self.plane.resolve_instance(instance_id)
+        return OperatorConsole(self.plane.shards[owner].server), final_id
 
     def _consoles(self) -> List[OperatorConsole]:
         return [OperatorConsole(shard.server)
-                for shard in self.plane.shards]
+                for shard in self.plane.shards if not shard.retired]
 
     # ------------------------------------------------------------------
     # Control (routed to the owning shard)
     # ------------------------------------------------------------------
 
     def stop(self, instance_id: str, reason: str = "operator stop") -> None:
-        """Suspend one instance, wherever it lives."""
-        self._console(instance_id).stop(instance_id, reason)
+        """Suspend one instance, wherever it lives (now)."""
+        console, final_id = self._locate(instance_id)
+        console.stop(final_id, reason)
 
     def resume(self, instance_id: str) -> None:
-        """Resume a suspended instance, wherever it lives."""
-        self._console(instance_id).resume(instance_id)
+        """Resume a suspended instance, wherever it lives (now)."""
+        console, final_id = self._locate(instance_id)
+        console.resume(final_id)
 
     def abort(self, instance_id: str,
               reason: str = "operator abort") -> None:
-        """Abort one instance, wherever it lives."""
-        self._console(instance_id).abort(instance_id, reason)
+        """Abort one instance, wherever it lives (now)."""
+        console, final_id = self._locate(instance_id)
+        console.abort(final_id, reason)
 
     def restart_task(self, instance_id: str, task_path: str) -> None:
-        """Re-run one task of an instance, wherever it lives."""
-        self._console(instance_id).restart_task(instance_id, task_path)
+        """Re-run one task of an instance, wherever it lives (now)."""
+        console, final_id = self._locate(instance_id)
+        console.restart_task(final_id, task_path)
 
     def change_parameter(self, instance_id: str, name: str,
                          value: Any) -> None:
-        """Edit a whiteboard item, wherever the instance lives."""
-        self._console(instance_id).change_parameter(instance_id, name,
-                                                    value)
+        """Edit a whiteboard item, wherever the instance lives (now)."""
+        console, final_id = self._locate(instance_id)
+        console.change_parameter(final_id, name, value)
 
     # ------------------------------------------------------------------
     # Instance-scoped queries (routed)
     # ------------------------------------------------------------------
 
     def instance_detail(self, instance_id: str) -> Dict[str, Any]:
-        """Statistics + whiteboard + outputs from the owning shard."""
-        detail = self._console(instance_id).instance_detail(instance_id)
-        detail["shard"] = self.plane.router.shard_of(instance_id)
+        """Statistics + whiteboard + outputs from the owning shard.
+
+        For a migrated instance the detail is the *current* copy's,
+        with ``requested_id``/``forwarded_to`` recording the chase so
+        the operator sees why the id in the row differs from the one
+        they asked about.
+        """
+        console, final_id = self._locate(instance_id)
+        detail = console.instance_detail(final_id)
+        detail["shard"] = self.plane.router.shard_of(final_id)
+        if final_id != instance_id:
+            detail["requested_id"] = instance_id
+            detail["forwarded_to"] = final_id
         return detail
 
     def running_tasks(self, instance_id: str) -> List[Dict[str, Any]]:
         """Dispatched tasks of one instance, from its owning shard."""
-        return self._console(instance_id).running_tasks(instance_id)
+        console, final_id = self._locate(instance_id)
+        return console.running_tasks(final_id)
 
     def failed_tasks(self, instance_id: str) -> List[Dict[str, Any]]:
         """Failed tasks of one instance, from its owning shard."""
-        return self._console(instance_id).failed_tasks(instance_id)
+        console, final_id = self._locate(instance_id)
+        return console.failed_tasks(final_id)
 
     def intermediate_results(self, instance_id: str,
                              prefix: str = "") -> Dict[str, Any]:
         """Completed-task outputs of one instance (owning shard)."""
-        return self._console(instance_id).intermediate_results(
-            instance_id, prefix)
+        console, final_id = self._locate(instance_id)
+        return console.intermediate_results(final_id, prefix)
+
+    # ------------------------------------------------------------------
+    # Topology operations (pass through to the plane)
+    # ------------------------------------------------------------------
+
+    def drain_shard(self, index: int,
+                    targets: Optional[Sequence[int]] = None
+                    ) -> Dict[str, str]:
+        """Migrate every instance off a shard and retire it."""
+        return self.plane.drain_shard(index, targets=targets)
+
+    def grow(self, count: int = 1) -> List[int]:
+        """Add fresh shards; new launches hash onto them immediately."""
+        return self.plane.grow(count)
 
     # ------------------------------------------------------------------
     # Plane-scoped queries (fan out, merge)
     # ------------------------------------------------------------------
 
     def list_instances(self) -> List[Dict[str, Any]]:
-        """Every shard's instances, tagged with their shard index."""
+        """Every live shard's instances, tagged with their shard index."""
         rows: List[Dict[str, Any]] = []
-        for shard, console in zip(self.plane.shards, self._consoles()):
+        for shard in self.plane.shards:
+            if shard.retired:
+                continue
+            console = OperatorConsole(shard.server)
             for row in console.list_instances():
                 row["shard"] = shard.index
                 rows.append(row)
         return sorted(rows, key=lambda r: r["instance_id"])
 
     def cluster_state(self) -> List[Dict[str, Any]]:
-        """Node rows from every shard's private pool, shard-tagged."""
+        """Node rows from every live shard's private pool, shard-tagged."""
         rows: List[Dict[str, Any]] = []
-        for shard, console in zip(self.plane.shards, self._consoles()):
+        for shard in self.plane.shards:
+            if shard.retired:
+                continue
+            console = OperatorConsole(shard.server)
             for row in console.cluster_state():
                 row["shard"] = shard.index
                 rows.append(row)
         return sorted(rows, key=lambda r: r["node"])
 
     def queue_depth(self) -> Dict[str, int]:
-        """Broker backlog plus each shard's dispatcher queue."""
+        """Broker backlog plus each live shard's dispatcher queue."""
         depths = {
             f"shard{shard.index:02d}":
                 OperatorConsole(shard.server).queue_depth()
-            for shard in self.plane.shards
+            for shard in self.plane.shards if not shard.retired
         }
         depths["broker"] = self.plane.broker.pending()
         return depths
 
     def network_health(self) -> Dict[str, Any]:
-        """Control-fabric counters plus per-shard fabric/fencing health."""
+        """Control-fabric counters, per-shard broker backlog (depth and
+        oldest-pending age — the drain-target picker), and each live
+        shard's fabric/fencing health."""
         return {
             "control": dict(self.plane.control.health()),
             "broker": self.plane.broker.health(),
+            "broker_queues": {
+                f"shard{index:02d}": stats
+                for index, stats in
+                self.plane.broker.shard_queue_stats().items()
+            },
             "shards": {
                 f"shard{shard.index:02d}":
                     OperatorConsole(shard.server).network_health()
-                for shard in self.plane.shards
+                for shard in self.plane.shards if not shard.retired
             },
         }
 
@@ -132,13 +181,15 @@ class ShardedConsole:
         per_shard = {
             f"shard{shard.index:02d}":
                 OperatorConsole(shard.server).metrics_snapshot()
-            for shard in self.plane.shards
+            for shard in self.plane.shards if not shard.retired
         }
         return {
             "total_counters": merge_counter_snapshots(
                 snapshot.get("counters", {})
                 for snapshot in per_shard.values()
             ),
+            "broker": self.plane.broker.health(),
+            "broker_queues": self.plane.broker.shard_queue_stats(),
             "shards": per_shard,
         }
 
@@ -146,7 +197,8 @@ class ShardedConsole:
                       ) -> Dict[str, Any]:
         """Span summary: one shard's when instance-scoped, else merged."""
         if instance_id is not None:
-            return self._console(instance_id).trace_summary(instance_id)
+            console, final_id = self._locate(instance_id)
+            return console.trace_summary(final_id)
         merged: Dict[str, Any] = {}
         for console in self._consoles():
             for key, value in console.trace_summary().items():

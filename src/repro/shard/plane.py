@@ -36,11 +36,12 @@ from ..cluster.network import Network
 from ..core.engine.server import BioOperaServer
 from ..core.engine.library import ProgramRegistry
 from ..core.model.process import ProcessTemplate
-from ..errors import EngineError
+from ..errors import EngineError, UnknownShardError
 from ..obs import ObservabilityHub
 from ..store.kvstore import MEMORY
 from ..store.spaces import OperaStore
-from .broker import Request, ShardBroker
+from .broker import Forwarded, Request, ShardBroker
+from .migrate import ShardMigrator
 from .router import ShardRouter
 
 
@@ -59,6 +60,10 @@ class Shard:
         self.index = index
         self.kernel = kernel
         self.checkpoint_interval = checkpoint_interval
+        #: set by the plane when the shard is drained and removed from
+        #: service; a retired shard keeps its store (forwarding records
+        #: live there) but never executes another request.
+        self.retired = False
         self.cluster = SimulatedCluster(
             kernel,
             uniform(nodes, cpus=cpus, prefix=f"s{index:02d}-n"),
@@ -80,6 +85,14 @@ class Shard:
             self.server.enable_quarantine(*quarantine)
         for template in templates:
             self.server.define_template(template)
+        # Construction state — shard identity, templates, lease and
+        # quarantine config — must be durable before the shard serves
+        # anything: under a group sync policy those commits sit in the
+        # buffer, and a crash before the first request ack (possible
+        # for a freshly grown shard that is immediately made a
+        # migration target) would otherwise recover a server with an
+        # empty template space.
+        self.store.flush()
 
     @property
     def up(self) -> bool:
@@ -96,7 +109,7 @@ class Shard:
         skips signals an instance already carries.
         """
         server = self.server
-        if not server.up:
+        if not server.up or self.retired:
             return None
         payload = request.payload
         if request.kind == "launch":
@@ -105,8 +118,20 @@ class Shard:
                 request_key=request.request_id,
             )
         elif request.kind == "signal":
+            instance_id = payload["instance_id"]
+            if instance_id in server.migrating:
+                # Mid-migration pause window: defer, don't error — no
+                # ack means the broker redelivers once the move (or its
+                # rollback) lands, and idempotency absorbs the retry.
+                return None
+            if instance_id not in server.instances:
+                forward = self.store.configuration.setting(
+                    f"forward/{instance_id}")
+                if isinstance(forward, dict) and forward.get("to"):
+                    # Migrated away: tell the broker where to chase.
+                    return server.epoch, Forwarded(forward["to"])
             result = server.deliver_signal(
-                payload["instance_id"], payload["name"],
+                instance_id, payload["name"],
                 payload.get("origin", "operator"),
             )
         elif request.kind == "broadcast":
@@ -175,19 +200,39 @@ class ShardedControlPlane:
                                   service_time=service_time,
                                   redeliver_after=redeliver_after)
         self.shards: List[Shard] = []
+        # Remembered so grow() builds new shards with the same shape.
+        self._seed = seed
+        self._templates = list(templates)
+        self._shard_kwargs = dict(
+            nodes=nodes_per_shard, cpus=cpus, store_options=store_options,
+            checkpoint_interval=checkpoint_interval, leases=leases,
+            quarantine=quarantine, dispatch_overhead=dispatch_overhead,
+        )
         for index in range(shards):
-            shard = Shard(
-                kernel, index, self.registry, templates,
-                nodes=nodes_per_shard, cpus=cpus, seed=seed + index,
-                store_options=store_options,
-                checkpoint_interval=checkpoint_interval,
-                leases=leases, quarantine=quarantine,
-                dispatch_overhead=dispatch_overhead,
-            )
-            self.broker.executors[index] = shard.execute
-            shard.server.broadcast_fanout = self._fanout_broadcast
-            self.shards.append(shard)
+            self._add_shard(index)
         self._request_seq = 0
+        self.migrator = ShardMigrator(self)
+        self.broker.reroute = self._reroute
+
+    def _add_shard(self, index: int) -> Shard:
+        """Build shard ``index`` and wire it into broker + fanout."""
+        shard = Shard(
+            self.kernel, index, self.registry, self._templates,
+            seed=self._seed + index, **self._shard_kwargs,
+        )
+        self.broker.executors[index] = shard.execute
+        shard.server.broadcast_fanout = self._fanout_broadcast
+        self.shards.append(shard)
+        return shard
+
+    def _reroute(self, request: Request, forwarded) -> Optional[int]:
+        """Broker hook: re-target a forwarded request at the new owner."""
+        try:
+            owner, final_id = self.resolve_instance(forwarded.to)
+        except EngineError:
+            return None
+        request.payload["instance_id"] = final_id
+        return owner
 
     # ------------------------------------------------------------------
     # Tenant-facing API (everything goes through the broker)
@@ -213,11 +258,17 @@ class ShardedControlPlane:
 
     def signal(self, tenant: str, instance_id: str, name: str,
                origin: str = "operator") -> Request:
-        """Queue a signal for whichever shard owns ``instance_id``."""
+        """Queue a signal for whichever shard owns ``instance_id``.
+
+        A stale (migrated) id is chased through its forwarding records
+        up front; a move racing the request in flight is caught by the
+        shard itself, which answers with a forward the broker chases.
+        """
+        owner, final_id = self.resolve_instance(instance_id)
         return self.broker.submit(Request(
             self._next_request_id(tenant), tenant, "signal",
-            {"instance_id": instance_id, "name": name, "origin": origin},
-            self.router.shard_of(instance_id),
+            {"instance_id": final_id, "name": name, "origin": origin},
+            owner,
         ))
 
     def broadcast_signal(self, name: str,
@@ -234,6 +285,7 @@ class ShardedControlPlane:
                 {"name": name, "origin": origin}, index,
             ))
             for index in range(len(self.shards))
+            if not self.shards[index].retired
         ]
 
     # ------------------------------------------------------------------
@@ -244,9 +296,38 @@ class ShardedControlPlane:
         """The shard object owning ``instance_id``."""
         return self.shards[self.router.shard_of(instance_id)]
 
+    def resolve_instance(self, instance_id: str) -> Tuple[int, str]:
+        """Chase forwarding records to the instance's current home.
+
+        Returns ``(shard_index, final_id)``. A multi-hop chain (the
+        instance migrated more than once) is followed to the end;
+        raises :class:`~repro.errors.UnknownShardError` for a prefix
+        past the plane or an id stranded on a retired shard with no
+        forwarding record, and :class:`EngineError` on a cycle.
+        """
+        seen = set()
+        current = instance_id
+        while True:
+            owner = self.router.shard_of(current)
+            shard = self.shards[owner]
+            forward = shard.store.configuration.setting(f"forward/{current}")
+            if isinstance(forward, dict) and forward.get("to"):
+                if current in seen:
+                    raise EngineError(
+                        f"forwarding cycle while resolving {instance_id!r}")
+                seen.add(current)
+                current = forward["to"]
+                continue
+            if shard.retired:
+                raise UnknownShardError(
+                    f"{current!r} lives on retired shard {owner} and has "
+                    f"no forwarding record")
+            return owner, current
+
     def instance(self, instance_id: str):
-        """Cross-shard instance lookup (routed, not scanned)."""
-        return self.shard_of(instance_id).server.instance(instance_id)
+        """Cross-shard instance lookup (routed + forward-chased)."""
+        owner, final_id = self.resolve_instance(instance_id)
+        return self.shards[owner].server.instance(final_id)
 
     def all_instances(self) -> Dict[str, Any]:
         """instance_id -> instance across every shard (sorted ids)."""
@@ -261,12 +342,16 @@ class ShardedControlPlane:
 
     def crash_shard(self, index: int) -> None:
         """Crash one shard's server; the broker holds its traffic."""
+        if self.shards[index].retired:
+            raise EngineError(f"shard {index} is retired")
         self.shards[index].crash()
         self.broker.shard_down(index)
 
     def recover_shard(self, index: int) -> BioOperaServer:
         """Fail one shard over from its own store and resume traffic."""
         shard = self.shards[index]
+        if shard.retired:
+            raise EngineError(f"shard {index} is retired")
         server = shard.recover()
         # The fanout hook lives on the dead process's object; a
         # recovered server must get its own or broadcasts silently
@@ -274,7 +359,128 @@ class ShardedControlPlane:
         server.broadcast_fanout = self._fanout_broadcast
         self.broker.executors[index] = shard.execute
         self.broker.shard_up(index)
+        # Any migration this shard was source or target of when it died
+        # is now decidable again: finish or undo it before new traffic
+        # can observe a half-moved instance. No-op without journals.
+        self.migrator.resume()
         return server
+
+    # ------------------------------------------------------------------
+    # Topology change: grow, drain, retire (in-place shrink)
+    # ------------------------------------------------------------------
+
+    def grow(self, count: int = 1) -> List[int]:
+        """Add ``count`` fresh shards; new load hash-routes to them
+        immediately (existing prefixed instances do not move)."""
+        if count < 1:
+            raise EngineError(f"cannot grow by {count}")
+        added = []
+        for _ in range(count):
+            index = self.broker.add_shard()
+            self._add_shard(index)
+            added.append(index)
+        self.router = self.router.grown(len(self.shards))
+        return added
+
+    def drain_shard(self, index: int,
+                    targets: Optional[Sequence[int]] = None
+                    ) -> Dict[str, str]:
+        """Migrate every instance off shard ``index`` and retire it.
+
+        Returns ``{old_id: new_id}``. Safe to re-run after a crash mid-
+        drain: interrupted moves are resumed or rolled back first, and
+        already-moved instances are simply no longer on the source.
+        """
+        shard = self.shards[index]
+        if shard.retired:
+            raise EngineError(f"shard {index} is already retired")
+        if not shard.server.up:
+            raise EngineError(f"recover shard {index} before draining it")
+        # Take the shard out of the hash route FIRST so no new launch
+        # lands on it while its instances stream out.
+        self.router = self.router.with_retired(index)
+        self.migrator.resume()
+        candidates = [
+            sibling for sibling in self.router.active
+            if sibling != index and self.shards[sibling].up
+            and not self.shards[sibling].retired
+        ]
+        if targets is not None:
+            chosen = [sibling for sibling in targets
+                      if sibling in candidates]
+            if not chosen:
+                raise EngineError("no live, active target shard among "
+                                  f"{list(targets)}")
+            candidates = chosen
+        if not candidates:
+            raise EngineError("no live shard left to drain into")
+        moved: Dict[str, str] = {}
+        for instance_id in sorted(shard.server.instances):
+            target = self.router.pick(instance_id, candidates)
+            moved[instance_id] = self.migrator.migrate_instance(
+                instance_id, target)
+        self.retire_shard(index)
+        return moved
+
+    def retire_shard(self, index: int) -> None:
+        """Remove an emptied shard from service (in-place shrink).
+
+        The shard's store stays reachable — its forwarding records are
+        what keep stale ids resolvable — but its server is down for
+        good and the broker will never dispatch to it again. Un-acked
+        requests it still held are resettled onto live shards.
+        """
+        shard = self.shards[index]
+        if shard.retired:
+            return
+        remaining = shard.store.instances.instance_ids()
+        if remaining:
+            raise EngineError(
+                f"shard {index} still owns {len(remaining)} instance(s); "
+                f"drain it first")
+        self.router = self.router.with_retired(index)
+        extracted = self.broker.retire_shard(index)
+        shard.retired = True
+        shard.server.up = False
+        for request in extracted:
+            self._resettle_request(request)
+
+    def _resettle_request(self, request: Request) -> None:
+        """Give a retired shard's un-acked request a new home.
+
+        Exactly-once across the retirement: a launch the retired shard
+        already executed (its durable dedup marker exists) is completed
+        from the marker instead of re-run; anything else re-queues on a
+        live shard via hash/forward routing.
+        """
+        retired_store = self.shards[request.shard].store
+        if request.kind == "launch":
+            already = retired_store.configuration.setting(
+                f"request/{request.request_id}")
+            if already is not None:
+                try:
+                    _owner, final_id = self.resolve_instance(already)
+                except EngineError:
+                    final_id = already
+                self.broker.complete_local(request, final_id)
+                return
+            request.shard = self.router.hash_route(request.request_id)
+            self.broker._enqueue(request)
+        elif request.kind == "signal":
+            try:
+                owner, final_id = self.resolve_instance(
+                    request.payload["instance_id"])
+            except EngineError:
+                self.broker.unroutable += 1
+                self.broker.complete_local(request, None)
+                return
+            request.payload["instance_id"] = final_id
+            request.shard = owner
+            self.broker._enqueue(request)
+        else:
+            # A broadcast aimed at the retired shard: nothing lives
+            # there anymore, so it is vacuously delivered.
+            self.broker.complete_local(request, True)
 
     def partition_shard(self, index: int, symmetric: bool = True) -> int:
         """Cut the broker↔shard links; heal with :meth:`heal`."""

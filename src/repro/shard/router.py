@@ -9,29 +9,46 @@ to "which shard owns this id?". The rule is prefix-first:
   exists — growing the plane never re-homes an existing instance;
 * everything else (tenant request keys, legacy unprefixed ids) routes
   by a **stable** hash (CRC-32, not Python's per-process randomized
-  ``hash()``) modulo the shard count.
+  ``hash()``) modulo the active shard set.
 
-The hash route is therefore the only part that moves when shards are
-added, which is exactly the rebalance caveat ``docs/sharding.md``
-documents: new *requests* spread over the grown plane immediately,
-while existing prefixed instances stay put.
+Two things make shrink safe where it used to be a silent hazard:
+
+* a prefix pointing past the plane raises a typed
+  :class:`~repro.errors.UnknownShardError` instead of hash-routing into
+  a shard that has never heard of the instance — callers that can chase
+  forwarding records (``ShardedControlPlane.resolve_instance``) do so
+  before surfacing the error;
+* drained shards stay in the router as **retired** members: their
+  prefixed ids still resolve (to the retired store, where a forwarding
+  record awaits), but the hash route only ever picks *active* shards,
+  so no new load lands on them.
 """
 
 from __future__ import annotations
 
 import zlib
-from typing import Optional
+from typing import Iterable, Optional, Sequence, Tuple
 
-from ..errors import EngineError
+from ..errors import EngineError, UnknownShardError
 
 
 class ShardRouter:
     """Maps instance ids (and request keys) onto ``shards`` shards."""
 
-    def __init__(self, shards: int):
+    def __init__(self, shards: int, retired: Iterable[int] = ()):
         if shards < 1:
             raise EngineError(f"need at least one shard, got {shards}")
         self.shards = shards
+        self.retired = frozenset(index for index in retired
+                                 if 0 <= index < shards)
+        if len(self.retired) >= shards:
+            raise EngineError("cannot retire every shard in the plane")
+
+    @property
+    def active(self) -> Tuple[int, ...]:
+        """Indices of shards that accept new load, in order."""
+        return tuple(index for index in range(self.shards)
+                     if index not in self.retired)
 
     @staticmethod
     def prefix(index: int) -> str:
@@ -47,23 +64,49 @@ class ShardRouter:
         return None
 
     def hash_route(self, key: str) -> int:
-        """Stable hash placement for keys that carry no shard prefix."""
-        return zlib.crc32(key.encode("utf-8")) % self.shards
+        """Stable hash placement over the *active* shards."""
+        active = self.active
+        return active[zlib.crc32(key.encode("utf-8")) % len(active)]
+
+    def pick(self, key: str, candidates: Sequence[int]) -> int:
+        """Deterministic choice among ``candidates`` for ``key``.
+
+        Used by drain to spread a retiring shard's instances over its
+        siblings: same key, same candidate set → same target, so a
+        re-run of an interrupted drain re-derives its own decisions.
+        """
+        if not candidates:
+            raise EngineError("no candidate shards to pick from")
+        ordered = sorted(candidates)
+        return ordered[zlib.crc32(key.encode("utf-8")) % len(ordered)]
 
     def shard_of(self, instance_id: str) -> int:
         """The shard that owns ``instance_id`` — always exactly one.
 
-        A prefixed id belongs to the minting shard. A prefix pointing
-        past the current shard count (an id minted by a plane that has
-        since *shrunk* — see the rebalance caveats in docs/sharding.md)
-        falls back to the hash route so the id still resolves to exactly
-        one live shard.
+        A prefixed id belongs to the minting shard, even when that shard
+        is retired (its store still holds the forwarding records). A
+        prefix pointing *past* the plane — an id minted by a shard that
+        was removed outright — raises :class:`UnknownShardError` rather
+        than hash-routing to a shard that never owned the instance.
         """
         owner = self.parse_prefix(instance_id)
-        if owner is not None and owner < self.shards:
+        if owner is not None:
+            if owner >= self.shards:
+                raise UnknownShardError(
+                    f"{instance_id!r} names shard {owner}, but the plane "
+                    f"has only {self.shards} shard(s)")
             return owner
         return self.hash_route(instance_id)
 
+    def with_retired(self, index: int) -> "ShardRouter":
+        """A router with shard ``index`` additionally marked retired."""
+        return ShardRouter(self.shards, self.retired | {index})
+
     def grown(self, shards: int) -> "ShardRouter":
-        """A router for a plane grown (or shrunk) to ``shards`` shards."""
-        return ShardRouter(shards)
+        """A router for a plane grown to ``shards`` shards.
+
+        Retired members within the new range stay retired; growth must
+        never resurrect a drained shard's hash-route membership.
+        """
+        return ShardRouter(
+            shards, {index for index in self.retired if index < shards})

@@ -42,6 +42,20 @@ class TemplateSpace:
             txn.put(f"{self.PREFIX}{name}/latest", version)
         return version
 
+    def save_version(self, name: str, version: int,
+                     template_dict: Dict[str, Any]) -> None:
+        """Store ``name`` at an *exact* version number (idempotent).
+
+        Shard migration uses this to replicate the source shard's pinned
+        template version on the target: re-running an interrupted import
+        must not mint a fresh version the way :meth:`save` would, and the
+        ``latest`` pointer only ever moves forward.
+        """
+        with self._kv.transaction() as txn:
+            txn.put(f"{self.PREFIX}{name}/v{version:06d}", template_dict)
+            txn.put(f"{self.PREFIX}{name}/latest",
+                    max(version, self.latest_version(name)))
+
     def latest_version(self, name: str) -> int:
         """Newest stored version number of ``name`` (0 if unknown)."""
         return int(self._kv.get(f"{self.PREFIX}{name}/latest", 0))
@@ -276,6 +290,18 @@ class ConfigurationSpace:
     def setting(self, name: str, default: Any = None) -> Any:
         """Read a named setting, with a default."""
         return self._kv.get(f"{self.PREFIX}setting/{name}", default)
+
+    def settings(self, prefix: str = "") -> Dict[str, Any]:
+        """All settings whose name starts with ``prefix``, keyed by the
+        *relative* name (the shared prefix stripped).
+
+        Migration journals (``migrate_out/…``, ``migrate_in/…``,
+        ``forward/…``) live in the settings namespace; resume scans use
+        this to find every in-flight move after a crash.
+        """
+        full = f"{self.PREFIX}setting/{prefix}"
+        strip = len(f"{self.PREFIX}setting/")
+        return {key[strip:]: value for key, value in self._kv.items(full)}
 
 
 class DataSpace:

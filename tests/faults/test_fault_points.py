@@ -96,7 +96,14 @@ ENGINE_CRASH_POINTS = [
                       "store.checkpoint.truncate",
                       "store.checkpoint.post-truncate",
                       "store.group_commit.pre_sync",
-                      "store.group_commit.post_sync")
+                      "store.group_commit.post_sync",
+                      # shard.migrate.* only fires inside a live
+                      # migration; covered in tests/shard/test_migration
+                      "shard.migrate.prepare",
+                      "shard.migrate.export",
+                      "shard.migrate.import",
+                      "shard.migrate.commit",
+                      "shard.migrate.activate")
 ]
 
 

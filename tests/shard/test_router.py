@@ -3,7 +3,7 @@
 from hypothesis import given, strategies as st
 import pytest
 
-from repro.errors import EngineError
+from repro.errors import EngineError, UnknownShardError
 from repro.shard import ShardRouter
 
 ids = st.text(min_size=1, max_size=40)
@@ -15,7 +15,12 @@ class TestRouting:
     def test_every_id_routes_to_exactly_one_shard(self, instance_id,
                                                   shards):
         router = ShardRouter(shards)
-        owner = router.shard_of(instance_id)
+        try:
+            owner = router.shard_of(instance_id)
+        except UnknownShardError:
+            # Only possible for an id carrying a prefix past the plane.
+            assert router.parse_prefix(instance_id) >= shards
+            return
         assert 0 <= owner < shards
         # deterministic: same id, same router, same shard — always
         assert router.shard_of(instance_id) == owner
@@ -27,7 +32,6 @@ class TestRouting:
         *prefixed* id (already minted by a shard) never moves."""
         router = ShardRouter(shards)
         grown = router.grown(shards + 1)
-        assert 0 <= grown.shard_of(instance_id) < shards + 1
         for owner in range(shards):
             minted = f"{router.prefix(owner)}pi-000042"
             assert router.shard_of(minted) == owner
@@ -40,13 +44,46 @@ class TestRouting:
             minted = f"{router.prefix(owner)}pi-{serial:06d}"
             assert router.parse_prefix(minted) == owner
 
-    def test_orphaned_prefix_falls_back_to_hash(self):
-        """A prefix pointing past the plane (e.g. after a shrink) is
-        still routed — by hash, not by the stale owner index."""
+    def test_orphaned_prefix_raises_typed_error(self):
+        """A prefix pointing past the plane (a shard removed outright)
+        must fail loudly — hash-routing it would query a shard that has
+        never heard of the instance and report it missing."""
         router = ShardRouter(2)
-        owner = router.shard_of("s07-pi-000001")
-        assert 0 <= owner < 2
+        with pytest.raises(UnknownShardError):
+            router.shard_of("s07-pi-000001")
 
     def test_zero_shards_rejected(self):
         with pytest.raises(EngineError):
             ShardRouter(0)
+
+
+class TestRetirement:
+    def test_retired_shard_still_owns_its_prefixed_ids(self):
+        """Retired stores hold the forwarding records — prefixed ids
+        must keep resolving to them so stale requests can route-chase."""
+        router = ShardRouter(4).with_retired(1)
+        assert router.shard_of("s01-pi-000007") == 1
+
+    @given(key=ids)
+    def test_hash_route_avoids_retired_shards(self, key):
+        router = ShardRouter(4).with_retired(2)
+        assert router.hash_route(key) != 2
+        assert router.shard_of(f"req-{key}") != 2
+
+    def test_growth_preserves_retirement(self):
+        router = ShardRouter(4).with_retired(1)
+        grown = router.grown(6)
+        assert grown.retired == frozenset({1})
+        assert set(grown.active) == {0, 2, 3, 4, 5}
+
+    def test_cannot_retire_the_whole_plane(self):
+        with pytest.raises(EngineError):
+            ShardRouter(1).with_retired(0)
+
+    @given(key=ids)
+    def test_pick_is_deterministic_and_in_candidates(self, key):
+        router = ShardRouter(8)
+        candidates = [5, 1, 3]
+        choice = router.pick(key, candidates)
+        assert choice in candidates
+        assert router.pick(key, [3, 5, 1]) == choice
