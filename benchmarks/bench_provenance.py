@@ -1,0 +1,236 @@
+"""P1 — smart re-execution cost: invalidated subgraph, not run size.
+
+The provenance tentpole's performance claim: ``execute_rerun`` re-drives
+only the invalidated downstream subgraph and replays everything else
+from the content-keyed memo cache, so rerun cost scales with the size of
+the *change* (K stale tasks), not the size of the *run* (N tasks). This
+benchmark runs a linear chain of N activities, forces the task K steps
+from the end, and times the smart rerun against a full re-execution of
+the same chain, across growing N with K fixed. It also times building
+the provenance graph from the live incrementally-maintained view vs a
+full lineage-log rescan, and emits ``BENCH_provenance.json`` at the
+repo root.
+
+Metrics
+-------
+
+* **smart vs full rerun** — wall time per rerun as N grows: full grows
+  O(N), smart stays pinned near the fixed K-task tail (speedup must
+  *increase* with N — the shape of the claim, robust to machine noise);
+* **accounting** — every rerun's executed set is exactly the predicted
+  K-task stale set and the replayed set the other N-K (asserted, not
+  just reported);
+* **graph access** — provenance graph from the live view vs rebuilt
+  from a lineage-log rescan at the largest N.
+
+Run standalone: ``PYTHONPATH=src python benchmarks/bench_provenance.py``
+(add ``--smoke`` for the small CI-sized variant).
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+if __package__ in (None, ""):  # standalone: make src/ importable
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src"),
+    )
+
+from repro.core.engine import (
+    BioOperaServer,
+    InlineEnvironment,
+    ProgramRegistry,
+    ProgramResult,
+)
+from repro.prov import ProvenanceGraph, execute_rerun, provenance_graph, \
+    rerun_report
+from repro.store import codec
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_JSON_PATH = os.path.join(_REPO_ROOT, "BENCH_provenance.json")
+
+#: tasks invalidated per rerun — fixed while N grows
+TAIL = 4
+#: per-task simulated work; large enough that executing a task costs
+#: visibly more than replaying its memo record, small enough for CI
+WORK_ITERATIONS = 60_000
+
+FULL_SIZES = (16, 32, 64)
+SMOKE_SIZES = (8, 24)
+
+
+def _chain_ocr(n):
+    """A linear chain: S000 reads the launch input, each S{i} the
+    previous step's whiteboard dataset."""
+    lines = ["PROCESS chain", "  INPUT x",
+             f"  OUTPUT result = S{n - 1:03d}.out"]
+    for i in range(n):
+        source = "x" if i == 0 else f"d{i - 1:03d}"
+        lines += [
+            f"  ACTIVITY S{i:03d}",
+            "    PROGRAM work",
+            f"    IN x = wb.{source}",
+            f"    MAP out -> d{i:03d}",
+            "  END",
+        ]
+    for i in range(n - 1):
+        lines.append(f"  CONNECT S{i:03d} -> S{i + 1:03d}")
+    lines.append("END")
+    return "\n".join(lines) + "\n"
+
+
+def _chain_server(n, seed=13):
+    registry = ProgramRegistry()
+
+    def work(inputs, ctx):
+        acc = inputs["x"]
+        for _ in range(WORK_ITERATIONS):
+            acc = (acc * 31 + 7) % 1_000_003
+        return ProgramResult({"out": acc})
+
+    registry.register("work", work)
+    server = BioOperaServer(registry=registry, seed=seed)
+    environment = InlineEnvironment()
+    server.attach_environment(environment)
+    server.enable_memoization()
+    server.define_template_ocr(_chain_ocr(n))
+    return server, environment
+
+
+def _bench_size(n):
+    """One chain length: full run, then a forced-tail smart rerun."""
+    server, env = _chain_server(n)
+
+    t0 = time.perf_counter()
+    iid = server.launch("chain", {"x": 5})
+    env.run_instance(iid)
+    full_s = time.perf_counter() - t0
+
+    forced = f"S{n - TAIL:03d}"
+    t0 = time.perf_counter()
+    handle = execute_rerun(server, iid, task_ids=[forced])
+    env.run_instance(handle.new_instance_id)
+    smart_s = time.perf_counter() - t0
+
+    report = rerun_report(server.store, handle.new_instance_id)
+    outputs_equal = (
+        codec.encode(server.instance(handle.new_instance_id).outputs)
+        == codec.encode(server.instance(iid).outputs))
+    return {
+        "tasks": n,
+        "invalidated": TAIL,
+        "full_run_s": round(full_s, 4),
+        "smart_rerun_s": round(smart_s, 4),
+        "speedup": round(full_s / max(smart_s, 1e-9), 2),
+        "executed": len(report["executed"]),
+        "replayed": len(report["replayed"]),
+        "accounting_exact": (report["executed"]
+                             == handle.plan.stale_tasks
+                             and len(report["executed"]) == TAIL
+                             and len(report["replayed"]) == n - TAIL),
+        "outputs_equal_original": outputs_equal,
+    }, server
+
+
+def _bench_graph_access(server):
+    """Provenance graph from the live view vs a lineage-log rescan."""
+    store = server.store
+    t0 = time.perf_counter()
+    for _ in range(50):
+        live = provenance_graph(store)
+    live_s = (time.perf_counter() - t0) / 50
+    t0 = time.perf_counter()
+    for _ in range(50):
+        rebuilt = ProvenanceGraph.from_records(store.data.lineage_records())
+    rebuild_s = (time.perf_counter() - t0) / 50
+    return {
+        "records": len(rebuilt),
+        "live_view_s": round(live_s, 6),
+        "rescan_rebuild_s": round(rebuild_s, 6),
+        "equivalent": (codec.encode(live.dump())
+                       == codec.encode(rebuilt.dump())),
+    }
+
+
+def run_bench(smoke=False):
+    sizes = SMOKE_SIZES if smoke else FULL_SIZES
+    rows = []
+    server = None
+    for n in sizes:
+        row, server = _bench_size(n)
+        rows.append(row)
+    result = {
+        "bench": "provenance",
+        "mode": "smoke" if smoke else "full",
+        "tail": TAIL,
+        "reruns": rows,
+        "graph_access": _bench_graph_access(server),
+    }
+    with open(_JSON_PATH, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return result
+
+
+def _format(result):
+    lines = [
+        f"provenance bench ({result['mode']}): smart rerun with a fixed "
+        f"{result['tail']}-task invalidated tail",
+        "",
+        f"{'tasks':>7}{'full run (s)':>14}{'smart rerun (s)':>17}"
+        f"{'speedup':>9}{'executed':>10}{'replayed':>10}",
+    ]
+    for row in result["reruns"]:
+        lines.append(
+            f"{row['tasks']:>7}{row['full_run_s']:>14.4f}"
+            f"{row['smart_rerun_s']:>17.4f}{row['speedup']:>8.2f}x"
+            f"{row['executed']:>10}{row['replayed']:>10}"
+        )
+    access = result["graph_access"]
+    lines.append(
+        f"\ngraph access ({access['records']} lineage records): live view "
+        f"{access['live_view_s']:.6f}s, rescan rebuild "
+        f"{access['rescan_rebuild_s']:.6f}s, equivalent: "
+        f"{access['equivalent']}"
+    )
+    return "\n".join(lines)
+
+
+def _assert_acceptance(result, smoke):
+    rows = result["reruns"]
+    for row in rows:
+        # rerun accounting is exact: the K forced-tail tasks executed,
+        # everything upstream replayed, outputs unchanged
+        assert row["accounting_exact"], row
+        assert row["outputs_equal_original"], row
+    # the claim's shape: as N grows with K fixed, the smart rerun's
+    # advantage over a full re-execution must widen
+    assert rows[-1]["speedup"] > rows[0]["speedup"], rows
+    assert rows[-1]["speedup"] >= (1.5 if smoke else 2.0), rows[-1]
+    # and the live view must agree with the rescan, at speed
+    assert result["graph_access"]["equivalent"], result["graph_access"]
+
+
+def test_provenance_rerun(artifact):
+    result = run_bench(smoke=True)
+    artifact("p1_provenance", _format(result))
+    _assert_acceptance(result, smoke=True)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI-sized run")
+    args = parser.parse_args(argv)
+    result = run_bench(smoke=args.smoke)
+    print(_format(result))
+    _assert_acceptance(result, smoke=args.smoke)
+    print(f"\nwrote {_JSON_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

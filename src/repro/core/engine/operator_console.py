@@ -173,3 +173,86 @@ class OperatorConsole:
         if obs is None:
             raise ValueError("observability is disabled on this server")
         return obs.tracing.export_chrome_trace(path, instance_id)
+
+    # ------------------------------------------------------------------
+    # Provenance (lineage graph queries; see docs/provenance.md)
+    # ------------------------------------------------------------------
+
+    def _provenance(self, instance_id: str):
+        """The store's provenance graph, with the instance's existence
+        checked first — unknown ids get a typed error, migrated ids a
+        :class:`~repro.errors.MigratedInstanceError` naming the target,
+        never a silently empty result."""
+        from ...prov import provenance_graph, require_instance
+        require_instance(self.server.store, instance_id)
+        return provenance_graph(self.server.store)
+
+    def _dataset(self, instance_id: str, name: str) -> str:
+        """Qualify a dataset name with the instance prefix if needed."""
+        if name.startswith(f"{instance_id}/"):
+            return name
+        return f"{instance_id}/{name}"
+
+    def provenance_ancestry(self, instance_id: str,
+                            dataset: str) -> List[Dict[str, Any]]:
+        """Derivation steps behind ``dataset``, furthest ancestor first.
+
+        ``dataset`` is a task output (``<task path>``) or whiteboard item
+        (``wb:<name>``), with or without the ``<instance>/`` prefix."""
+        graph = self._provenance(instance_id)
+        return graph.ancestry(self._dataset(instance_id, dataset))
+
+    def provenance_descendants(self, instance_id: str,
+                               dataset: str) -> List[str]:
+        """Every dataset transitively derived from ``dataset``."""
+        graph = self._provenance(instance_id)
+        return graph.descendants(self._dataset(instance_id, dataset))
+
+    def derivation_path(self, instance_id: str, source: str,
+                        target: str) -> List[Dict[str, Any]]:
+        """The chain of derivation steps from ``source`` to ``target``."""
+        graph = self._provenance(instance_id)
+        return graph.derivation_path(self._dataset(instance_id, source),
+                                     self._dataset(instance_id, target))
+
+    def provenance_run(self, instance_id: str) -> List[Dict[str, Any]]:
+        """Every derivation step this instance recorded, in order."""
+        graph = self._provenance(instance_id)
+        return graph.run_steps(instance_id)
+
+    def provenance_diff(self, run_a: str, run_b: str) -> Dict[str, Any]:
+        """Structural diff between two runs (tasks only in one, tasks
+        whose program or relative inputs changed, unchanged tasks)."""
+        graph = self._provenance(run_a)
+        self._provenance(run_b)
+        return graph.diff_runs(run_a, run_b)
+
+    def export_prov(self, instance_id: Optional[str] = None
+                    ) -> Dict[str, Any]:
+        """W3C PROV-JSON document for one instance (or the whole store)."""
+        from ...prov import provenance_graph
+        if instance_id is not None:
+            return self._provenance(instance_id).to_prov_json(instance_id)
+        return provenance_graph(self.server.store).to_prov_json()
+
+    def rerun(self, instance_id: str,
+              changed_inputs: Optional[Dict[str, Any]] = None,
+              task_ids: Optional[List[str]] = None,
+              request_key: Optional[str] = None) -> Dict[str, Any]:
+        """Smart re-execution: launch a rerun in which only the subgraph
+        invalidated by ``changed_inputs``/``task_ids`` re-executes; the
+        rest replays from the memo cache. Counts as an intervention."""
+        from ...prov import execute_rerun
+        handle = execute_rerun(self.server, instance_id,
+                               changed_inputs=changed_inputs,
+                               task_ids=task_ids, request_key=request_key)
+        self.server.metrics["manual_interventions"] += 1
+        return {
+            "rerun_id": handle.new_instance_id,
+            "plan": handle.plan.to_dict(),
+        }
+
+    def rerun_report(self, rerun_id: str) -> Dict[str, Any]:
+        """Memo-vs-executed audit of a finished rerun, from its log."""
+        from ...prov import rerun_report
+        return rerun_report(self.server.store, rerun_id)

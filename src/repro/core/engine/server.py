@@ -21,6 +21,7 @@ The server is clock- and transport-agnostic: an
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ...errors import (
@@ -30,6 +31,7 @@ from ...errors import (
     UnknownTemplateError,
 )
 from ...faults.points import fire
+from ...store import codec
 from ...store.spaces import OperaStore
 from ..model.process import ProcessTemplate
 from ..monitor.awareness import AwarenessModel
@@ -125,6 +127,16 @@ class BioOperaServer:
         self.migration = None  # (min_rate, improvement) when enabled
         self.quarantine = None  # (threshold, window, probe_after) when on
         self.leases = None  # (base, factor) when enabled
+        #: content-keyed result memoization (smart-rerun support). Like
+        #: the lease policy, the switch itself is durable (``memo_config``
+        #: setting) so recovery re-derives it from the store.
+        self.memoize = bool(
+            self.store.configuration.setting("memo_config")
+        )
+        #: (instance_id, path, attempt) -> memo content key, bridging
+        #: queue_job's cache consult to lineage recording (the record's
+        #: ``memo_key`` field) and result storage on completion.
+        self._memo_pending: Dict[Tuple[str, str, int], str] = {}
         #: job_id -> live lease record (key, attempt, node, duration, event).
         self._leases: Dict[str, Dict[str, Any]] = {}
         self._lease_keys: Dict[str, str] = {}  # job key -> holder job_id
@@ -148,6 +160,8 @@ class BioOperaServer:
             "leases_renewed": 0,
             "leases_expired": 0,
             "lease_double_grants": 0,
+            "memo_hits": 0,
+            "memo_misses": 0,
         }
         self.dispatcher.wire(
             submit=self._submit_job,
@@ -480,15 +494,60 @@ class BioOperaServer:
             # Joins this derivation to the task span of the attempt that
             # produced it (state.attempts is the completing attempt).
             "span": f"{instance.id}:{path}:{state.attempts}",
+            # Content key of this execution in the memo cache (empty when
+            # memoization is off) — smart rerun invalidates through it.
+            "memo_key": self._memo_pending.get(
+                (instance.id, path, state.attempts), ""
+            ),
         })
 
     # ------------------------------------------------------------------
     # Dispatcher wiring
     # ------------------------------------------------------------------
 
+    def _memo_content_key(self, program: str,
+                          inputs: Dict[str, Any]) -> str:
+        """Content key of one execution: program + canonical inputs."""
+        payload = codec.encode({
+            "program": program,
+            "inputs": {name: inputs[name] for name in sorted(inputs)},
+        })
+        return hashlib.sha256(payload).hexdigest()
+
+    def _replay_memoized(self, instance: ProcessInstance, task_path: str,
+                         program: str, attempt: int,
+                         outputs: Dict[str, Any]) -> None:
+        """Complete a task from the memo cache without dispatching.
+
+        Emitted as a normal dispatched→completed pair on the virtual node
+        ``"memo"`` so replay, views, lineage, and the exactly-once checks
+        see an ordinary (zero-cost) execution. No dispatcher slot is
+        taken and no lease granted — there is nothing to expire.
+        """
+        now = self.clock()
+        self.emit_batch(instance, [
+            ev.task_dispatched(task_path, "memo", program, attempt, now),
+            ev.task_completed(task_path, outputs, 0.0, "memo", now),
+        ])
+
     def queue_job(self, instance_id: str, task_path: str, program: str,
                   inputs: Dict[str, Any], attempt: int,
                   placement: str = "", cost_hint: float = 0.0) -> None:
+        if self.memoize and not task_path.endswith("#comp"):
+            key = self._memo_content_key(program, inputs)
+            self._memo_pending[(instance_id, task_path, attempt)] = key
+            cached = self.store.data.memo_get(key)
+            instance = self.instances.get(instance_id)
+            if cached is not None and instance is not None:
+                self.metrics["memo_hits"] += 1
+                self._replay_memoized(
+                    instance, task_path, program, attempt, cached
+                )
+                self._memo_pending.pop(
+                    (instance_id, task_path, attempt), None
+                )
+                return
+            self.metrics["memo_misses"] += 1
         job = JobRequest(
             instance_id=instance_id,
             task_path=task_path,
@@ -596,6 +655,14 @@ class BioOperaServer:
         self.emit(instance, ev.task_completed(
             job.task_path, outputs, cost, node, self.clock()
         ))
+        # The stash entry outlives the emit above so _record_lineage can
+        # stamp the record's memo_key; the cache write happens only after
+        # the completion is durable in the log (the cache is a cache).
+        memo_key = self._memo_pending.pop(
+            (job.instance_id, job.task_path, job.attempt), None
+        )
+        if memo_key is not None and self.memoize:
+            self.store.data.memo_put(memo_key, outputs)
         self.navigator.navigate(instance)
         self._migration_review()  # a slot just freed up
         self.dispatcher.pump()
@@ -624,6 +691,11 @@ class BioOperaServer:
                 self.dispatcher.pump()
                 return
         self.metrics["jobs_failed"] += 1
+        # A failed attempt never reaches the memo cache; the retry's
+        # queue_job re-derives the (identical) content key.
+        self._memo_pending.pop(
+            (job.instance_id, job.task_path, job.attempt), None
+        )
         now = self.clock()
         if self.obs is not None:
             if reason in ev.INFRASTRUCTURE_REASONS:
@@ -791,6 +863,25 @@ class BioOperaServer:
         self.store.configuration.set_setting("lease_config", None)
         for job_id in list(self._leases):
             self._release_lease(job_id)
+
+    def enable_memoization(self) -> None:
+        """Cache task results by content key; replay hits dispatch-free.
+
+        Every queued (non-composite) task derives a content key from its
+        program and resolved inputs. A cache hit completes the task
+        immediately on the virtual node ``"memo"`` at zero cost; a miss
+        dispatches normally and stores the result when it completes. Like
+        the lease policy, the switch is persisted (``memo_config``) so a
+        recovered server keeps memoizing.
+        """
+        self.memoize = True
+        self.store.configuration.set_setting("memo_config", True)
+
+    def disable_memoization(self) -> None:
+        """Stop consulting and feeding the memo cache (entries remain)."""
+        self.memoize = False
+        self.store.configuration.set_setting("memo_config", None)
+        self._memo_pending.clear()
 
     def _grant_lease(self, job: JobRequest, node: str) -> None:
         schedule = getattr(self.environment, "schedule", None)

@@ -76,6 +76,21 @@ class UnknownInstanceError(EngineError):
     """An operation referred to a process instance the server does not know."""
 
 
+class MigratedInstanceError(UnknownInstanceError):
+    """The instance was migrated off this shard (tombstoned source copy).
+
+    Raised instead of a silent empty result when a provenance (or other
+    store-scoped) query names an id whose local copy was tombstoned by a
+    committed shard migration. ``forwarded_to`` carries the forwarding
+    record's target so callers with plane access (the sharded console)
+    can chase it the way ``ShardedControlPlane.resolve_instance`` does.
+    """
+
+    def __init__(self, message, forwarded_to=""):
+        super().__init__(message)
+        self.forwarded_to = forwarded_to
+
+
 class UnknownShardError(EngineError):
     """An instance id names a shard that is not part of the plane.
 

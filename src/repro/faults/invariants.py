@@ -83,6 +83,7 @@ def run_catalog(server, baseline_outputs: Optional[Dict] = None,
         ("exactly-once", each(_check_exactly_once)),
         ("contiguous-log", each(_check_log_contiguity)),
         ("view-equivalence", each(_check_view_equivalence)),
+        ("prov-equivalence", _check_prov_equivalence(server)),
         ("slot-consistency", _check_slot_consistency(server)),
         ("leases", _check_leases(server)),
         ("wal-integrity", [f"store: {p}" for p in server.store.kv.audit()]),
@@ -261,6 +262,29 @@ def _check_view_equivalence(server, instance_id: str) -> List[str]:
                 f"{instance_id}: view {name} diverges from full rescan"
             )
     return problems
+
+
+def _check_prov_equivalence(server) -> List[str]:
+    """The incrementally maintained provenance graph must equal — byte for
+    byte under the canonical codec — a graph rebuilt from scratch off the
+    durable lineage log (the provenance tentpole's contract, checked
+    after every crash + recovery)."""
+    hub = getattr(server.store, "observability", None)
+    if hub is None or getattr(hub, "provenance", None) is None:
+        return []
+    view = hub.provenance
+    if not view.in_sync(server.store):
+        return [
+            f"provenance cursor {view.cursor} != lineage count "
+            f"{server.store.data.lineage_count()}"
+        ]
+    from ..prov.graph import ProvenanceGraph
+
+    rebuilt = ProvenanceGraph.from_records(
+        server.store.data.lineage_records())
+    if codec.encode(view.graph.dump()) != codec.encode(rebuilt.dump()):
+        return ["provenance graph diverges from full lineage rebuild"]
+    return []
 
 
 def _check_slot_consistency(server) -> List[str]:

@@ -57,6 +57,7 @@ CATALOG: Dict[str, tuple] = {
     "recovery.replay": ("crash",),
     # observability layer
     "obs.view.checkpoint": ("crash",),
+    "prov.checkpoint": ("crash",),
     # shard migration windows (rebalance profile). prepare/export/commit
     # crash the SOURCE shard mid-move; import/activate crash the TARGET.
     "shard.migrate.prepare": ("crash",),

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
+from ..prov.view import ProvenanceView
 from .metrics import BoundedHistogram, MetricsRegistry
 from .tracing import TaskSpan, TraceCollector
 from .views import CHECKPOINT_PREFIX, View, ViewCatalog
@@ -29,6 +30,7 @@ __all__ = [
     "CHECKPOINT_PREFIX",
     "MetricsRegistry",
     "ObservabilityHub",
+    "ProvenanceView",
     "TaskSpan",
     "TraceCollector",
     "View",
@@ -44,6 +46,7 @@ class ObservabilityHub:
                  compact_store: bool = True):
         self.metrics = MetricsRegistry()
         self.views = ViewCatalog()
+        self.provenance = ProvenanceView()
         self.tracing = TraceCollector(capacity=trace_capacity)
         self.checkpoint_interval = checkpoint_interval
         self.compact_store = compact_store
@@ -59,14 +62,17 @@ class ObservabilityHub:
         previous = getattr(store, "observability", None)
         if previous is not None and previous is not self:
             store.instances.unsubscribe(previous._on_event)
+            store.data.unsubscribe(previous.provenance.on_lineage)
         self._store = store
         store.observability = self
         self.views.bind(store)
+        self.provenance.bind(store)
         store.instances.subscribe(self._on_event, batch=self._on_events)
 
     def detach(self) -> None:
         if self._store is not None:
             self._store.instances.unsubscribe(self._on_event)
+            self.provenance.unbind(self._store)
             if getattr(self._store, "observability", None) is self:
                 self._store.observability = None
             self._store = None
@@ -108,6 +114,7 @@ class ObservabilityHub:
         if self._store is None:
             return
         self.views.checkpoint(self._store)
+        self.provenance.checkpoint(self._store)
         self._since_checkpoint = 0
         self.metrics.inc("view_checkpoints")
         if self.compact_store:

@@ -1,0 +1,59 @@
+"""Provenance: the lineage log promoted to a queryable graph.
+
+The store has recorded a :class:`~repro.store.lineage.LineageRecord` for
+every completed task since the first PR; this package turns that durable
+stream into the operator-facing surface the paper promises — "all
+dependencies are persistently recorded":
+
+* :mod:`repro.prov.graph` — :class:`ProvenanceGraph`: ancestry,
+  descendants, derivation paths, run diffs, and W3C PROV-JSON
+  import/export (plus cross-shard document merging);
+* :mod:`repro.prov.view` — :class:`ProvenanceView`: the graph
+  materialized incrementally off the lineage log with a durable
+  checkpoint, crash-equivalent to a from-scratch rebuild;
+* :mod:`repro.prov.rerun` — smart re-execution: compute the minimal
+  invalidated subgraph for changed inputs or forced task reruns, replay
+  everything else from the content-keyed memo cache.
+
+See ``docs/provenance.md`` for the operator runbook.
+"""
+
+from .graph import (
+    PROV_PREFIX,
+    PROV_URI,
+    ProvenanceGraph,
+    merge_prov_documents,
+    relative_dataset,
+)
+from .rerun import (
+    RerunHandle,
+    RerunPlan,
+    execute_rerun,
+    plan_rerun,
+    rerun_report,
+    require_instance,
+)
+from .view import (
+    CHECKPOINT_KEY,
+    ProvenanceView,
+    live_graph,
+    provenance_graph,
+)
+
+__all__ = [
+    "PROV_PREFIX",
+    "PROV_URI",
+    "ProvenanceGraph",
+    "merge_prov_documents",
+    "relative_dataset",
+    "RerunHandle",
+    "RerunPlan",
+    "execute_rerun",
+    "plan_rerun",
+    "rerun_report",
+    "require_instance",
+    "CHECKPOINT_KEY",
+    "ProvenanceView",
+    "live_graph",
+    "provenance_graph",
+]

@@ -1,0 +1,159 @@
+"""Incremental provenance view: the lineage stream, folded live.
+
+The :class:`ProvenanceView` mirrors PR 3's materialized views, but over
+the *data space's lineage log* instead of the instance-space event logs:
+
+* live application folds each durable lineage append exactly once,
+  guarded by a single sequence cursor (re-delivered records below the
+  cursor are skipped, a gap raises);
+* :meth:`checkpoint` persists the graph state *and* the cursor in one KV
+  transaction under ``obs/view/provenance``, with the ``prov.checkpoint``
+  fault point fired first — a crash there leaves the view recoverable
+  from its previous checkpoint;
+* :meth:`bind` loads the durable checkpoint and catches up by replaying
+  only the lineage suffix, then resumes live application.
+
+The chaos invariant (``prov-equivalence`` in
+:mod:`repro.faults.invariants`) holds the view's graph byte-identical,
+under the canonical codec, to a graph rebuilt from scratch off the
+durable lineage log — after every crash and recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..errors import StoreError
+from ..faults.points import fire
+from .graph import ProvenanceGraph
+
+#: KV key under which the provenance view checkpoint lives (the
+#: ``obs/view/`` prefix keeps it alongside the event-log views').
+CHECKPOINT_KEY = "obs/view/provenance"
+
+
+class ProvenanceView:
+    """The provenance graph, maintained incrementally with a cursor."""
+
+    name = "provenance"
+
+    def __init__(self):
+        self.graph = ProvenanceGraph()
+        #: next lineage sequence number to fold.
+        self.cursor = 0
+        self._store = None
+
+    # -- binding & recovery -------------------------------------------------
+
+    def bind(self, store) -> None:
+        """Load the durable checkpoint, catch up, subscribe to appends."""
+        self._store = store
+        data = store.kv.get(CHECKPOINT_KEY)
+        if data is not None:
+            self.cursor = int(data.get("cursor", 0))
+            self.graph = ProvenanceGraph.load(data.get("state"))
+        else:
+            self.cursor = 0
+            self.graph = ProvenanceGraph()
+        self.catch_up(store)
+        store.data.subscribe(self.on_lineage)
+
+    def unbind(self, store) -> None:
+        """Stop receiving lineage appends from ``store``."""
+        store.data.unsubscribe(self.on_lineage)
+        if self._store is store:
+            self._store = None
+
+    def catch_up(self, store) -> None:
+        """Fold the lineage suffix ``[cursor, count)`` from the log."""
+        count = store.data.lineage_count()
+        if self.cursor > count:
+            raise StoreError(
+                f"provenance checkpoint cursor {self.cursor} is ahead of "
+                f"the durable lineage log ({count} records)"
+            )
+        for _seq, record in store.data.lineage_records_from(self.cursor):
+            self.graph.add_raw(record)
+        # Sequences tombstoned by shard migration yield nothing but still
+        # count: the cursor lands on the log head, not the last record.
+        self.cursor = count
+
+    # -- live application (hot path) ----------------------------------------
+
+    def on_lineage(self, seq: int, record: Dict[str, Any]) -> None:
+        """Fold one durable lineage append (idempotent re-delivery)."""
+        if seq < self.cursor:
+            return
+        if seq > self.cursor:
+            raise StoreError(
+                f"provenance view missed lineage records: got seq {seq}, "
+                f"expected {self.cursor}"
+            )
+        self.graph.add_raw(record)
+        self.cursor = seq + 1
+
+    def resync(self, store) -> None:
+        """Re-base on the durable log after out-of-band lineage writes.
+
+        Shard migration copies lineage records into (and tombstones them
+        out of) the log in bulk transactions that bypass
+        ``append_lineage``'s subscription; the migrator calls this so the
+        incremental graph and cursor describe the log again."""
+        self.graph = ProvenanceGraph.from_records(
+            store.data.lineage_records())
+        self.cursor = store.data.lineage_count()
+
+    def in_sync(self, store) -> bool:
+        """True when the cursor matches the durable lineage count."""
+        return self.cursor == store.data.lineage_count()
+
+    # -- durability ----------------------------------------------------------
+
+    def checkpoint(self, store=None) -> None:
+        """Persist graph + cursor in one transaction.
+
+        The ``prov.checkpoint`` fault point fires before the
+        transaction: an injected crash loses nothing (the previous
+        checkpoint plus the lineage suffix reconstructs the graph).
+        """
+        store = store if store is not None else self._store
+        if store is None:
+            raise StoreError("provenance view is not bound to a store")
+        fire("prov.checkpoint", cursor=self.cursor)
+        with store.kv.transaction() as txn:
+            txn.put(CHECKPOINT_KEY, {
+                "cursor": self.cursor,
+                "state": self.graph.dump(),
+            })
+
+    # -- reads ---------------------------------------------------------------
+
+    def rebuilt(self, store=None) -> ProvenanceGraph:
+        """A from-scratch rebuild off the durable log (the oracle)."""
+        store = store if store is not None else self._store
+        if store is None:
+            raise StoreError("provenance view is not bound to a store")
+        return ProvenanceGraph.from_records(store.data.lineage_records())
+
+
+def live_graph(store) -> Optional[ProvenanceGraph]:
+    """The hub's in-sync provenance graph, or ``None`` to force a rescan.
+
+    Mirrors ``queries._live_views``: the incremental graph answers only
+    when it is attached *and* caught up with the durable lineage log;
+    otherwise the caller falls back to :meth:`ProvenanceView.rebuilt`
+    semantics (build from the records directly).
+    """
+    hub = getattr(store, "observability", None)
+    view = getattr(hub, "provenance", None)
+    if view is None or not view.in_sync(store):
+        return None
+    return view.graph
+
+
+def provenance_graph(store) -> ProvenanceGraph:
+    """The store's provenance graph: live view if in sync, else rebuilt."""
+    graph = live_graph(store)
+    if graph is not None:
+        return graph
+    return ProvenanceGraph.from_records(store.data.lineage_records())

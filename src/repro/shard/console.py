@@ -19,6 +19,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.engine.operator_console import OperatorConsole
 from ..obs.merge import merge_counter_snapshots
+from ..prov import merge_prov_documents, provenance_graph, require_instance
 from .plane import ShardedControlPlane
 
 
@@ -104,6 +105,95 @@ class ShardedConsole:
         """Completed-task outputs of one instance (owning shard)."""
         console, final_id = self._locate(instance_id)
         return console.intermediate_results(final_id, prefix)
+
+    # ------------------------------------------------------------------
+    # Provenance (routed; dataset names re-based onto the current id)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _rebase(dataset: str, requested: str, final: str) -> str:
+        """Swap a fully-qualified dataset's prefix onto the final id.
+
+        A migrated instance's lineage was rewritten to the new id, so a
+        query phrased against the old id (``old/wb:x``) must chase the
+        same forward the instance-scoped routing does."""
+        if final != requested and (dataset == requested
+                                   or dataset.startswith(requested + "/")):
+            return final + dataset[len(requested):]
+        return dataset
+
+    def provenance_ancestry(self, instance_id: str,
+                            dataset: str) -> List[Dict[str, Any]]:
+        """Derivation steps behind one dataset, from the owning shard."""
+        console, final_id = self._locate(instance_id)
+        return console.provenance_ancestry(
+            final_id, self._rebase(dataset, instance_id, final_id))
+
+    def provenance_descendants(self, instance_id: str,
+                               dataset: str) -> List[str]:
+        """Datasets derived from this one, from the owning shard."""
+        console, final_id = self._locate(instance_id)
+        return console.provenance_descendants(
+            final_id, self._rebase(dataset, instance_id, final_id))
+
+    def derivation_path(self, instance_id: str, source: str,
+                        target: str) -> List[Dict[str, Any]]:
+        """Derivation chain source → target, from the owning shard."""
+        console, final_id = self._locate(instance_id)
+        return console.derivation_path(
+            final_id,
+            self._rebase(source, instance_id, final_id),
+            self._rebase(target, instance_id, final_id))
+
+    def provenance_run(self, instance_id: str) -> List[Dict[str, Any]]:
+        """One run's derivation steps, from the owning shard."""
+        console, final_id = self._locate(instance_id)
+        return console.provenance_run(final_id)
+
+    def provenance_diff(self, run_a: str, run_b: str) -> Dict[str, Any]:
+        """Diff two runs even when they live on different shards."""
+        console_a, id_a = self._locate(run_a)
+        console_b, id_b = self._locate(run_b)
+        require_instance(console_a.server.store, id_a)
+        require_instance(console_b.server.store, id_b)
+        graph_a = provenance_graph(console_a.server.store)
+        graph_b = provenance_graph(console_b.server.store)
+        diff = graph_a.diff_runs(id_a, id_b, other=graph_b)
+        if id_a != run_a:
+            diff["run_a_requested"] = run_a
+        if id_b != run_b:
+            diff["run_b_requested"] = run_b
+        return diff
+
+    def export_prov(self, instance_id: Optional[str] = None
+                    ) -> Dict[str, Any]:
+        """PROV-JSON: one instance's document (routed), or every live
+        shard's documents merged into one plane-wide export."""
+        if instance_id is not None:
+            console, final_id = self._locate(instance_id)
+            return console.export_prov(final_id)
+        return merge_prov_documents(
+            console.export_prov() for console in self._consoles()
+        )
+
+    def rerun(self, instance_id: str,
+              changed_inputs: Optional[Dict[str, Any]] = None,
+              task_ids: Optional[List[str]] = None,
+              request_key: Optional[str] = None) -> Dict[str, Any]:
+        """Smart rerun on the shard that owns the (possibly migrated)
+        original; the new instance lands on that same shard."""
+        console, final_id = self._locate(instance_id)
+        result = console.rerun(final_id, changed_inputs=changed_inputs,
+                               task_ids=task_ids, request_key=request_key)
+        result["shard"] = self.plane.router.shard_of(final_id)
+        if final_id != instance_id:
+            result["requested_id"] = instance_id
+        return result
+
+    def rerun_report(self, rerun_id: str) -> Dict[str, Any]:
+        """Memo-vs-executed audit of a rerun, from its owning shard."""
+        console, final_id = self._locate(rerun_id)
+        return console.rerun_report(final_id)
 
     # ------------------------------------------------------------------
     # Topology operations (pass through to the plane)

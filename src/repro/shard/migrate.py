@@ -45,6 +45,8 @@ from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
 from ..errors import EngineError, UnknownInstanceError, UnknownShardError
 from ..faults.points import fire
+from ..prov.graph import ProvenanceGraph
+from ..prov.view import CHECKPOINT_KEY as PROV_CHECKPOINT_KEY
 from ..store.spaces import DataSpace, InstanceSpace, TemplateSpace, _seq_key
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -70,6 +72,7 @@ def _rewrite_lineage(record: Dict[str, Any], old_id: str,
     record is id-free and copies verbatim.
     """
     def swap(name: str) -> str:
+        """Re-prefix one qualified dataset name, if it carries the id."""
         if name == old_id or name.startswith(old_id + "/"):
             return new_id + name[len(old_id):]
         return name
@@ -88,6 +91,37 @@ def _rewrite_lineage(record: Dict[str, Any], old_id: str,
                 for value in values
             ]
     return rewritten
+
+
+def _prov_rebase(store, added=(), excluded=frozenset(),
+                 cursor=None) -> Dict[str, Any]:
+    """Provenance checkpoint payload for a bulk lineage rewrite.
+
+    Migration moves lineage records in transactions that bypass
+    ``append_lineage`` (and so the provenance view's subscription). The
+    enclosing transaction writes this payload — the graph folded from
+    the log *as that transaction will leave it* (current records minus
+    ``excluded`` keys plus ``added``) — under the view's checkpoint key,
+    so a crash on either side of the move recovers a checkpoint that
+    matches the log instead of one from before the rewrite."""
+    records = [
+        record
+        for key, record in store.kv.items(f"{DataSpace.PREFIX}lineage/")
+        if key not in excluded
+    ]
+    records.extend(added)
+    graph = ProvenanceGraph.from_records(records)
+    if cursor is None:
+        cursor = store.data.lineage_count()
+    return {"cursor": cursor, "state": graph.dump()}
+
+
+def _resync_provenance(store) -> None:
+    """Re-base an attached hub's live provenance view on the log."""
+    hub = getattr(store, "observability", None)
+    view = getattr(hub, "provenance", None)
+    if view is not None:
+        view.resync(store)
 
 
 class ShardMigrator:
@@ -249,6 +283,11 @@ class ShardMigrator:
             "lineage_base": lineage_base, "lineage_count": len(rewritten),
         }
         configuration = target.store.configuration
+        prov_payload = None
+        if rewritten:
+            prov_payload = _prov_rebase(
+                target.store, added=rewritten,
+                cursor=lineage_base + len(rewritten))
         with target.store.kv.transaction() as txn:
             txn.put(f"{instance_prefix}meta", meta)
             txn.put(f"{instance_prefix}next_seq", export["next_seq"])
@@ -260,12 +299,15 @@ class ShardMigrator:
             if rewritten:
                 txn.put(f"{DataSpace.PREFIX}lineage_seq",
                         lineage_base + len(rewritten))
+                txn.put(PROV_CHECKPOINT_KEY, prov_payload)
             if export["request_key"]:
                 txn.put(configuration.setting_key(
                     f"request/{export['request_key']}"), new_id)
             txn.put(configuration.setting_key(f"migrate_in/{new_id}"),
                     journal)
         target.store.flush()
+        if rewritten:
+            _resync_provenance(target.store)
 
     def _verify_copy(self, target: "Shard", old_id: str, new_id: str,
                      export: Dict[str, Any]) -> None:
@@ -286,6 +328,10 @@ class ShardMigrator:
         """
         configuration = source.store.configuration
         instance_prefix = f"{InstanceSpace.PREFIX}{old_id}/"
+        prov_payload = None
+        if export["lineage_keys"]:
+            prov_payload = _prov_rebase(
+                source.store, excluded=set(export["lineage_keys"]))
         with source.store.kv.transaction() as txn:
             txn.put(configuration.setting_key(f"forward/{old_id}"),
                     {"to": new_id, "shard": target_index})
@@ -300,8 +346,12 @@ class ShardMigrator:
                 txn.delete(_seq_key(f"{instance_prefix}event/", seq))
             for key in export["lineage_keys"]:
                 txn.delete(key)
+            if prov_payload is not None:
+                txn.put(PROV_CHECKPOINT_KEY, prov_payload)
             txn.delete(configuration.setting_key(f"migrate_out/{old_id}"))
         source.store.flush()
+        if export["lineage_keys"]:
+            _resync_provenance(source.store)
         source.server.complete_migration(old_id)
 
     def _activate(self, target: "Shard", new_id: str) -> None:
@@ -407,6 +457,13 @@ class ShardMigrator:
         base = int(journal.get("lineage_base", 0))
         lineage_count = int(journal.get("lineage_count", 0))
         request_key = journal.get("request_key")
+        staged_keys = {
+            _seq_key(f"{DataSpace.PREFIX}lineage/", seq)
+            for seq in range(base, base + lineage_count)
+        }
+        prov_payload = None
+        if lineage_count:
+            prov_payload = _prov_rebase(target.store, excluded=staged_keys)
         with target.store.kv.transaction() as txn:
             txn.delete(f"{instance_prefix}meta")
             txn.delete(f"{instance_prefix}next_seq")
@@ -414,12 +471,16 @@ class ShardMigrator:
                 txn.delete(_seq_key(f"{instance_prefix}event/", seq))
             for seq in range(base, base + lineage_count):
                 txn.delete(_seq_key(f"{DataSpace.PREFIX}lineage/", seq))
+            if prov_payload is not None:
+                txn.put(PROV_CHECKPOINT_KEY, prov_payload)
             if (request_key and configuration.setting(
                     f"request/{request_key}") == new_id):
                 txn.delete(configuration.setting_key(
                     f"request/{request_key}"))
             txn.delete(configuration.setting_key(f"migrate_in/{new_id}"))
         target.store.flush()
+        if lineage_count:
+            _resync_provenance(target.store)
 
     def _release_source(self, source: "Shard", old_id: str) -> None:
         """Clear the source journal and give the instance back.

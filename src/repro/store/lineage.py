@@ -36,6 +36,10 @@ class LineageRecord:
     #: task-span id (``instance:path:attempt``) joining this derivation to
     #: the trace of the attempt that produced it.
     span: str = ""
+    #: content key of the producing execution in the store's memo cache
+    #: (empty when the server ran without memoization) — smart rerun uses
+    #: it to invalidate cached results for operator-forced task reruns.
+    memo_key: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
         """Serialize to a codec-friendly plain dict."""
@@ -49,6 +53,7 @@ class LineageRecord:
             "task": self.task,
             "timestamp": self.timestamp,
             "span": self.span,
+            "memo_key": self.memo_key,
         }
 
     @classmethod
@@ -64,6 +69,7 @@ class LineageRecord:
             task=data.get("task", ""),
             timestamp=data.get("timestamp", 0.0),
             span=data.get("span", ""),
+            memo_key=data.get("memo_key", ""),
         )
 
 
@@ -81,9 +87,12 @@ class LineageGraph:
         """Insert a derivation; re-deriving a dataset replaces the old record."""
         for output in record.outputs:
             existing = self._producers.get(output)
-            if existing is not None and existing != record:
+            if (existing is not None and existing != record
+                    and existing in self.records):
                 # Re-derivation of the same dataset replaces the old record
-                # (the paper's "recompute with slightly different parameters").
+                # (the paper's "recompute with slightly different
+                # parameters"). The membership guard keeps a multi-output
+                # replacement from being removed once per shared output.
                 self.records.remove(existing)
                 for inp in existing.inputs:
                     self._consumers[inp].remove(existing)

@@ -305,12 +305,30 @@ class ConfigurationSpace:
 
 
 class DataSpace:
-    """Historical run records and lineage entries."""
+    """Historical run records, lineage entries, and the memo cache."""
 
     PREFIX = "data/"
 
     def __init__(self, kv: KVStore):
         self._kv = kv
+        #: post-commit lineage subscribers ``fn(seq, record)``, mirroring
+        #: :class:`InstanceSpace`'s event subscribers: the provenance view
+        #: folds each durable lineage append incrementally. Subscribers
+        #: must not append lineage themselves.
+        self._subscribers: List[Any] = []
+
+    # -- subscriptions ------------------------------------------------------
+
+    def subscribe(self, callback) -> None:
+        """Register a post-commit lineage-append callback (idempotent)."""
+        if callback not in self._subscribers:
+            self._subscribers.append(callback)
+
+    def unsubscribe(self, callback) -> None:
+        """Remove a previously registered lineage callback."""
+        self._subscribers = [
+            fn for fn in self._subscribers if fn != callback
+        ]
 
     def record_run(self, run_id: str, summary: Dict[str, Any]) -> None:
         """Store the summary of a completed run."""
@@ -328,16 +346,67 @@ class DataSpace:
         }
 
     def append_lineage(self, record: Dict[str, Any]) -> int:
-        """Durably append one lineage record; returns its sequence."""
+        """Durably append one lineage record; returns its sequence.
+
+        Subscribers are notified after the commit (deliver-to-all; the
+        first failure is re-raised once, after delivery — the record is
+        already durable, so a raising subscriber must not starve the
+        others or trick the caller into a double-append)."""
         seq = int(self._kv.get(f"{self.PREFIX}lineage_seq", 0))
         with self._kv.transaction() as txn:
             txn.put(_seq_key(f"{self.PREFIX}lineage/", seq), record)
             txn.put(f"{self.PREFIX}lineage_seq", seq + 1)
+        failure = None
+        for callback in self._subscribers:
+            try:
+                callback(seq, record)
+            except Exception as exc:  # deliver to all, re-raise the first
+                if failure is None:
+                    failure = exc
+        if failure is not None:
+            raise failure
         return seq
 
     def lineage_records(self) -> List[Dict[str, Any]]:
         """Every lineage record, in append order."""
         return [rec for _, rec in self._kv.items(f"{self.PREFIX}lineage/")]
+
+    def lineage_count(self) -> int:
+        """Number of lineage records durably appended."""
+        return int(self._kv.get(f"{self.PREFIX}lineage_seq", 0))
+
+    def lineage_records_from(self, start: int) -> Iterator[Any]:
+        """Yield ``(seq, record)`` for the lineage suffix from ``start``.
+
+        Reads by direct sequence key so catching the provenance view up
+        replays only the suffix. Missing sequences are skipped, not an
+        error: shard migration tombstones a moved instance's lineage
+        records in place (the sequence counter never rewinds)."""
+        prefix = f"{self.PREFIX}lineage/"
+        count = self.lineage_count()
+        for seq in range(start, count):
+            record = self._kv.get(_seq_key(prefix, seq))
+            if record is not None:
+                yield seq, record
+
+    # -- memo cache (content-keyed results for smart re-execution) ----------
+
+    def memo_put(self, key: str, outputs: Dict[str, Any]) -> None:
+        """Store (or refresh) the memoized outputs for a content key."""
+        self._kv.put(f"{self.PREFIX}memo/{key}", outputs)
+
+    def memo_get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Memoized outputs for a content key, or ``None`` on a miss."""
+        return self._kv.get(f"{self.PREFIX}memo/{key}")
+
+    def memo_delete(self, key: str) -> None:
+        """Invalidate one memo entry (no-op if absent)."""
+        self._kv.delete(f"{self.PREFIX}memo/{key}")
+
+    def memo_keys(self) -> List[str]:
+        """Sorted content keys currently cached."""
+        prefix = f"{self.PREFIX}memo/"
+        return sorted(key[len(prefix):] for key in self._kv.keys(prefix))
 
 
 class OperaStore:

@@ -90,6 +90,9 @@ ENGINE_CRASH_POINTS = [
     point for point, kinds in CATALOG.items()
     if "crash" in kinds
     and point not in ("recovery.replay", "obs.view.checkpoint",
+                      # prov.checkpoint fires on the same interval-driven
+                      # hub checkpoint; dedicated test below.
+                      "prov.checkpoint",
                       "store.rotate",
                       "store.checkpoint.begin",
                       "store.checkpoint.post-snapshot",
@@ -184,6 +187,20 @@ class TestCrashWindows:
         assert err.value.point == "obs.view.checkpoint"
         # the first view's transaction committed before the crash
         assert injector.fired[0]["hit"] == 2
+
+    def test_prov_checkpoint_fires_during_checkpoint(self):
+        """The provenance view checkpoints in the same hub pass as the
+        event-log views; its crash window opens right before its state
+        transaction."""
+        kernel, cluster, server = _single_activity(seed=23)
+        instance_id = server.launch("P")
+        cluster.run_until_instance_done(instance_id)
+        injector = FaultInjector([FaultAction("prov.checkpoint", "crash")])
+        with installed(injector):
+            with pytest.raises(InjectedCrash) as err:
+                server.obs.checkpoint()
+        assert err.value.point == "prov.checkpoint"
+        assert injector.fired[0]["point"] == "prov.checkpoint"
 
     def test_recovery_replay_fires_during_recover(self):
         kernel, cluster, server = _single_activity()

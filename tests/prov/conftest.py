@@ -1,0 +1,80 @@
+"""Shared fixtures for the provenance tests: a diamond-shaped process.
+
+The diamond (two independent branches joining) is the smallest shape
+where smart re-execution is observable: changing one branch's input
+must re-run that branch and the join while the other branch replays
+from the memo cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.engine import (
+    BioOperaServer,
+    InlineEnvironment,
+    ProgramRegistry,
+    ProgramResult,
+)
+
+DIAMOND_OCR = """PROCESS diamond
+  INPUT a
+  INPUT b
+  OUTPUT result = Join.out
+  ACTIVITY Left
+    PROGRAM work
+    IN x = wb.a
+    MAP out -> la
+  END
+  ACTIVITY Right
+    PROGRAM work
+    IN x = wb.b
+    MAP out -> rb
+  END
+  ACTIVITY Join
+    PROGRAM combine
+    IN l = wb.la
+    IN r = wb.rb
+  END
+  CONNECT Left -> Join
+  CONNECT Right -> Join
+END
+"""
+
+
+def diamond_registry(calls: List[Tuple[str, Dict]]) -> ProgramRegistry:
+    """Programs for the diamond; every real execution lands in ``calls``."""
+    registry = ProgramRegistry()
+
+    def work(inputs, ctx):
+        calls.append(("work", dict(inputs)))
+        return ProgramResult({"out": inputs["x"] + 1})
+
+    def combine(inputs, ctx):
+        calls.append(("combine", dict(inputs)))
+        return ProgramResult({"out": inputs["l"] * 100 + inputs["r"]})
+
+    registry.register("work", work)
+    registry.register("combine", combine)
+    return registry
+
+
+def diamond_server(calls: List[Tuple[str, Dict]], seed: int = 3,
+                   memoize: bool = False
+                   ) -> Tuple[BioOperaServer, InlineEnvironment]:
+    """A server with the diamond template defined (optionally memoizing)."""
+    server = BioOperaServer(registry=diamond_registry(calls), seed=seed)
+    environment = InlineEnvironment()
+    server.attach_environment(environment)
+    if memoize:
+        server.enable_memoization()
+    server.define_template_ocr(DIAMOND_OCR)
+    return server, environment
+
+
+def run_diamond(server: BioOperaServer, environment: InlineEnvironment,
+                a: int, b: int) -> str:
+    """Launch the diamond with the given inputs and run to completion."""
+    instance_id = server.launch("diamond", {"a": a, "b": b})
+    environment.run_instance(instance_id)
+    return instance_id

@@ -1,0 +1,109 @@
+"""Operator console provenance surface: typed errors, shard fan-out."""
+
+import pytest
+
+from repro.core.engine.operator_console import OperatorConsole
+from repro.errors import MigratedInstanceError, UnknownInstanceError
+from repro.shard import ShardedConsole
+
+from ..shard.conftest import make_plane
+from .conftest import diamond_server, run_diamond
+
+
+class TestSingleServerConsole:
+    @pytest.fixture()
+    def setup(self):
+        calls = []
+        server, env = diamond_server(calls, memoize=True)
+        iid = run_diamond(server, env, 1, 2)
+        return OperatorConsole(server), env, iid
+
+    def test_provenance_run_lists_every_step(self, setup):
+        console, _env, iid = setup
+        steps = console.provenance_run(iid)
+        assert [s["task"] for s in steps] == ["Left", "Right", "Join"]
+
+    def test_dataset_names_accept_relative_form(self, setup):
+        console, _env, iid = setup
+        relative = console.provenance_descendants(iid, "wb:a")
+        qualified = console.provenance_descendants(iid, f"{iid}/wb:a")
+        assert relative == qualified and relative
+
+    def test_unknown_instance_is_a_typed_error_not_empty(self, setup):
+        console, _env, _iid = setup
+        with pytest.raises(UnknownInstanceError):
+            console.provenance_run("pi-424242")
+        with pytest.raises(UnknownInstanceError):
+            console.provenance_ancestry("pi-424242", "wb:a")
+
+    def test_rerun_counts_as_manual_intervention(self, setup):
+        console, env, iid = setup
+        before = console.server.metrics["manual_interventions"]
+        result = console.rerun(iid, changed_inputs={"b": 7})
+        env.run_instance(result["rerun_id"])
+        assert console.server.metrics["manual_interventions"] == before + 1
+        report = console.rerun_report(result["rerun_id"])
+        assert report["executed"] == ["Join", "Right"]
+        assert report["replayed"] == ["Left"]
+
+
+class TestShardedConsole:
+    def _drained_plane(self):
+        kernel, plane = make_plane(2, seed=9)
+        requests = [plane.launch("t0", "job", {"cost": 0.4})
+                    for _ in range(4)]
+        kernel.run()
+        ids = [r.result for r in requests]
+        console = ShardedConsole(plane)
+        donors = [i for i in ids if i.startswith("s00-")]
+        moved = console.drain_shard(0)
+        kernel.run()
+        return kernel, plane, console, donors, moved
+
+    def test_migrated_id_raises_typed_error_on_the_source_console(self):
+        _kernel, plane, _console, donors, moved = self._drained_plane()
+        source_console = OperatorConsole(plane.shards[0].server)
+        old_id = donors[0]
+        with pytest.raises(MigratedInstanceError) as excinfo:
+            source_console.provenance_run(old_id)
+        assert excinfo.value.forwarded_to == moved[old_id]
+
+    def test_sharded_console_chases_the_forward(self):
+        _kernel, _plane, console, donors, _moved = self._drained_plane()
+        old_id = donors[0]
+        steps = console.provenance_run(old_id)
+        assert [s["task"] for s in steps] == ["Work"]
+        # Qualified dataset names are re-based onto the migrated id.
+        downstream = console.provenance_descendants(
+            old_id, f"{old_id}/wb:cost")
+        assert downstream and all("s01-" in d for d in downstream)
+
+    def test_plane_wide_export_merges_every_shard(self):
+        _kernel, plane, console, _donors, _moved = self._drained_plane()
+        doc = console.export_prov()
+        assert len(doc["activity"]) == 4
+        live = [s for s in plane.shards if not s.retired]
+        assert len(live) == 1  # everything merged onto the survivor
+
+    def test_rerun_routes_through_the_forward(self):
+        kernel, _plane, console, donors, _moved = self._drained_plane()
+        old_id = donors[0]
+        result = console.rerun(old_id, changed_inputs={"cost": 0.6})
+        kernel.run()
+        assert result["requested_id"] == old_id
+        report = console.rerun_report(result["rerun_id"])
+        assert report["executed"] == ["Work"]
+
+    def test_cross_shard_diff(self):
+        kernel, plane, console = None, None, None
+        kernel, plane = make_plane(2, seed=5)
+        requests = [plane.launch("t0", "job", {"cost": 0.4})
+                    for _ in range(4)]
+        kernel.run()
+        ids = [r.result for r in requests]
+        console = ShardedConsole(plane)
+        a = next(i for i in ids if i.startswith("s00-"))
+        b = next(i for i in ids if i.startswith("s01-"))
+        diff = console.provenance_diff(a, b)
+        assert diff["unchanged"] == ["Work"]
+        assert diff["only_a"] == [] and diff["only_b"] == []

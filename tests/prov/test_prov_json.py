@@ -1,0 +1,75 @@
+"""W3C PROV-JSON export: structure, round-trip, cross-shard merge."""
+
+from repro.prov import ProvenanceGraph, merge_prov_documents, \
+    provenance_graph
+from repro.store import codec
+
+from .conftest import diamond_server, run_diamond
+
+
+class TestExport:
+    def test_document_has_the_w3c_sections(self):
+        calls = []
+        server, env = diamond_server(calls)
+        iid = run_diamond(server, env, 1, 2)
+        doc = provenance_graph(server.store).to_prov_json(iid)
+        for section in ("prefix", "entity", "activity", "used",
+                        "wasGeneratedBy", "wasDerivedFrom"):
+            assert section in doc
+        assert len(doc["activity"]) == 3
+        spans = {a["repro:task"] for a in doc["activity"].values()}
+        assert spans == {"Left", "Right", "Join"}
+
+    def test_instance_filter_scopes_the_document(self):
+        calls = []
+        server, env = diamond_server(calls)
+        run_a = run_diamond(server, env, 1, 2)
+        run_b = run_diamond(server, env, 3, 4)
+        graph = provenance_graph(server.store)
+        doc = graph.to_prov_json(run_a)
+        instances = {a["repro:instance"]
+                     for a in doc["activity"].values()}
+        assert instances == {run_a}
+        full = graph.to_prov_json()
+        assert len(full["activity"]) == 6
+        assert run_b in {a["repro:instance"]
+                         for a in full["activity"].values()}
+
+
+class TestRoundTrip:
+    def test_round_trip_is_byte_identical(self):
+        calls = []
+        server, env = diamond_server(calls)
+        run_diamond(server, env, 1, 2)
+        run_diamond(server, env, 3, 4)
+        graph = provenance_graph(server.store)
+        doc = graph.to_prov_json()
+        back = ProvenanceGraph.from_prov_json(doc)
+        assert codec.encode(back.dump()) == codec.encode(graph.dump())
+
+    def test_round_trip_preserves_queries(self):
+        calls = []
+        server, env = diamond_server(calls)
+        iid = run_diamond(server, env, 1, 2)
+        graph = provenance_graph(server.store)
+        back = ProvenanceGraph.from_prov_json(graph.to_prov_json())
+        assert back.descendants(f"{iid}/wb:a") == \
+            graph.descendants(f"{iid}/wb:a")
+        assert [s["task"] for s in back.ancestry(f"{iid}/Join")] == \
+            [s["task"] for s in graph.ancestry(f"{iid}/Join")]
+
+
+class TestMerge:
+    def test_merged_documents_cover_both_sources(self):
+        calls = []
+        server, env = diamond_server(calls)
+        iid_a = run_diamond(server, env, 1, 2)
+        iid_b = run_diamond(server, env, 3, 4)
+        graph = provenance_graph(server.store)
+        doc_a = graph.to_prov_json(iid_a)
+        doc_b = graph.to_prov_json(iid_b)
+        merged = merge_prov_documents([doc_a, doc_b])
+        assert len(merged["activity"]) == 6
+        merged_graph = ProvenanceGraph.from_prov_json(merged)
+        ids = merged_graph.instance_ids()
+        assert iid_a in ids and iid_b in ids
